@@ -1,0 +1,74 @@
+"""E10 — Scheduler running time vs DAG size.
+
+Expected shape: HEFT/HCPT/PETS/MCP are the cheap O(e*q) tier; DLS/ETF
+pay the dynamic-selection quadratic factor; the improved scheduler costs
+a constant factor over HEFT (multiple passes + lookahead + duplication)
+— the price E12 shows buys its quality.  pytest-benchmark's own timings
+on representative instances are the primary artifact here.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e10, e10_data
+from repro.schedulers.registry import get_scheduler
+
+
+def test_e10_shape(quick):
+    xs, seconds = e10_data(quick)
+    print("\n" + e10(quick))
+    # Time grows with size for every scheduler.
+    for name, vals in seconds.items():
+        assert vals[-1] > vals[0], name
+    # IMP is slower than HEFT (it does strictly more work) but within a
+    # sane constant factor at the measured sizes.
+    for i, _ in enumerate(xs):
+        ratio = seconds["IMP"][i] / seconds["HEFT"][i]
+        assert 1.0 <= ratio < 400.0
+
+
+def _bench_scheduler(benchmark, name: str, n: int = 100):
+    rng = np.random.default_rng(210)
+    inst = W.random_instance(rng, num_tasks=n)
+    result = benchmark(get_scheduler(name).schedule, inst)
+    assert result.makespan > 0
+
+
+def test_e10_benchmark_heft(benchmark):
+    _bench_scheduler(benchmark, "HEFT")
+
+
+def test_e10_benchmark_cpop(benchmark):
+    _bench_scheduler(benchmark, "CPOP")
+
+
+def test_e10_benchmark_hcpt(benchmark):
+    _bench_scheduler(benchmark, "HCPT")
+
+
+def test_e10_benchmark_pets(benchmark):
+    _bench_scheduler(benchmark, "PETS")
+
+
+def test_e10_benchmark_dls(benchmark):
+    _bench_scheduler(benchmark, "DLS")
+
+
+def test_e10_benchmark_etf(benchmark):
+    _bench_scheduler(benchmark, "ETF")
+
+
+def test_e10_benchmark_mcp(benchmark):
+    _bench_scheduler(benchmark, "MCP")
+
+
+def test_e10_benchmark_la_heft(benchmark):
+    _bench_scheduler(benchmark, "LA-HEFT")
+
+
+def test_e10_benchmark_dup_heft(benchmark):
+    _bench_scheduler(benchmark, "DUP-HEFT")
+
+
+def test_e10_benchmark_imp(benchmark):
+    _bench_scheduler(benchmark, "IMP")

@@ -1,0 +1,39 @@
+"""E11 — Homogeneous system: SLR vs DAG size.
+
+The "and homogeneous computing systems" half of the paper's title.
+Expected shape: with identical processors the improved scheduler still
+dominates HEFT (via lookahead + refinement) and holds its own against
+the homogeneous classics (MCP, ETF, DLS, HLFET).
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e11_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e11_shape(quick):
+    res = e11_data(quick)
+    print("\n" + res.table("E11: homogeneous machine, SLR vs size"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    # Holds its own against every homogeneous classic on average.
+    for name in W.COMPARED_HOMOGENEOUS:
+        if name == "IMP":
+            continue
+        assert series_mean(res, "IMP") <= series_mean(res, name) + 1e-9, name
+
+
+def test_e11_homogeneity_really_homogeneous(quick):
+    rng = np.random.default_rng(211)
+    inst = W.homogeneous_random_instance(rng, num_tasks=50)
+    assert inst.is_homogeneous()
+
+
+def test_e11_benchmark(benchmark):
+    rng = np.random.default_rng(211)
+    inst = W.homogeneous_random_instance(rng, num_tasks=100)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,44 @@
+"""E12 — Ablation of the four improvements.
+
+Expected shape: the full configuration is at least as good as every
+single-feature-removed configuration, all improved configurations beat
+the bare-HEFT point, and each removal costs measurable quality on at
+least one of the ablation axes.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e12, e12_data
+from repro.core import ImprovedConfig, ImprovedScheduler
+
+
+def test_e12_shape(quick):
+    means = e12_data(quick)
+    print("\n" + e12(quick))
+    full = means["full"]
+    base = means["none (=HEFT)"]
+    # Every improved configuration beats bare HEFT on average.
+    for label, mean in means.items():
+        if label != "none (=HEFT)":
+            assert mean <= base + 1e-9, label
+    # The full configuration is the best or tied-best point.
+    assert full <= min(means.values()) + 1e-6
+    # Something was actually gained.
+    assert full < base - 1e-4
+
+
+def test_e12_benchmark_full(benchmark):
+    rng = np.random.default_rng(212)
+    inst = W.random_instance(rng, num_tasks=80)
+    scheduler = ImprovedScheduler(ImprovedConfig())
+    result = benchmark(scheduler.schedule, inst)
+    assert result.makespan > 0
+
+
+def test_e12_benchmark_baseline_config(benchmark):
+    rng = np.random.default_rng(212)
+    inst = W.random_instance(rng, num_tasks=80)
+    scheduler = ImprovedScheduler(ImprovedConfig.baseline_heft())
+    result = benchmark(scheduler.schedule, inst)
+    assert result.makespan > 0

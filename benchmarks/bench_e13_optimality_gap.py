@@ -1,0 +1,35 @@
+"""E13 — Optimality gap on tiny DAGs.
+
+Expected shape: all heuristics are within ~15% of optimal on average at
+this scale; the improved scheduler's gap is smaller than HEFT's and it
+finds the exact optimum more often.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e13, e13_data
+from repro.schedulers.optimal import BranchAndBoundScheduler
+
+
+def test_e13_shape(quick):
+    ratios = e13_data(quick)
+    print("\n" + e13(quick))
+    # Non-duplicating heuristics cannot beat the (non-duplicating)
+    # optimum.  IMP *can* dip below 1.0: task duplication lies outside
+    # the oracle's search space — a measured, expected effect.
+    for name in ("HEFT", "CPOP"):
+        assert min(ratios[name]) >= 1.0 - 1e-9, name
+    assert min(ratios["IMP"]) >= 0.8  # duplication wins are bounded
+    # The contribution is closer to optimal than HEFT on average.
+    assert float(np.mean(ratios["IMP"])) <= float(np.mean(ratios["HEFT"])) + 1e-9
+    # And the average gap stays modest at this scale.
+    assert float(np.mean(ratios["IMP"])) < 1.15
+
+
+def test_e13_benchmark_bb(benchmark):
+    rng = np.random.default_rng(213)
+    inst = W.random_instance(rng, num_tasks=7, num_procs=2)
+    opt = BranchAndBoundScheduler(max_tasks=10)
+    result = benchmark(opt.schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,35 @@
+"""E14 — Robustness: simulated makespan under runtime noise.
+
+Expected shape: simulated SLR grows with the noise CV for every
+algorithm; the improved scheduler's plans stay at least as good as
+HEFT's under moderate noise (its advantage is not an artifact of exact
+ETC estimates).
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e14, e14_data
+from repro.schedulers.registry import get_scheduler
+from repro.sim import MultiplicativeNoise, execute
+
+
+def test_e14_shape(quick):
+    cvs, series = e14_data(quick)
+    print("\n" + e14(quick))
+    # Noise hurts: the noisiest point is worse than the noise-free one.
+    for name, vals in series.items():
+        assert vals[-1] > vals[0], name
+    # At cv=0 the simulation equals the plan, so IMP <= HEFT exactly.
+    assert series["IMP"][0] <= series["HEFT"][0] + 1e-9
+    # Under the largest measured noise IMP stays competitive (within 5%).
+    assert series["IMP"][-1] <= series["HEFT"][-1] * 1.05
+
+
+def test_e14_benchmark_simulation(benchmark):
+    rng = np.random.default_rng(214)
+    inst = W.random_instance(rng, num_tasks=80)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    noise = MultiplicativeNoise(0.3, seed=42)
+    result = benchmark(execute, schedule, inst, noise)
+    assert result.makespan > 0

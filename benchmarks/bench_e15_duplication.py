@@ -1,0 +1,44 @@
+"""E15 — Duplication cost/benefit vs CCR.
+
+Expected shape: selective duplication (DUP-HEFT, IMP) produces few
+duplicates at low CCR and more as communication grows, always helping
+or matching HEFT; whole-chain duplication (TDS) floods the bounded
+machine with copies and loses badly — the motivating contrast for the
+contribution's *selective* policy.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e15, e15_data
+from repro.schedulers.registry import get_scheduler
+
+
+def test_e15_shape(quick):
+    data = e15_data(quick)
+    print("\n" + e15(quick))
+    ccrs = sorted(data)
+    lo, hi = ccrs[0], ccrs[-1]
+    # HEFT never duplicates; the selective schemes do so sparingly.
+    for ccr in ccrs:
+        assert data[ccr]["HEFT"][1] == 0.0
+        assert data[ccr]["DUP-HEFT"][0] <= data[ccr]["HEFT"][0] + 1e-9
+        assert data[ccr]["IMP"][0] <= data[ccr]["HEFT"][0] + 1e-9
+    # Whole-chain duplication produces far more copies than selective.
+    assert data[hi]["TDS"][1] > data[hi]["DUP-HEFT"][1]
+    # And performs worse than the contribution at high CCR.
+    assert data[hi]["TDS"][0] > data[hi]["IMP"][0]
+
+
+def test_e15_benchmark_dup(benchmark):
+    rng = np.random.default_rng(215)
+    inst = W.random_instance(rng, num_tasks=80, ccr=5.0)
+    result = benchmark(get_scheduler("DUP-HEFT").schedule, inst)
+    assert result.makespan > 0
+
+
+def test_e15_benchmark_tds(benchmark):
+    rng = np.random.default_rng(215)
+    inst = W.random_instance(rng, num_tasks=80, ccr=5.0)
+    result = benchmark(get_scheduler("TDS").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,54 @@
+"""E16 (extension) — constructive vs clustering vs search families.
+
+Expected shape: constructive heuristics (HEFT/IMP) dominate the
+quality-per-millisecond frontier; bounded-processor clustering (DSC/LC)
+is fast but loses quality once clusters fold onto few processors; the
+metaheuristics (SA/GA) match or slightly beat HEFT at 1-2 orders of
+magnitude more scheduling time (they are seeded with HEFT, so they can
+never lose to it).
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e16, e16_data
+from repro.schedulers.registry import get_scheduler
+
+
+def test_e16_shape(quick):
+    data = e16_data(quick)
+    print("\n" + e16(quick))
+    # Search never loses to HEFT (seeded + elitist).
+    assert data["SA"][0] <= data["HEFT"][0] + 1e-9
+    assert data["GA"][0] <= data["HEFT"][0] + 1e-9
+    # But pays far more scheduling time.
+    assert data["SA"][1] > 10 * data["HEFT"][1]
+    assert data["GA"][1] > 10 * data["HEFT"][1]
+    # The contribution beats both clustering schedulers on quality.
+    assert data["IMP"][0] < data["DSC"][0]
+    assert data["IMP"][0] < data["LC"][0]
+
+
+def test_e16_benchmark_dsc(benchmark):
+    rng = np.random.default_rng(216)
+    inst = W.random_instance(rng, num_tasks=60, num_procs=6)
+    result = benchmark(get_scheduler("DSC").schedule, inst)
+    assert result.makespan > 0
+
+
+def test_e16_benchmark_sa(benchmark):
+    rng = np.random.default_rng(216)
+    inst = W.random_instance(rng, num_tasks=60, num_procs=6)
+    result = benchmark.pedantic(
+        get_scheduler("SA").schedule, args=(inst,), rounds=3, iterations=1
+    )
+    assert result.makespan > 0
+
+
+def test_e16_benchmark_ga(benchmark):
+    rng = np.random.default_rng(216)
+    inst = W.random_instance(rng, num_tasks=60, num_procs=6)
+    result = benchmark.pedantic(
+        get_scheduler("GA").schedule, args=(inst,), rounds=3, iterations=1
+    )
+    assert result.makespan > 0

@@ -1,0 +1,48 @@
+"""E18 (extension) — DVFS slack reclamation by scheduler.
+
+Expected shape: every scheduler's schedule yields non-negative energy
+savings without moving the makespan; *looser* schedules (higher SLR)
+own more slack and therefore reclaim more energy — the classic
+makespan-vs-reclaimable-energy tension.  The contribution's tighter
+schedules save less at the wall socket but far more wall-clock time.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e18, e18_data
+from repro.energy import PowerModel, reclaim_slack
+from repro.schedulers.registry import get_scheduler
+
+
+def test_e18_shape(quick):
+    data = e18_data(quick)
+    print("\n" + e18(quick))
+    for name, (s, saved, slowed) in data.items():
+        assert 0.0 <= saved < 1.0, name
+        assert 0.0 <= slowed <= 1.0, name
+    # Looser schedules reclaim at least as much as the tightest one.
+    assert data["RoundRobin"][1] >= data["IMP"][1] - 1e-9
+    # And ordering by SLR orders savings weakly (the measured tension).
+    assert data["CPOP"][1] >= data["HEFT"][1] - 0.05
+
+
+def test_e18_makespan_invariant(quick):
+    # Reclamation must not move the makespan: the frequency map only
+    # stretches executions into their own slack windows.
+    rng = np.random.default_rng(218)
+    inst = W.random_instance(rng, num_tasks=60)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    span_before = schedule.makespan
+    res = reclaim_slack(schedule, inst, PowerModel())
+    assert schedule.makespan == span_before  # schedule untouched
+    assert res.energy_scaled <= res.energy_nominal
+
+
+def test_e18_benchmark_reclaim(benchmark):
+    rng = np.random.default_rng(218)
+    inst = W.random_instance(rng, num_tasks=80)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    model = PowerModel()
+    res = benchmark(reclaim_slack, schedule, inst, model)
+    assert res.energy_scaled <= res.energy_nominal

@@ -1,0 +1,41 @@
+"""E1 — Average SLR vs DAG size (random graphs).
+
+Expected shape (EXPERIMENTS.md): the improved scheduler dominates HEFT
+and CPOP at every size; SLR grows slowly with size for all algorithms.
+"""
+
+import numpy as np
+
+from repro.bench.registry import e1, e1_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e1_shape(quick):
+    res = e1_data(quick)
+    print("\n" + res.table("E1: average SLR vs DAG size"))
+    # Contribution dominates the baselines on average across sizes.
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    assert series_mean(res, "IMP") <= series_mean(res, "CPOP") + 1e-9
+    assert series_mean(res, "IMP") <= series_mean(res, "PETS") + 1e-9
+    # All SLRs are sane (>= 1).
+    for name, vals in res.series.items():
+        assert all(v >= 1.0 - 1e-9 for v in vals), name
+
+
+def test_e1_report_renders(quick):
+    report = e1(quick)
+    assert "E1" in report and "IMP" in report
+
+
+def test_e1_benchmark_imp(benchmark, representative_instance):
+    scheduler = get_scheduler("IMP")
+    result = benchmark(scheduler.schedule, representative_instance)
+    assert result.makespan > 0
+
+
+def test_e1_benchmark_heft(benchmark, representative_instance):
+    scheduler = get_scheduler("HEFT")
+    result = benchmark(scheduler.schedule, representative_instance)
+    assert result.makespan > 0

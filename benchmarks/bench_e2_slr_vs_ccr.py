@@ -1,0 +1,36 @@
+"""E2 — Average SLR vs CCR (random graphs).
+
+Expected shape: all SLRs grow with CCR; the improved scheduler's margin
+over HEFT *widens* as communication dominates (duplication and
+lookahead both target communication).
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e2_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e2_shape(quick):
+    res = e2_data(quick)
+    print("\n" + res.table("E2: average SLR vs CCR"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    # SLR increases with CCR for every algorithm (monotone trend between
+    # the extreme x points).
+    for name, vals in res.series.items():
+        assert vals[-1] > vals[0], name
+    # Margin over HEFT at the highest CCR is at least the margin at the
+    # lowest (communication is where the contribution earns its keep).
+    gain_low = res.series["HEFT"][0] - res.series["IMP"][0]
+    gain_high = res.series["HEFT"][-1] - res.series["IMP"][-1]
+    assert gain_high >= gain_low - 0.02
+
+
+def test_e2_benchmark_high_ccr(benchmark):
+    rng = np.random.default_rng(202)
+    inst = W.random_instance(rng, num_tasks=100, ccr=5.0)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,39 @@
+"""E3 — Average speedup vs processor count.
+
+Expected shape: speedup grows with the processor count (with
+diminishing returns past the graph's width); the improved scheduler's
+speedup is at least HEFT's everywhere.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e3_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e3_shape(quick):
+    res = e3_data(quick)
+    print("\n" + res.table("E3: average speedup vs processors"))
+    # Speedup is higher-is-better: IMP >= HEFT on average.
+    assert series_mean(res, "IMP") >= series_mean(res, "HEFT") - 1e-9
+    # More processors help every algorithm between the extremes.
+    for name, vals in res.series.items():
+        assert vals[-1] > vals[0], name
+    # Speedups stay within physical limits.  Note the bound is NOT q:
+    # heterogeneous speedup is measured against the best *single*
+    # processor, while a parallel schedule runs each task on its own
+    # best processor — with beta=0.5 the per-task ETC spread is
+    # [0.75w, 1.25w], so the cap is q * 1.25/0.75.
+    for i, q in enumerate(res.x_values):
+        for name, vals in res.series.items():
+            assert 0 < vals[i] <= q * (1.25 / 0.75) + 1e-6, (name, q)
+
+
+def test_e3_benchmark_many_procs(benchmark):
+    rng = np.random.default_rng(203)
+    inst = W.random_instance(rng, num_tasks=100, num_procs=16)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,30 @@
+"""E4 — Average SLR vs heterogeneity factor beta.
+
+Expected shape: the improved scheduler dominates HEFT at every beta; at
+beta -> 0 (homogeneous) all rank variants coincide, so the margin there
+comes from lookahead/duplication/refinement only.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e4_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e4_shape(quick):
+    res = e4_data(quick)
+    print("\n" + res.table("E4: average SLR vs heterogeneity"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    # Per-point dominance over HEFT (IMP's search is a superset).
+    for i, _ in enumerate(res.x_values):
+        assert res.series["IMP"][i] <= res.series["HEFT"][i] + 1e-9
+
+
+def test_e4_benchmark_high_beta(benchmark):
+    rng = np.random.default_rng(204)
+    inst = W.random_instance(rng, num_tasks=100, heterogeneity=1.5)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,42 @@
+"""E5 — Average SLR vs graph shape alpha.
+
+Expected shape: fat graphs (alpha > 1) carry more parallelism, so their
+SLR is lower than thin graphs' at the same size; the improved scheduler
+dominates HEFT at every alpha.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e5_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e5_shape(quick):
+    res = e5_data(quick)
+    print("\n" + res.table("E5: average SLR vs shape alpha"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    for i, _ in enumerate(res.x_values):
+        assert res.series["IMP"][i] <= res.series["HEFT"][i] + 1e-9
+
+
+def test_e5_thin_vs_fat_parallelism(quick):
+    # Structural sanity behind the figure: fat graphs yield higher
+    # speedups than thin ones for HEFT.
+    from repro.bench.runner import run_sweep
+
+    res = run_sweep(
+        ["HEFT"], "alpha", [0.5, 2.0],
+        lambda a, rng: W.random_instance(rng, shape=a),
+        reps=W.reps(quick), metric="speedup", seed=205,
+    )
+    assert res.series["HEFT"][1] > res.series["HEFT"][0]
+
+
+def test_e5_benchmark_thin_graph(benchmark):
+    rng = np.random.default_rng(205)
+    inst = W.random_instance(rng, num_tasks=100, shape=0.5)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,40 @@
+"""E7 — FFT: SLR and speedup vs input points.
+
+Expected shape: the butterfly's regular parallelism gives good speedup
+that grows with the input size until q=8 saturates; the improved
+scheduler dominates HEFT on SLR at every size.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e7_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e7_slr_shape(quick):
+    res = e7_data(quick, "slr")
+    print("\n" + res.table("E7a: FFT SLR vs points"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    for i, _ in enumerate(res.x_values):
+        assert res.series["IMP"][i] <= res.series["HEFT"][i] + 1e-9
+
+
+def test_e7_speedup_shape(quick):
+    res = e7_data(quick, "speedup")
+    print("\n" + res.table("E7b: FFT speedup vs points"))
+    # Larger FFTs expose more parallel work: speedup rises between the
+    # extremes for the contribution.
+    assert res.series["IMP"][-1] > res.series["IMP"][0]
+    # Bounded by the machine size.
+    for vals in res.series.values():
+        assert all(v <= W.DEFAULTS.num_procs + 1e-6 for v in vals)
+
+
+def test_e7_benchmark(benchmark):
+    rng = np.random.default_rng(207)
+    inst = W.fft_instance(rng, points=32)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,43 @@
+"""E8 — Laplace wavefront: SLR vs grid size.
+
+Expected shape: the diamond wavefront serialises at the corners, so SLR
+starts high for tiny grids and falls as the anti-diagonal widens; the
+improved scheduler dominates HEFT at every grid size.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e8_data
+from repro.schedulers.registry import get_scheduler
+
+from conftest import series_mean
+
+
+def test_e8_shape(quick):
+    res = e8_data(quick)
+    print("\n" + res.table("E8: Laplace SLR vs grid size"))
+    assert series_mean(res, "IMP") <= series_mean(res, "HEFT") + 1e-9
+    for i, _ in enumerate(res.x_values):
+        assert res.series["IMP"][i] <= res.series["HEFT"][i] + 1e-9
+
+
+def test_e8_wavefront_limits_speedup(quick):
+    # Structural sanity: a g x g wavefront cannot exceed speedup ~ g
+    # even on 8 processors.
+    from repro.bench.runner import run_sweep
+
+    g = 4
+    res = run_sweep(
+        ["HEFT"], "grid", [g],
+        lambda x, rng: W.laplace_instance(rng, grid_size=x, ccr=0.1),
+        reps=W.reps(quick), metric="speedup", seed=208,
+    )
+    assert res.series["HEFT"][0] <= g + 1e-6
+
+
+def test_e8_benchmark(benchmark):
+    rng = np.random.default_rng(208)
+    inst = W.laplace_instance(rng, grid_size=10)
+    result = benchmark(get_scheduler("IMP").schedule, inst)
+    assert result.makespan > 0

@@ -1,0 +1,46 @@
+"""E9 — Pairwise better/equal/worse percentages.
+
+Expected shape: the improved scheduler is better-or-equal to HEFT on
+100% of instances (superset search), strictly better on a majority, and
+better than every other baseline on a clear majority.
+"""
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.registry import e9, e9_data
+from repro.schedulers.registry import get_scheduler
+
+
+def test_e9_shape(quick):
+    pairs = e9_data(quick)
+    print("\n" + e9(quick))
+    better, equal, worse = pairs[("IMP", "HEFT")]
+    # Never worse than HEFT; strictly better on most instances.
+    assert worse == 0.0
+    assert better >= 50.0
+    # Clear majority against every baseline in the wide line-up.
+    for other in W.COMPARED_WIDE:
+        if other == "IMP":
+            continue
+        b, e, w = pairs[("IMP", other)]
+        assert b + e >= 50.0, other
+
+    # Percentages are symmetric and sum to 100.
+    for (a, b), (x, y, z) in pairs.items():
+        assert abs(x + y + z - 100.0) < 1e-6
+        rx, ry, rz = pairs[(b, a)]
+        assert abs(x - rz) < 1e-9 and abs(z - rx) < 1e-9
+
+
+def test_e9_benchmark_batch(benchmark, quick):
+    # Time a small paired batch: all wide-line-up schedulers on one
+    # instance (the unit of work behind each table cell).
+    rng = np.random.default_rng(209)
+    inst = W.random_instance(rng, num_tasks=80)
+
+    def run_all():
+        return [get_scheduler(n).schedule(inst).makespan for n in W.COMPARED_WIDE]
+
+    spans = benchmark(run_all)
+    assert min(spans) > 0

@@ -1,0 +1,42 @@
+"""Shared helpers for the per-experiment benchmark modules.
+
+Each ``bench_eN_*.py`` module does two things:
+
+1. regenerates experiment EN's figure/table via the registry (quick
+   protocol by default; set ``REPRO_FULL=1`` for the paper-scale
+   protocol) and asserts the *shape* of the result — who wins, how
+   trends move — matching the expectations recorded in EXPERIMENTS.md;
+2. registers a pytest-benchmark timing for the representative scheduler
+   call behind that experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads as W
+
+
+def full_protocol() -> bool:
+    """True when the paper-scale protocol is requested."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not full_protocol()
+
+
+@pytest.fixture(scope="session")
+def representative_instance():
+    """One mid-sized instance shared by the timing benchmarks."""
+    rng = np.random.default_rng(2007)
+    return W.random_instance(rng, num_tasks=100, num_procs=8, ccr=1.0)
+
+
+def series_mean(res, name: str) -> float:
+    """Average of one scheduler's series across all x points."""
+    return float(np.mean(res.series[name]))

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Energy-aware scheduling: reclaim schedule slack with DVFS and check
+the plan's robustness with Monte-Carlo simulation.
+
+The two-step recipe this example demonstrates:
+1. schedule for makespan (the improved scheduler),
+2. hand the finished plan to the DVFS post-pass, which slows every
+   slack-owning task to the lowest frequency that provably cannot move
+   the makespan — then quantify what the slowdown does to robustness.
+
+Run:  python examples/energy_aware.py
+"""
+
+from repro import make_instance, validate
+from repro.dag.generators import montage_dag
+from repro.energy import PowerModel, reclaim_slack
+from repro.schedule.analysis import task_slacks, utilisation
+from repro.schedulers import get_scheduler
+from repro.sim.montecarlo import makespan_distribution
+
+PROCESSORS = 5
+MODEL = PowerModel(static=0.15, dynamic=1.0)
+
+dag = montage_dag(10, seed=21)
+instance = make_instance(dag, num_procs=PROCESSORS, heterogeneity=0.5, seed=21)
+
+print(f"workload: {dag.name} ({dag.num_tasks} tasks) on {PROCESSORS} processors\n")
+print(f"{'scheduler':<12}{'makespan':>10}{'energy':>10}{'saved':>8}"
+      f"{'slowed':>8}{'p95/plan':>10}")
+for name in ("IMP", "HEFT", "CPOP"):
+    schedule = get_scheduler(name).schedule(instance)
+    validate(schedule, instance)
+    dvfs = reclaim_slack(schedule, instance, MODEL)
+    dist = makespan_distribution(schedule, instance, cv=0.2, samples=60, seed=5)
+    print(f"{name:<12}{schedule.makespan:>10.2f}{dvfs.energy_nominal:>10.1f}"
+          f"{100 * dvfs.savings_fraction:>7.1f}%"
+          f"{dvfs.slowed_tasks:>8d}"
+          f"{dist.p95 / schedule.makespan:>10.3f}")
+
+# Where does the reclaimable slack live?
+schedule = get_scheduler("IMP").schedule(instance)
+slack = task_slacks(schedule, instance)
+util = utilisation(schedule)
+top = sorted(slack.items(), key=lambda kv: -kv[1])[:5]
+print("\nbiggest slack owners (IMP):")
+for task, s in top:
+    print(f"  {str(task):<22} slack {s:8.2f}")
+print("\nutilisation: " + ", ".join(f"P{p}={u:.0%}" for p, u in util.items()))
+
+dvfs = reclaim_slack(schedule, instance, MODEL, levels=(0.5, 0.6, 0.7, 0.8, 0.9, 1.0))
+below_nominal = {t: f for t, f in dvfs.frequencies.items() if f < 1.0}
+print(f"\nwith a finer frequency ladder IMP slows {len(below_nominal)} tasks "
+      f"and saves {100 * dvfs.savings_fraction:.1f}% energy — "
+      "the makespan is untouched by construction.")

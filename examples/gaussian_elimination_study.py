@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Application study: scheduling Gaussian elimination on a
+heterogeneous cluster (the paper's flagship application graph).
+
+Sweeps the matrix size and compares the improved scheduler against the
+classic baselines, printing the same series a reader would plot as the
+paper's Gaussian-elimination figure.
+
+Run:  python examples/gaussian_elimination_study.py
+"""
+
+import numpy as np
+
+from repro import make_instance, slr, validate
+from repro.dag.generators import gaussian_elimination_dag, scale_ccr
+from repro.schedulers import get_scheduler
+from repro.utils.tables import format_series
+
+ALGORITHMS = ["IMP", "HEFT", "CPOP", "HCPT", "PETS"]
+MATRIX_SIZES = [5, 7, 9, 11, 13]
+PROCESSORS = 6
+REPS = 5
+
+series: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+for m in MATRIX_SIZES:
+    dag = scale_ccr(gaussian_elimination_dag(m), ccr=1.0)
+    samples: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+    for rep in range(REPS):
+        instance = make_instance(
+            dag, num_procs=PROCESSORS, heterogeneity=0.5, seed=1000 * m + rep
+        )
+        for a in ALGORITHMS:
+            schedule = get_scheduler(a).schedule(instance)
+            validate(schedule, instance)
+            samples[a].append(slr(schedule, instance))
+    for a in ALGORITHMS:
+        series[a].append(float(np.mean(samples[a])))
+
+print(format_series(
+    "matrix",
+    MATRIX_SIZES,
+    series,
+    title=f"Gaussian elimination: average SLR vs matrix size "
+          f"(q={PROCESSORS}, beta=0.5, CCR=1, {REPS} ETC draws each)",
+))
+
+gain = [100.0 * (1.0 - i / h) for i, h in zip(series["IMP"], series["HEFT"])]
+print(f"\nIMP improvement over HEFT per size: "
+      + ", ".join(f"{g:+.1f}%" for g in gain))
+
+# Show where the improvement comes from on the largest instance: the
+# pivot chain is the critical path and duplication keeps it local.
+dag = gaussian_elimination_dag(7)
+instance = make_instance(dag, num_procs=PROCESSORS, heterogeneity=0.5, seed=7)
+schedule = get_scheduler("IMP").schedule(instance)
+print(f"\nm=7 improved schedule: makespan={schedule.makespan:.2f}, "
+      f"duplicates={schedule.num_duplicates()}")
+print(schedule.gantt(width=70))

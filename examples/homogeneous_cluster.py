@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The "and homogeneous systems" half of the title: the improved
+scheduler on identical processors against the homogeneous classics
+(MCP, ETF, DLS, HLFET).
+
+On a homogeneous machine all rank variants coincide and duplication
+rarely pays, so the improvement must come from lookahead + refinement —
+this example shows the algorithm degrades gracefully instead of
+regressing.
+
+Run:  python examples/homogeneous_cluster.py
+"""
+
+import numpy as np
+
+from repro import homogeneous_instance, slr, validate
+from repro.dag.generators import fork_join_dag, laplace_dag, random_dag
+from repro.schedulers import get_scheduler
+from repro.utils.tables import format_table
+
+ALGORITHMS = ["IMP", "HEFT", "MCP", "ETF", "DLS", "HLFET"]
+PROCESSORS = 8
+
+workloads = [
+    ("random n=100", lambda s: random_dag(100, ccr=1.0, seed=s)),
+    ("random n=100 ccr=5", lambda s: random_dag(100, ccr=5.0, seed=s)),
+    ("laplace 8x8", lambda s: laplace_dag(8)),
+    ("fork-join 16x3", lambda s: fork_join_dag(16, stages=3, chain_length=2,
+                                               jitter=0.4, seed=s)),
+]
+
+rows = []
+for label, factory in workloads:
+    samples: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+    for seed in range(5):
+        instance = homogeneous_instance(factory(seed), num_procs=PROCESSORS)
+        assert instance.is_homogeneous()
+        for a in ALGORITHMS:
+            schedule = get_scheduler(a).schedule(instance)
+            validate(schedule, instance)
+            samples[a].append(slr(schedule, instance))
+    rows.append([label, *(f"{float(np.mean(samples[a])):.3f}" for a in ALGORITHMS)])
+
+print(format_table(
+    ["workload", *ALGORITHMS],
+    rows,
+    title=f"homogeneous machine (q={PROCESSORS}): average SLR, lower is better",
+))
+
+print("\nNote: with identical processors the ETC matrix carries no")
+print("heterogeneity, so IMP runs a single rank variant; gains come from")
+print("lookahead and the refinement post-pass only.")

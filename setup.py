@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package can be installed in fully offline environments where pip's
+PEP-517 editable path is unavailable (no ``wheel`` package):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

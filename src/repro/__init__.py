@@ -1,0 +1,115 @@
+"""repro — static task scheduling for heterogeneous and homogeneous
+computing systems.
+
+A full reproduction framework for *Improving Static Task Scheduling in
+Heterogeneous and Homogeneous Computing Systems* (Yang, Lee & Chung,
+ICPP 2007): weighted task DAGs and generators, machine/ETC models, a
+shared list-scheduling substrate, the classic baselines (HEFT, CPOP,
+HCPT, PETS, DLS, ETF, MCP, HLFET, TDS), the improved scheduler that is
+the paper's contribution, a discrete-event execution simulator, and a
+bench harness that regenerates every evaluation figure and table.
+
+Quickstart
+----------
+>>> from repro import TaskDAG, make_instance, HEFT, ImprovedScheduler, slr
+>>> dag = TaskDAG.from_edges([("a", "b", 3.0), ("a", "c", 1.0), ("b", "d", 2.0),
+...                           ("c", "d", 2.0)], costs={"a": 2, "b": 4, "c": 3, "d": 2})
+>>> inst = make_instance(dag, num_procs=3, heterogeneity=0.5, seed=7)
+>>> heft = HEFT().schedule(inst)
+>>> imp = ImprovedScheduler().schedule(inst)
+>>> imp.makespan <= heft.makespan or abs(imp.makespan - heft.makespan) < 1e-9
+True
+"""
+
+from repro._version import __version__
+from repro.dag import Task, TaskDAG
+from repro.instance import (
+    Instance,
+    homogeneous_instance,
+    make_instance,
+    speed_scaled_instance,
+)
+from repro.machine import (
+    ETCMatrix,
+    Machine,
+    Processor,
+    etc_from_speeds,
+    generate_etc,
+)
+from repro.schedule import (
+    Schedule,
+    ScheduledTask,
+    efficiency,
+    makespan,
+    slr,
+    speedup,
+    validate,
+)
+from repro.schedulers import (
+    CPOP,
+    DLS,
+    DSC,
+    ETF,
+    HCPT,
+    HEFT,
+    HLFET,
+    MCP,
+    PETS,
+    TDS,
+    BranchAndBoundScheduler,
+    GeneticScheduler,
+    LinearClustering,
+    Scheduler,
+    SimulatedAnnealingScheduler,
+    all_scheduler_names,
+    get_scheduler,
+)
+from repro.core import (
+    DuplicationScheduler,
+    ImprovedConfig,
+    ImprovedScheduler,
+    LookaheadScheduler,
+)
+
+__all__ = [
+    "__version__",
+    "Task",
+    "TaskDAG",
+    "Instance",
+    "make_instance",
+    "homogeneous_instance",
+    "speed_scaled_instance",
+    "Machine",
+    "Processor",
+    "ETCMatrix",
+    "generate_etc",
+    "etc_from_speeds",
+    "Schedule",
+    "ScheduledTask",
+    "validate",
+    "makespan",
+    "slr",
+    "speedup",
+    "efficiency",
+    "Scheduler",
+    "HEFT",
+    "CPOP",
+    "HCPT",
+    "PETS",
+    "DLS",
+    "ETF",
+    "MCP",
+    "HLFET",
+    "TDS",
+    "DSC",
+    "LinearClustering",
+    "SimulatedAnnealingScheduler",
+    "GeneticScheduler",
+    "BranchAndBoundScheduler",
+    "get_scheduler",
+    "all_scheduler_names",
+    "ImprovedScheduler",
+    "ImprovedConfig",
+    "LookaheadScheduler",
+    "DuplicationScheduler",
+]

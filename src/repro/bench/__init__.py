@@ -1,0 +1,33 @@
+"""Experiment harness: workload suites, sweep runner, report formatting
+and the per-figure/table experiment registry (E1..E18)."""
+
+from repro.bench.runner import SweepResult, run_instances, run_sweep
+from repro.bench.compare import ComparisonResult, compare_schedulers
+from repro.bench.crossover import Crossover, find_crossover
+from repro.bench.sensitivity import OperatingPoint, SensitivityResult, analyze_sensitivity
+from repro.bench.report import generate_report, write_report
+from repro.bench.registry import (
+    Experiment,
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "SweepResult",
+    "run_instances",
+    "run_sweep",
+    "ComparisonResult",
+    "compare_schedulers",
+    "Crossover",
+    "find_crossover",
+    "OperatingPoint",
+    "SensitivityResult",
+    "analyze_sensitivity",
+    "generate_report",
+    "write_report",
+    "Experiment",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

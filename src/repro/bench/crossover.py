@@ -1,0 +1,116 @@
+"""Crossover finding: where does one scheduler overtake another?
+
+Evaluation narratives hinge on crossover points ("duplication pays once
+CCR exceeds ~2").  :func:`find_crossover` locates such a point along a
+workload parameter by bisection on the *paired mean difference* of two
+schedulers' SLRs, giving the narrative a number instead of a squint at
+a figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.exceptions import ConfigurationError
+from repro.instance import Instance
+from repro.schedule.metrics import slr
+from repro.schedulers.registry import get_scheduler
+from repro.utils.rng import spawn_children
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Outcome of a crossover search along one parameter."""
+
+    parameter: str
+    lo: float
+    hi: float
+    point: float | None  # None when no sign change in [lo, hi]
+    diff_lo: float
+    diff_hi: float
+
+    @property
+    def found(self) -> bool:
+        return self.point is not None
+
+
+def _mean_diff(
+    a: str,
+    b: str,
+    make_instance_at: Callable[[float, np.random.Generator], Instance],
+    x: float,
+    reps: int,
+    seed: int,
+) -> float:
+    """Mean over paired instances of SLR(a) - SLR(b) at parameter x."""
+    diffs = []
+    for rng in spawn_children(seed, reps):
+        inst = make_instance_at(x, rng)
+        sa = slr(get_scheduler(a).schedule(inst), inst)
+        sb = slr(get_scheduler(b).schedule(inst), inst)
+        diffs.append(sa - sb)
+    return float(np.mean(diffs))
+
+
+def find_crossover(
+    scheduler_a: str,
+    scheduler_b: str,
+    parameter: str = "ccr",
+    lo: float = 0.1,
+    hi: float = 10.0,
+    make_instance_at: Callable[[float, np.random.Generator], Instance] | None = None,
+    reps: int = 5,
+    iterations: int = 8,
+    seed: int = 0,
+) -> Crossover:
+    """Bisect for the parameter value where A and B swap ranking.
+
+    The objective is the paired mean ``SLR(A) − SLR(B)``; a crossover
+    exists in ``[lo, hi]`` when its sign differs at the endpoints.  The
+    default instance factory sweeps the named parameter of the standard
+    random workload; pass ``make_instance_at`` for custom families.
+    Because the objective is stochastic, the returned point is the
+    midpoint of the final bisection bracket, not an exact root.
+    """
+    if lo >= hi:
+        raise ConfigurationError(f"need lo < hi, got [{lo}, {hi}]")
+    if reps < 1 or iterations < 1:
+        raise ConfigurationError("reps and iterations must be >= 1")
+
+    if make_instance_at is None:
+        valid = {"ccr", "heterogeneity", "num_tasks", "num_procs"}
+        if parameter not in valid:
+            raise ConfigurationError(
+                f"unknown parameter {parameter!r}; valid: {sorted(valid)}"
+            )
+
+        def make_instance_at(x, rng, _p=parameter):
+            kwargs = {_p: int(round(x)) if _p in ("num_tasks", "num_procs") else x}
+            return W.random_instance(rng, **kwargs)
+
+    diff_lo = _mean_diff(scheduler_a, scheduler_b, make_instance_at, lo, reps, seed)
+    diff_hi = _mean_diff(scheduler_a, scheduler_b, make_instance_at, hi, reps, seed)
+    if diff_lo == 0.0:
+        return Crossover(parameter, lo, hi, lo, diff_lo, diff_hi)
+    if diff_hi == 0.0:
+        return Crossover(parameter, lo, hi, hi, diff_lo, diff_hi)
+    if np.sign(diff_lo) == np.sign(diff_hi):
+        return Crossover(parameter, lo, hi, None, diff_lo, diff_hi)
+
+    a_lo, a_hi = lo, hi
+    f_lo = diff_lo
+    for _ in range(iterations):
+        mid = 0.5 * (a_lo + a_hi)
+        f_mid = _mean_diff(scheduler_a, scheduler_b, make_instance_at, mid, reps, seed)
+        if f_mid == 0.0:
+            a_lo = a_hi = mid
+            break
+        if np.sign(f_mid) == np.sign(f_lo):
+            a_lo, f_lo = mid, f_mid
+        else:
+            a_hi = mid
+    return Crossover(parameter, lo, hi, 0.5 * (a_lo + a_hi), diff_lo, diff_hi)

@@ -1,0 +1,547 @@
+"""The experiment registry: one entry per reproduced figure/table.
+
+Every experiment of the evaluation (DESIGN.md §4) is split into a
+``eN_data(quick)`` function producing structured results and a report
+formatter; the registry maps experiment ids to the formatted reports.
+The pytest benchmark modules in ``benchmarks/`` assert on the structured
+data and the CLI prints the reports — both dispatch here, so there is
+exactly one implementation of each experiment's protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.bench.runner import SweepResult, run_instances, run_sweep
+from repro.core import ImprovedConfig, ImprovedScheduler
+from repro.exceptions import ExperimentError
+from repro.instance import Instance
+from repro.schedule.metrics import pairwise_comparison, slr
+from repro.schedule.validation import validate
+from repro.schedulers.optimal import BranchAndBoundScheduler
+from repro.schedulers.registry import get_scheduler
+from repro.sim import MultiplicativeNoise, execute
+from repro.utils.rng import spawn_children
+from repro.utils.tables import format_series, format_table
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced evaluation artifact."""
+
+    id: str
+    title: str
+    artifact: str  # "figure" or "table"
+    run: Callable[[bool], str]  # quick -> report text
+
+
+_EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def _register(id: str, title: str, artifact: str):
+    def deco(fn: Callable[[bool], str]) -> Callable[[bool], str]:
+        _EXPERIMENTS[id] = Experiment(id=id, title=title, artifact=artifact, run=fn)
+        return fn
+
+    return deco
+
+
+def get_experiment(id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"E2"``)."""
+    try:
+        return _EXPERIMENTS[id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {id!r}; known: {', '.join(sorted(_EXPERIMENTS))}"
+        ) from None
+
+
+def all_experiment_ids() -> list[str]:
+    """Registered experiment ids in numeric order."""
+    return sorted(_EXPERIMENTS, key=lambda e: int(e.lstrip("E")))
+
+
+def run_experiment(id: str, quick: bool = True) -> str:
+    """Run one experiment and return its report text."""
+    return get_experiment(id).run(quick)
+
+
+# ----------------------------------------------------------------------
+# E1 - E5: random-DAG parameter sweeps
+# ----------------------------------------------------------------------
+def e1_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "tasks", W.sizes(quick),
+        lambda n, rng: W.random_instance(rng, num_tasks=n),
+        reps=W.reps(quick), metric="slr", seed=101,
+    )
+
+
+@_register("E1", "Average SLR vs DAG size (random graphs)", "figure")
+def e1(quick: bool = True) -> str:
+    return e1_data(quick).table("E1: average SLR vs DAG size (q=8, CCR=1, beta=0.5)")
+
+
+def e2_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "ccr", W.ccrs(quick),
+        lambda c, rng: W.random_instance(rng, ccr=c),
+        reps=W.reps(quick), metric="slr", seed=102,
+    )
+
+
+@_register("E2", "Average SLR vs CCR (random graphs)", "figure")
+def e2(quick: bool = True) -> str:
+    return e2_data(quick).table("E2: average SLR vs CCR (n=100, q=8, beta=0.5)")
+
+
+def e3_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "procs", W.proc_counts(quick),
+        lambda q, rng: W.random_instance(rng, num_procs=q),
+        reps=W.reps(quick), metric="speedup", seed=103,
+    )
+
+
+@_register("E3", "Average speedup vs processor count (random graphs)", "figure")
+def e3(quick: bool = True) -> str:
+    return e3_data(quick).table("E3: average speedup vs processor count (n=100, CCR=1)")
+
+
+def e4_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "beta", W.heterogeneities(quick),
+        lambda b, rng: W.random_instance(rng, heterogeneity=b),
+        reps=W.reps(quick), metric="slr", seed=104,
+    )
+
+
+@_register("E4", "Average SLR vs heterogeneity factor beta", "figure")
+def e4(quick: bool = True) -> str:
+    return e4_data(quick).table("E4: average SLR vs heterogeneity (n=100, q=8, CCR=1)")
+
+
+def e5_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "alpha", W.shapes(quick),
+        lambda a, rng: W.random_instance(rng, shape=a),
+        reps=W.reps(quick), metric="slr", seed=105,
+    )
+
+
+@_register("E5", "Average SLR vs graph shape alpha", "figure")
+def e5(quick: bool = True) -> str:
+    return e5_data(quick).table("E5: average SLR vs shape alpha (n=100, q=8, CCR=1)")
+
+
+# ----------------------------------------------------------------------
+# E6 - E8: application graphs
+# ----------------------------------------------------------------------
+def e6_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "matrix", W.matrix_sizes(quick),
+        lambda m, rng: W.gaussian_instance(rng, matrix_size=m),
+        reps=W.reps(quick), metric="slr", seed=106,
+    )
+
+
+@_register("E6", "Gaussian elimination: SLR vs matrix size", "figure")
+def e6(quick: bool = True) -> str:
+    return e6_data(quick).table("E6: Gaussian elimination, average SLR vs matrix size (q=8)")
+
+
+def e7_data(quick: bool = True, metric: str = "slr") -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "points", W.fft_points(quick),
+        lambda p, rng: W.fft_instance(rng, points=p),
+        reps=W.reps(quick), metric=metric, seed=107,
+    )
+
+
+@_register("E7", "FFT: SLR and speedup vs input points", "figure")
+def e7(quick: bool = True) -> str:
+    return (
+        e7_data(quick, "slr").table("E7a: FFT, average SLR vs input points (q=8)")
+        + "\n\n"
+        + e7_data(quick, "speedup").table("E7b: FFT, average speedup vs input points (q=8)")
+    )
+
+
+def e8_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED, "grid", W.grid_sizes(quick),
+        lambda g, rng: W.laplace_instance(rng, grid_size=g),
+        reps=W.reps(quick), metric="slr", seed=108,
+    )
+
+
+@_register("E8", "Laplace wavefront: SLR vs grid size", "figure")
+def e8(quick: bool = True) -> str:
+    return e8_data(quick).table("E8: Laplace wavefront, average SLR vs grid size (q=8)")
+
+
+# ----------------------------------------------------------------------
+# E9: pairwise better/equal/worse table
+# ----------------------------------------------------------------------
+def _mixed_instances(quick: bool, seed: int = 109) -> list[Instance]:
+    count = 30 if quick else 500
+    streams = spawn_children(seed, count)
+    instances = []
+    for i, rng in enumerate(streams):
+        n = [40, 80, 120][i % 3]
+        ccr = [0.5, 1.0, 5.0][(i // 3) % 3]
+        instances.append(W.random_instance(rng, num_tasks=n, ccr=ccr))
+    return instances
+
+
+def e9_data(quick: bool = True) -> dict[tuple[str, str], tuple[float, float, float]]:
+    instances = _mixed_instances(quick)
+    results = run_instances(W.COMPARED_WIDE, instances)
+    return pairwise_comparison(results)
+
+
+@_register("E9", "Pairwise better/equal/worse percentages", "table")
+def e9(quick: bool = True) -> str:
+    pairs = e9_data(quick)
+    contribution = "IMP"
+    rows = []
+    for other in W.COMPARED_WIDE:
+        if other == contribution:
+            continue
+        better, equal, worse = pairs[(contribution, other)]
+        rows.append([other, f"{better:.1f}%", f"{equal:.1f}%", f"{worse:.1f}%"])
+    count = 30 if quick else 500
+    return format_table(
+        ["vs", "IMP better", "equal", "IMP worse"],
+        rows,
+        title=f"E9: pairwise makespan comparison over {count} random instances",
+    )
+
+
+# ----------------------------------------------------------------------
+# E10: scheduling-time comparison
+# ----------------------------------------------------------------------
+def e10_data(quick: bool = True) -> tuple[list[int], dict[str, list[float]]]:
+    xs = [50, 100] if quick else [100, 200, 400, 800]
+    seconds: dict[str, list[float]] = {name: [] for name in W.COMPARED}
+    for n in xs:
+        streams = spawn_children(110 + n, 3 if quick else 5)
+        instances = [W.random_instance(rng, num_tasks=n) for rng in streams]
+        for name in W.COMPARED:
+            scheduler = get_scheduler(name)
+            t0 = time.perf_counter()
+            for inst in instances:
+                scheduler.schedule(inst)
+            seconds[name].append((time.perf_counter() - t0) / len(instances))
+    return xs, seconds
+
+
+@_register("E10", "Scheduler running time vs DAG size", "table")
+def e10(quick: bool = True) -> str:
+    xs, seconds = e10_data(quick)
+    rows = [[n, *(seconds[name][i] for name in W.COMPARED)] for i, n in enumerate(xs)]
+    return format_table(
+        ["tasks", *W.COMPARED],
+        rows,
+        title="E10: mean scheduling time per instance (seconds, q=8)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E11: homogeneous systems
+# ----------------------------------------------------------------------
+def e11_data(quick: bool = True) -> SweepResult:
+    return run_sweep(
+        W.COMPARED_HOMOGENEOUS, "tasks", W.sizes(quick),
+        lambda n, rng: W.homogeneous_random_instance(rng, num_tasks=n),
+        reps=W.reps(quick), metric="slr", seed=111,
+    )
+
+
+@_register("E11", "Homogeneous system: SLR vs DAG size", "figure")
+def e11(quick: bool = True) -> str:
+    return e11_data(quick).table(
+        "E11: homogeneous machine, average SLR vs DAG size (q=8, CCR=1)"
+    )
+
+
+# ----------------------------------------------------------------------
+# E12: ablation of the four improvements
+# ----------------------------------------------------------------------
+def ablation_configs() -> dict[str, ImprovedConfig]:
+    """The ablation grid of E12 (public so tests can reuse it)."""
+    return {
+        "full": ImprovedConfig(),
+        "no-rank-search": ImprovedConfig(rank_variants=("mean",)),
+        "no-lookahead": ImprovedConfig(lookahead=False),
+        "no-duplication": ImprovedConfig(duplication=False),
+        "no-refinement": ImprovedConfig(refinement=False),
+        "none (=HEFT)": ImprovedConfig.baseline_heft(),
+    }
+
+
+def e12_data(quick: bool = True) -> dict[str, float]:
+    """Mean SLR per ablation configuration."""
+    count = 20 if quick else 200
+    streams = spawn_children(112, count)
+    instances = [W.random_instance(rng, num_tasks=80) for rng in streams]
+    out: dict[str, float] = {}
+    for label, config in ablation_configs().items():
+        scheduler = ImprovedScheduler(config)
+        slrs = []
+        for inst in instances:
+            schedule = scheduler.schedule(inst)
+            validate(schedule, inst)
+            slrs.append(slr(schedule, inst))
+        out[label] = float(np.mean(slrs))
+    return out
+
+
+@_register("E12", "Ablation of the four improvements", "table")
+def e12(quick: bool = True) -> str:
+    means = e12_data(quick)
+    base = means["none (=HEFT)"]
+    rows = [
+        [label, f"{mean:.4f}", f"{100.0 * (base - mean) / base:+.2f}%"]
+        for label, mean in means.items()
+    ]
+    count = 20 if quick else 200
+    return format_table(
+        ["configuration", "avg SLR", "gain vs HEFT"],
+        rows,
+        title=f"E12: ablation over {count} random instances (n=80, q=8)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E13: optimality gap on tiny instances
+# ----------------------------------------------------------------------
+def e13_data(quick: bool = True) -> dict[str, list[float]]:
+    """Per-algorithm makespan/optimal ratios over tiny instances."""
+    count = 12 if quick else 60
+    streams = spawn_children(113, count)
+    algs = ["IMP", "HEFT", "CPOP"]
+    ratios: dict[str, list[float]] = {a: [] for a in algs}
+    opt = BranchAndBoundScheduler(max_tasks=10)
+    for i, rng in enumerate(streams):
+        n = 5 + (i % 4)
+        q = 2 + (i % 2)
+        inst = W.random_instance(rng, num_tasks=n, num_procs=q)
+        best = opt.schedule(inst)
+        validate(best, inst)
+        for a in algs:
+            span = get_scheduler(a).schedule(inst).makespan
+            ratios[a].append(span / best.makespan)
+    return ratios
+
+
+@_register("E13", "Optimality gap on tiny DAGs", "table")
+def e13(quick: bool = True) -> str:
+    ratios = e13_data(quick)
+    rows = [
+        [a, f"{float(np.mean(r)):.4f}", f"{float(np.max(r)):.4f}",
+         f"{100.0 * float(np.mean([x <= 1.0 + 1e-9 for x in r])):.0f}%"]
+        for a, r in ratios.items()
+    ]
+    count = 12 if quick else 60
+    return format_table(
+        ["algorithm", "mean makespan/optimal", "worst", "optimal found"],
+        rows,
+        title=f"E13: optimality gap over {count} tiny instances (n=5..8, q=2..3)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E14: robustness under runtime noise
+# ----------------------------------------------------------------------
+def e14_data(quick: bool = True) -> tuple[list[float], dict[str, list[float]]]:
+    cvs = [0.0, 0.2, 0.5] if quick else [0.0, 0.1, 0.2, 0.3, 0.5, 0.8]
+    count = 10 if quick else 100
+    algs = ["IMP", "HEFT", "CPOP", "DLS"]
+    streams = spawn_children(114, count)
+    instances = [W.random_instance(rng, num_tasks=80) for rng in streams]
+    schedules = {a: [get_scheduler(a).schedule(inst) for inst in instances] for a in algs}
+    series: dict[str, list[float]] = {a: [] for a in algs}
+    for cv in cvs:
+        for a in algs:
+            sims = []
+            for k, (inst, sch) in enumerate(zip(instances, schedules[a])):
+                noise = MultiplicativeNoise(cv, seed=1_000_000 + 1000 * k + int(cv * 100))
+                sims.append(execute(sch, inst, noise).makespan / inst.cp_min_length)
+            series[a].append(float(np.mean(sims)))
+    return cvs, series
+
+
+@_register("E14", "Robustness: simulated makespan under runtime noise", "figure")
+def e14(quick: bool = True) -> str:
+    cvs, series = e14_data(quick)
+    count = 10 if quick else 100
+    return format_series(
+        "cv", cvs, series,
+        title=f"E14: simulated SLR vs runtime-noise CV over {count} instances (n=80, q=8)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E15: duplication cost/benefit
+# ----------------------------------------------------------------------
+def e15_data(quick: bool = True) -> dict[float, dict[str, tuple[float, float]]]:
+    """Per CCR and algorithm: (mean SLR, mean duplicate count)."""
+    ccr_values = [0.5, 5.0] if quick else [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+    count = 10 if quick else 100
+    algs = ["HEFT", "DUP-HEFT", "IMP", "TDS"]
+    out: dict[float, dict[str, tuple[float, float]]] = {}
+    for ccr in ccr_values:
+        streams = spawn_children(int(115_000 + ccr * 10), count)
+        instances = [W.random_instance(rng, num_tasks=80, ccr=ccr) for rng in streams]
+        row: dict[str, tuple[float, float]] = {}
+        for a in algs:
+            slrs, dups = [], []
+            for inst in instances:
+                sch = get_scheduler(a).schedule(inst)
+                validate(sch, inst)
+                slrs.append(slr(sch, inst))
+                dups.append(sch.num_duplicates())
+            row[a] = (float(np.mean(slrs)), float(np.mean(dups)))
+        out[ccr] = row
+    return out
+
+
+@_register("E15", "Duplication cost/benefit vs CCR", "table")
+def e15(quick: bool = True) -> str:
+    data = e15_data(quick)
+    algs = ["HEFT", "DUP-HEFT", "IMP", "TDS"]
+    rows = [
+        [ccr, *(f"{row[a][0]:.3f}/{row[a][1]:.1f}" for a in algs)]
+        for ccr, row in data.items()
+    ]
+    count = 10 if quick else 100
+    return format_table(
+        ["ccr", *[f"{a} (SLR/dups)" for a in algs]],
+        rows,
+        title=f"E15: duplication cost/benefit over {count} instances per CCR (n=80, q=8)",
+    )
+
+
+# ----------------------------------------------------------------------
+# E16 - E17: extension experiments (beyond the paper's artifact list;
+# see DESIGN.md §4b).
+# ----------------------------------------------------------------------
+def e16_data(quick: bool = True) -> dict[str, tuple[float, float]]:
+    """Quality-vs-time frontier: (mean SLR, mean seconds) per scheduler
+    family — constructive (HEFT/IMP), clustering (DSC/LC), search
+    (SA/GA)."""
+    count = 8 if quick else 50
+    streams = spawn_children(116, count)
+    instances = [W.random_instance(rng, num_tasks=60, num_procs=6) for rng in streams]
+    algs = ["HEFT", "IMP", "DSC", "LC", "SA", "GA"]
+    out: dict[str, tuple[float, float]] = {}
+    for name in algs:
+        slrs, secs = [], []
+        for inst in instances:
+            scheduler = get_scheduler(name)
+            t0 = time.perf_counter()
+            schedule = scheduler.schedule(inst)
+            secs.append(time.perf_counter() - t0)
+            validate(schedule, inst)
+            slrs.append(slr(schedule, inst))
+        out[name] = (float(np.mean(slrs)), float(np.mean(secs)))
+    return out
+
+
+@_register("E16", "Extension: constructive vs clustering vs search", "table")
+def e16(quick: bool = True) -> str:
+    data = e16_data(quick)
+    rows = [
+        [name, f"{s:.4f}", f"{t * 1000:.1f} ms"] for name, (s, t) in data.items()
+    ]
+    count = 8 if quick else 50
+    return format_table(
+        ["scheduler", "avg SLR", "avg time"],
+        rows,
+        title=f"E16: quality vs scheduling time over {count} instances (n=60, q=6)",
+    )
+
+
+def e17_data(quick: bool = True) -> tuple[list[float], dict[str, list[float]]]:
+    """Contention-model error: simulated(contention)/planned makespan
+    ratio per CCR, per algorithm."""
+    ccrs = [0.5, 5.0] if quick else [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+    count = 8 if quick else 60
+    algs = ["HEFT", "IMP", "CPOP"]
+    series: dict[str, list[float]] = {a: [] for a in algs}
+    for ccr in ccrs:
+        streams = spawn_children(int(117_000 + ccr * 10), count)
+        instances = [W.random_instance(rng, num_tasks=60, ccr=ccr) for rng in streams]
+        for a in algs:
+            ratios = []
+            for inst in instances:
+                schedule = get_scheduler(a).schedule(inst)
+                sim = execute(schedule, inst, link_contention=True)
+                ratios.append(sim.makespan / schedule.makespan)
+            series[a].append(float(np.mean(ratios)))
+    return ccrs, series
+
+
+@_register("E17", "Extension: link-contention error vs CCR", "figure")
+def e17(quick: bool = True) -> str:
+    ccrs, series = e17_data(quick)
+    count = 8 if quick else 60
+    return format_series(
+        "ccr", ccrs, series,
+        title=(
+            f"E17: simulated-with-contention / planned makespan over {count} "
+            "instances (1.0 = contention-free model exact)"
+        ),
+    )
+
+
+def e18_data(quick: bool = True) -> dict[str, tuple[float, float, float]]:
+    """DVFS slack reclamation per scheduler: (mean SLR, mean energy
+    savings fraction, mean slowed-task fraction)."""
+    from repro.energy import PowerModel, reclaim_slack
+
+    count = 8 if quick else 60
+    model = PowerModel(static=0.1, dynamic=1.0)
+    algs = ["IMP", "HEFT", "CPOP", "RoundRobin"]
+    streams = spawn_children(118, count)
+    instances = [W.random_instance(rng, num_tasks=80) for rng in streams]
+    out: dict[str, tuple[float, float, float]] = {}
+    for a in algs:
+        slrs, savings, slowed = [], [], []
+        for inst in instances:
+            schedule = get_scheduler(a).schedule(inst)
+            validate(schedule, inst)
+            res = reclaim_slack(schedule, inst, model)
+            slrs.append(slr(schedule, inst))
+            savings.append(res.savings_fraction)
+            slowed.append(res.slowed_tasks / inst.num_tasks)
+        out[a] = (
+            float(np.mean(slrs)),
+            float(np.mean(savings)),
+            float(np.mean(slowed)),
+        )
+    return out
+
+
+@_register("E18", "Extension: DVFS slack reclamation by scheduler", "table")
+def e18(quick: bool = True) -> str:
+    data = e18_data(quick)
+    rows = [
+        [a, f"{s:.4f}", f"{100 * e:.2f}%", f"{100 * fr:.1f}%"]
+        for a, (s, e, fr) in data.items()
+    ]
+    count = 8 if quick else 60
+    return format_table(
+        ["scheduler", "avg SLR", "energy saved", "tasks slowed"],
+        rows,
+        title=(
+            f"E18: energy reclaimed from schedule slack over {count} instances "
+            "(n=80, q=8, static=0.1, dynamic=1.0)"
+        ),
+    )

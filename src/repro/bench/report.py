@@ -1,0 +1,66 @@
+"""Full-evaluation report generation.
+
+``generate_report`` runs every registered experiment and assembles a
+single Markdown document — the regenerated evaluation section of the
+paper, ready to commit next to EXPERIMENTS.md or attach to a CI run.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro._version import __version__
+from repro.bench.registry import all_experiment_ids, get_experiment
+
+PathLike = Union[str, Path]
+
+
+def generate_report(
+    quick: bool = True,
+    experiment_ids: Sequence[str] | None = None,
+) -> str:
+    """Run experiments and return one Markdown report.
+
+    ``experiment_ids`` defaults to every registered experiment in order;
+    pass a subset to regenerate specific artifacts.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else all_experiment_ids()
+    protocol = "quick" if quick else "full (paper-scale)"
+    lines = [
+        "# Regenerated evaluation",
+        "",
+        f"- library: repro {__version__}",
+        f"- python: {sys.version.split()[0]} on {_platform.machine()}",
+        f"- protocol: {protocol}",
+        f"- experiments: {', '.join(ids)}",
+        "",
+    ]
+    for eid in ids:
+        exp = get_experiment(eid)
+        t0 = time.perf_counter()
+        body = exp.run(quick)
+        elapsed = time.perf_counter() - t0
+        lines.append(f"## {eid} — {exp.title}")
+        lines.append("")
+        lines.append(f"*{exp.artifact}, regenerated in {elapsed:.1f}s*")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: PathLike,
+    quick: bool = True,
+    experiment_ids: Sequence[str] | None = None,
+) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(generate_report(quick=quick, experiment_ids=experiment_ids))
+    return path

@@ -1,0 +1,143 @@
+"""Sweep runner: evaluates scheduler sets over instance families.
+
+The runner is metric-agnostic and deterministic: every repetition of
+every x-point derives its own RNG stream from the master seed, so
+results are independent of execution order and stable across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.instance import Instance
+from repro.schedule import metrics as M
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate
+from repro.schedulers.registry import get_scheduler
+from repro.utils.rng import spawn_children
+from repro.utils.tables import format_series
+
+#: Metric name -> callable(schedule, instance) used by sweeps.
+METRICS: Mapping[str, Callable[[Schedule, Instance], float]] = {
+    "slr": M.slr,
+    "speedup": M.speedup,
+    "efficiency": M.efficiency,
+    "makespan": lambda s, i: M.makespan(s),
+    "load_balance": lambda s, i: M.load_balance(s),
+    "duplicates": lambda s, i: float(M.num_duplicates(s)),
+}
+
+
+@dataclass
+class SweepResult:
+    """Averaged metric per x-point per scheduler, plus raw samples."""
+
+    x_name: str
+    x_values: list
+    metric: str
+    series: dict[str, list[float]] = field(default_factory=dict)
+    raw: dict[str, list[list[float]]] = field(default_factory=dict)
+    sched_seconds: dict[str, float] = field(default_factory=dict)
+
+    def table(self, title: str | None = None) -> str:
+        """Render the figure as an aligned text series table."""
+        return format_series(self.x_name, self.x_values, self.series, title=title)
+
+    def plot(self, title: str | None = None, **kwargs) -> str:
+        """Render the figure as an ASCII chart (cosmetic companion to
+        :meth:`table`)."""
+        from repro.utils.plot import ascii_plot
+
+        xs = [float(x) for x in self.x_values]
+        return ascii_plot(xs, self.series, title=title, **kwargs)
+
+    def best_at(self, x_index: int) -> str:
+        """Scheduler with the best (lowest for slr/makespan, highest for
+        speedup/efficiency) average at one x-point."""
+        higher_better = self.metric in ("speedup", "efficiency", "load_balance")
+        items = [(name, vals[x_index]) for name, vals in self.series.items()]
+        if higher_better:
+            return max(items, key=lambda kv: kv[1])[0]
+        return min(items, key=lambda kv: kv[1])[0]
+
+    def mean_over_x(self, name: str) -> float:
+        """Average of a scheduler's series across all x-points."""
+        return float(np.mean(self.series[name]))
+
+
+def run_sweep(
+    scheduler_names: Sequence[str],
+    x_name: str,
+    x_values: Sequence,
+    instance_factory: Callable[[object, np.random.Generator], Instance],
+    reps: int = 5,
+    metric: str = "slr",
+    seed: int = 0,
+    check: bool = True,
+) -> SweepResult:
+    """Run one figure-style sweep.
+
+    For every ``x`` in ``x_values`` and every repetition, one instance
+    is built via ``instance_factory(x, rng)`` and *all* schedulers run
+    on that same instance (paired comparison, as in the papers).  The
+    reported series are per-x means of ``metric``.
+
+    ``check=True`` validates every produced schedule — slow but the
+    default, because a bench that reports infeasible schedules is worse
+    than no bench.
+    """
+    if metric not in METRICS:
+        raise ConfigurationError(f"unknown metric {metric!r}; known: {sorted(METRICS)}")
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    metric_fn = METRICS[metric]
+
+    result = SweepResult(x_name=x_name, x_values=list(x_values), metric=metric)
+    for name in scheduler_names:
+        result.series[name] = []
+        result.raw[name] = []
+        result.sched_seconds[name] = 0.0
+
+    streams = spawn_children(seed, len(x_values) * reps)
+    for xi, x in enumerate(x_values):
+        samples: dict[str, list[float]] = {n: [] for n in scheduler_names}
+        for rep in range(reps):
+            rng = streams[xi * reps + rep]
+            instance = instance_factory(x, rng)
+            for name in scheduler_names:
+                scheduler = get_scheduler(name)
+                t0 = time.perf_counter()
+                schedule = scheduler.schedule(instance)
+                result.sched_seconds[name] += time.perf_counter() - t0
+                if check:
+                    validate(schedule, instance)
+                samples[name].append(metric_fn(schedule, instance))
+        for name in scheduler_names:
+            result.series[name].append(float(np.mean(samples[name])))
+            result.raw[name].append(samples[name])
+    return result
+
+
+def run_instances(
+    scheduler_names: Sequence[str],
+    instances: Sequence[Instance],
+    check: bool = True,
+) -> dict[str, list[float]]:
+    """Run every scheduler on every instance; returns makespans.
+
+    The aligned lists feed :func:`repro.schedule.metrics.pairwise_comparison`
+    (the better/equal/worse table, E9).
+    """
+    out: dict[str, list[float]] = {n: [] for n in scheduler_names}
+    for instance in instances:
+        for name in scheduler_names:
+            schedule = get_scheduler(name).schedule(instance)
+            if check:
+                validate(schedule, instance)
+            out[name].append(schedule.makespan)
+    return out

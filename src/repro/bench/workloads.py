@@ -1,0 +1,172 @@
+"""Canonical workload factories shared by the experiment registry, the
+benchmark modules and the CLI.
+
+Every experiment's instances come from here so the numbers printed by
+``python -m repro experiment E2`` and by ``pytest benchmarks/`` are the
+same protocol.  The default parameter ranges follow the TPDS-2002
+evaluation (the genre's shared protocol); ``quick=True`` shrinks sizes
+and repetition counts for CI-speed runs without changing the protocol's
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.generators import (
+    fft_dag,
+    gaussian_elimination_dag,
+    laplace_dag,
+    random_dag,
+    scale_ccr,
+)
+from repro.instance import Instance, homogeneous_instance, make_instance
+
+#: Scheduler line-up of the comparison figures (contribution first).
+COMPARED = ("IMP", "LA-HEFT", "DUP-HEFT", "HEFT", "CPOP", "HCPT", "PETS", "DLS")
+
+#: Extended line-up for the pairwise table (adds the older baselines).
+COMPARED_WIDE = COMPARED + ("ETF", "MCP", "HLFET")
+
+#: Homogeneous-system line-up (E11): the contribution against the
+#: homogeneous classics.
+COMPARED_HOMOGENEOUS = ("IMP", "HEFT", "MCP", "ETF", "DLS", "HLFET")
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """Default workload parameters of the protocol."""
+
+    num_procs: int = 8
+    heterogeneity: float = 0.5
+    ccr: float = 1.0
+    shape: float = 1.0
+    out_degree: int = 4
+    avg_cost: float = 10.0
+
+
+DEFAULTS = Defaults()
+
+
+def _seed_from(rng: np.random.Generator) -> int:
+    return int(rng.integers(0, 2**62))
+
+
+def random_instance(
+    rng: np.random.Generator,
+    num_tasks: int = 100,
+    num_procs: int = DEFAULTS.num_procs,
+    ccr: float = DEFAULTS.ccr,
+    shape: float = DEFAULTS.shape,
+    heterogeneity: float = DEFAULTS.heterogeneity,
+) -> Instance:
+    """One random-DAG instance under the standard protocol."""
+    dag = random_dag(
+        num_tasks,
+        shape=shape,
+        out_degree=DEFAULTS.out_degree,
+        ccr=ccr,
+        avg_cost=DEFAULTS.avg_cost,
+        seed=_seed_from(rng),
+    )
+    return make_instance(
+        dag,
+        num_procs=num_procs,
+        heterogeneity=heterogeneity,
+        seed=_seed_from(rng),
+    )
+
+
+def gaussian_instance(
+    rng: np.random.Generator,
+    matrix_size: int = 10,
+    num_procs: int = DEFAULTS.num_procs,
+    ccr: float = DEFAULTS.ccr,
+    heterogeneity: float = DEFAULTS.heterogeneity,
+) -> Instance:
+    """Gaussian-elimination instance; CCR is imposed by exact rescale."""
+    dag = scale_ccr(gaussian_elimination_dag(matrix_size), ccr)
+    return make_instance(dag, num_procs=num_procs, heterogeneity=heterogeneity, seed=_seed_from(rng))
+
+
+def fft_instance(
+    rng: np.random.Generator,
+    points: int = 32,
+    num_procs: int = DEFAULTS.num_procs,
+    ccr: float = DEFAULTS.ccr,
+    heterogeneity: float = DEFAULTS.heterogeneity,
+) -> Instance:
+    """FFT instance; CCR imposed by exact rescale."""
+    dag = scale_ccr(fft_dag(points), ccr)
+    return make_instance(dag, num_procs=num_procs, heterogeneity=heterogeneity, seed=_seed_from(rng))
+
+
+def laplace_instance(
+    rng: np.random.Generator,
+    grid_size: int = 8,
+    num_procs: int = DEFAULTS.num_procs,
+    ccr: float = DEFAULTS.ccr,
+    heterogeneity: float = DEFAULTS.heterogeneity,
+) -> Instance:
+    """Laplace wavefront instance; CCR imposed by exact rescale."""
+    dag = scale_ccr(laplace_dag(grid_size), ccr)
+    return make_instance(dag, num_procs=num_procs, heterogeneity=heterogeneity, seed=_seed_from(rng))
+
+
+def homogeneous_random_instance(
+    rng: np.random.Generator,
+    num_tasks: int = 100,
+    num_procs: int = DEFAULTS.num_procs,
+    ccr: float = DEFAULTS.ccr,
+) -> Instance:
+    """Random DAG on an identical-processor machine (E11)."""
+    dag = random_dag(
+        num_tasks,
+        shape=DEFAULTS.shape,
+        out_degree=DEFAULTS.out_degree,
+        ccr=ccr,
+        avg_cost=DEFAULTS.avg_cost,
+        seed=_seed_from(rng),
+    )
+    return homogeneous_instance(dag, num_procs=num_procs)
+
+
+# ----------------------------------------------------------------------
+# Sweep axes (full protocol vs quick CI-sized protocol)
+# ----------------------------------------------------------------------
+def sizes(quick: bool) -> list[int]:
+    return [40, 80] if quick else [20, 40, 60, 80, 100, 200, 300, 400, 500]
+
+
+def ccrs(quick: bool) -> list[float]:
+    return [0.1, 1.0, 5.0] if quick else [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+
+
+def proc_counts(quick: bool) -> list[int]:
+    return [2, 8] if quick else [2, 4, 8, 16, 32]
+
+
+def heterogeneities(quick: bool) -> list[float]:
+    return [0.1, 1.0] if quick else [0.1, 0.25, 0.5, 0.75, 1.0, 1.5]
+
+
+def shapes(quick: bool) -> list[float]:
+    return [0.5, 2.0] if quick else [0.5, 1.0, 2.0]
+
+
+def matrix_sizes(quick: bool) -> list[int]:
+    return [5, 9] if quick else [5, 7, 9, 11, 14, 17, 20]
+
+
+def fft_points(quick: bool) -> list[int]:
+    return [8, 16] if quick else [8, 16, 32, 64, 128]
+
+
+def grid_sizes(quick: bool) -> list[int]:
+    return [4, 7] if quick else [4, 6, 8, 10, 12, 14, 16]
+
+
+def reps(quick: bool) -> int:
+    return 3 if quick else 25

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-sched list                      # experiments and schedulers
+    repro-sched experiment E2 [--full]    # regenerate one figure/table
+    repro-sched all [--full]              # regenerate everything
+    repro-sched schedule --dag g.json --alg IMP --procs 8 [--gantt]
+    repro-sched render --dag g.json --alg IMP --out sched.svg
+    repro-sched simulate --dag g.json --alg IMP --noise 0.3 [--contention]
+    repro-sched compare --suite application --alg IMP --alg HEFT
+    repro-sched demo                      # tiny end-to-end demonstration
+
+(Also reachable as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.bench.registry import all_experiment_ids, get_experiment
+    from repro.schedulers.registry import all_scheduler_names
+
+    print("experiments:")
+    for eid in all_experiment_ids():
+        exp = get_experiment(eid)
+        print(f"  {eid:<4} [{exp.artifact:6}] {exp.title}")
+    print("\nschedulers:")
+    print("  " + ", ".join(all_scheduler_names()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench.registry import run_experiment
+
+    print(run_experiment(args.id, quick=not args.full))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.bench.registry import all_experiment_ids, run_experiment
+
+    for eid in all_experiment_ids():
+        print(run_experiment(eid, quick=not args.full))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import write_report
+
+    ids = args.id or None
+    path = write_report(args.out, quick=not args.full, experiment_ids=ids)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.dag import io as dag_io
+    from repro.instance import make_instance
+    from repro.schedule.metrics import slr, speedup
+    from repro.schedule.validation import validate
+    from repro.schedulers.registry import get_scheduler
+
+    path = Path(args.dag)
+    if path.suffix == ".json":
+        dag = dag_io.load_json(path)
+    else:
+        dag = dag_io.load_stg(path)
+    instance = make_instance(
+        dag,
+        num_procs=args.procs,
+        heterogeneity=args.heterogeneity,
+        seed=args.seed,
+    )
+    scheduler = get_scheduler(args.alg)
+    schedule = scheduler.schedule(instance)
+    validate(schedule, instance)
+    print(f"algorithm : {scheduler.name}")
+    print(f"dag       : {dag.name} ({dag.num_tasks} tasks, {dag.num_edges} edges)")
+    print(f"machine   : {args.procs} processors, beta={args.heterogeneity}")
+    print(f"makespan  : {schedule.makespan:.4f}")
+    print(f"SLR       : {slr(schedule, instance):.4f}")
+    print(f"speedup   : {speedup(schedule, instance):.4f}")
+    if args.gantt:
+        print()
+        print(schedule.gantt())
+    return 0
+
+
+def _load_dag(path_text: str):
+    from repro.dag import io as dag_io
+
+    path = Path(path_text)
+    if path.suffix == ".json":
+        return dag_io.load_json(path)
+    return dag_io.load_stg(path)
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.instance import make_instance
+    from repro.schedule.io import save_svg
+    from repro.schedule.validation import validate
+    from repro.schedulers.registry import get_scheduler
+
+    dag = _load_dag(args.dag)
+    instance = make_instance(
+        dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
+    )
+    schedule = get_scheduler(args.alg).schedule(instance)
+    validate(schedule, instance)
+    save_svg(schedule, args.out)
+    print(f"wrote {args.out} (makespan {schedule.makespan:.4f})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.instance import make_instance
+    from repro.schedulers.registry import get_scheduler
+    from repro.sim import MultiplicativeNoise, NoNoise, execute
+
+    dag = _load_dag(args.dag)
+    instance = make_instance(
+        dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
+    )
+    schedule = get_scheduler(args.alg).schedule(instance)
+    noise = MultiplicativeNoise(args.noise, seed=args.seed) if args.noise > 0 else NoNoise()
+    result = execute(schedule, instance, noise, link_contention=args.contention)
+    print(f"planned makespan  : {schedule.makespan:.4f}")
+    print(f"simulated makespan: {result.makespan:.4f}")
+    print(f"ratio             : {result.makespan / schedule.makespan:.4f}")
+    print(f"events processed  : {result.events_processed}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.compare import compare_schedulers
+    from repro.dag.suites import SUITES
+
+    if args.suite not in SUITES:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown suite {args.suite!r}; known: {', '.join(sorted(SUITES))}"
+        )
+    dags = SUITES[args.suite]()
+    result = compare_schedulers(
+        args.alg or ["IMP", "HEFT", "CPOP"],
+        dags,
+        num_procs=args.procs,
+        heterogeneity=args.heterogeneity,
+        etc_draws=args.draws,
+        seed=args.seed,
+    )
+    print(result.report())
+    print(f"\nwinner: {result.winner()}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.instance import make_instance
+    from repro.schedule.analysis import explain
+    from repro.schedulers.registry import get_scheduler
+
+    dag = _load_dag(args.dag)
+    instance = make_instance(
+        dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
+    )
+    schedule = get_scheduler(args.alg).schedule(instance)
+    print(explain(schedule, instance))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.bench.sensitivity import OperatingPoint, analyze_sensitivity
+
+    base = OperatingPoint(
+        num_tasks=args.tasks,
+        num_procs=args.procs,
+        ccr=args.ccr,
+        heterogeneity=args.heterogeneity,
+    )
+    result = analyze_sensitivity(
+        args.alg, base=base, step=args.step, reps=args.reps, seed=args.seed
+    )
+    print(result.table())
+    print(f"\ndominant parameter: {result.dominant()}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.dag.generators import gaussian_elimination_dag
+    from repro.instance import make_instance
+    from repro.schedule.metrics import slr
+    from repro.schedule.validation import validate
+    from repro.schedulers.registry import get_scheduler
+
+    dag = gaussian_elimination_dag(6)
+    instance = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=42)
+    print(f"Gaussian elimination m=6: {dag.num_tasks} tasks on 4 processors\n")
+    for name in ("HEFT", "CPOP", "IMP"):
+        schedule = get_scheduler(name).schedule(instance)
+        validate(schedule, instance)
+        print(f"{name:6} makespan={schedule.makespan:9.2f}  SLR={slr(schedule, instance):.4f}")
+    print()
+    print(get_scheduler("IMP").schedule(instance).gantt())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Static task scheduling for heterogeneous and homogeneous systems",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and schedulers")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("id", help="experiment id, e.g. E2")
+    p_exp.add_argument("--full", action="store_true", help="full (paper-scale) protocol")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--full", action="store_true", help="full (paper-scale) protocol")
+    p_all.set_defaults(fn=_cmd_all)
+
+    p_report = sub.add_parser("report", help="write a Markdown evaluation report")
+    p_report.add_argument("--out", default="REPORT.md", help="output path")
+    p_report.add_argument("--full", action="store_true", help="paper-scale protocol")
+    p_report.add_argument("--id", action="append",
+                          help="experiment id (repeatable; default: all)")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_sched = sub.add_parser("schedule", help="schedule a task-graph file")
+    p_sched.add_argument("--dag", required=True, help="path to .json or .stg graph")
+    p_sched.add_argument("--alg", default="IMP", help="scheduler name (default IMP)")
+    p_sched.add_argument("--procs", type=int, default=8)
+    p_sched.add_argument("--heterogeneity", type=float, default=0.5)
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sched.set_defaults(fn=_cmd_schedule)
+
+    def add_instance_args(p):
+        p.add_argument("--dag", required=True, help="path to .json or .stg graph")
+        p.add_argument("--alg", default="IMP", help="scheduler name (default IMP)")
+        p.add_argument("--procs", type=int, default=8)
+        p.add_argument("--heterogeneity", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_render = sub.add_parser("render", help="render a schedule as SVG")
+    add_instance_args(p_render)
+    p_render.add_argument("--out", required=True, help="output .svg path")
+    p_render.set_defaults(fn=_cmd_render)
+
+    p_sim = sub.add_parser("simulate", help="replay a schedule in the DES simulator")
+    add_instance_args(p_sim)
+    p_sim.add_argument("--noise", type=float, default=0.0,
+                       help="runtime-noise CV (0 = exact replay)")
+    p_sim.add_argument("--contention", action="store_true",
+                       help="serialise transfers per link (FIFO)")
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="compare schedulers over a suite")
+    p_cmp.add_argument("--suite", default="application",
+                       help="suite name: application | random | mixed")
+    p_cmp.add_argument("--alg", action="append",
+                       help="scheduler name (repeatable; default IMP/HEFT/CPOP)")
+    p_cmp.add_argument("--procs", type=int, default=8)
+    p_cmp.add_argument("--heterogeneity", type=float, default=0.5)
+    p_cmp.add_argument("--draws", type=int, default=3, help="ETC draws per DAG")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_explain = sub.add_parser("explain", help="dominant path / slack report")
+    add_instance_args(p_explain)
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_sens = sub.add_parser("sensitivity", help="which workload knob hurts most?")
+    p_sens.add_argument("--alg", default="IMP")
+    p_sens.add_argument("--tasks", type=int, default=100)
+    p_sens.add_argument("--procs", type=int, default=8)
+    p_sens.add_argument("--ccr", type=float, default=1.0)
+    p_sens.add_argument("--heterogeneity", type=float, default=0.5)
+    p_sens.add_argument("--step", type=float, default=0.25)
+    p_sens.add_argument("--reps", type=int, default=5)
+    p_sens.add_argument("--seed", type=int, default=0)
+    p_sens.set_defaults(fn=_cmd_sensitivity)
+
+    p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
+    p_demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The paper's (reconstructed) contribution: improved static list
+scheduling for heterogeneous *and* homogeneous systems.
+
+Four individually toggleable improvements over HEFT-style scheduling —
+rank-variant search, one-level lookahead processor selection, idle-slot
+parent duplication, and a makespan-monotone refinement post-pass — are
+combined by :class:`ImprovedScheduler`.  See DESIGN.md §2 for the
+reconstruction rationale.
+"""
+
+from repro.core.config import ImprovedConfig
+from repro.core.placement import PlacementEngine
+from repro.core.lookahead import LookaheadScheduler
+from repro.core.duplication import DuplicationScheduler
+from repro.core.refinement import refine_schedule
+from repro.core.improved import ImprovedScheduler
+
+__all__ = [
+    "ImprovedConfig",
+    "PlacementEngine",
+    "LookaheadScheduler",
+    "DuplicationScheduler",
+    "refine_schedule",
+    "ImprovedScheduler",
+]

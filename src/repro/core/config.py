@@ -1,0 +1,83 @@
+"""Configuration of the improved scheduler (the ablation surface)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.schedulers.ranking import RankAggregation
+
+_VALID_AGGS = ("mean", "median", "best", "worst")
+
+
+@dataclass(frozen=True)
+class ImprovedConfig:
+    """Feature switches of :class:`~repro.core.improved.ImprovedScheduler`.
+
+    Every experiment in the ablation bench (E12) is a point in this
+    space; the default enables everything, matching the paper's headline
+    algorithm.
+
+    Attributes
+    ----------
+    rank_variants:
+        Upward-rank aggregations to try; the scheduler runs one full
+        pass per variant and keeps the best schedule.  On a homogeneous
+        machine all variants coincide, so the first is used alone.
+    lookahead:
+        Score candidate processors by the earliest finish of the task's
+        most critical unscheduled child instead of the task's own EFT.
+    duplication:
+        Allow idle-slot duplication of a constraining parent onto the
+        candidate processor when it strictly lowers the task's EFT.
+    refinement:
+        Run the makespan-monotone re-insertion post-pass.
+    refinement_rounds:
+        Maximum refinement sweeps (each sweep visits every task once).
+    insertion:
+        Use insertion-based slot search (disable only for ablation).
+    """
+
+    rank_variants: Tuple[RankAggregation, ...] = ("mean", "worst")
+    lookahead: bool = True
+    duplication: bool = True
+    refinement: bool = True
+    refinement_rounds: int = 2
+    insertion: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.rank_variants:
+            raise ConfigurationError("rank_variants must not be empty")
+        for agg in self.rank_variants:
+            if agg not in _VALID_AGGS:
+                raise ConfigurationError(
+                    f"unknown rank variant {agg!r}; valid: {_VALID_AGGS}"
+                )
+        if len(set(self.rank_variants)) != len(self.rank_variants):
+            raise ConfigurationError("rank_variants contains duplicates")
+        if self.refinement_rounds < 0:
+            raise ConfigurationError("refinement_rounds must be >= 0")
+
+    @classmethod
+    def baseline_heft(cls) -> "ImprovedConfig":
+        """The configuration that degenerates to plain HEFT."""
+        return cls(
+            rank_variants=("mean",),
+            lookahead=False,
+            duplication=False,
+            refinement=False,
+        )
+
+    def label(self) -> str:
+        """Compact ablation label, e.g. ``IMP[rank+la+dup+ref]``."""
+        parts = []
+        if len(self.rank_variants) > 1:
+            parts.append("rank")
+        if self.lookahead:
+            parts.append("la")
+        if self.duplication:
+            parts.append("dup")
+        if self.refinement:
+            parts.append("ref")
+        return "IMP[" + "+".join(parts) + "]" if parts else "IMP[none]"

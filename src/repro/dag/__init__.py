@@ -1,0 +1,25 @@
+"""Task-graph model: tasks, weighted DAGs, analysis and file I/O."""
+
+from repro.dag.task import Task
+from repro.dag.graph import TaskDAG
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    graph_levels,
+    parallelism_profile,
+    static_levels,
+    top_levels,
+)
+
+__all__ = [
+    "Task",
+    "TaskDAG",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "graph_levels",
+    "parallelism_profile",
+    "static_levels",
+    "top_levels",
+]

@@ -1,0 +1,136 @@
+"""Machine-independent analysis of weighted task DAGs.
+
+These functions operate on the *nominal* cost annotations of a
+:class:`~repro.dag.graph.TaskDAG` (task ``cost`` and edge ``data``), i.e.
+they describe the graph itself.  Machine-aware quantities (upward rank
+over an ETC matrix, earliest start times, ...) live in
+:mod:`repro.schedulers.ranking` because they need a machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dag.graph import TaskDAG
+from repro.types import TaskId
+
+
+def top_levels(dag: TaskDAG, include_comm: bool = True) -> dict[TaskId, float]:
+    """t-level of every task: longest path length from any entry task
+    to the task, *excluding* the task's own cost.
+
+    With ``include_comm`` the edge data volumes count toward path length
+    (the classic t-level); without, only computation counts.
+    """
+    level: dict[TaskId, float] = {}
+    for t in dag.topological_order():
+        best = 0.0
+        for p in dag.predecessors(t):
+            comm = dag.data(p, t) if include_comm else 0.0
+            cand = level[p] + dag.cost(p) + comm
+            if cand > best:
+                best = cand
+        level[t] = best
+    return level
+
+
+def bottom_levels(dag: TaskDAG, include_comm: bool = True) -> dict[TaskId, float]:
+    """b-level of every task: longest path length from the task to any
+    exit task, *including* the task's own cost."""
+    level: dict[TaskId, float] = {}
+    for t in reversed(dag.topological_order()):
+        best = 0.0
+        for s in dag.successors(t):
+            comm = dag.data(t, s) if include_comm else 0.0
+            cand = comm + level[s]
+            if cand > best:
+                best = cand
+        level[t] = dag.cost(t) + best
+    return level
+
+
+def static_levels(dag: TaskDAG) -> dict[TaskId, float]:
+    """Static level (SL): b-level ignoring communication costs."""
+    return bottom_levels(dag, include_comm=False)
+
+
+def critical_path_length(dag: TaskDAG, include_comm: bool = True) -> float:
+    """Length of the longest path through the DAG (the critical path)."""
+    if dag.num_tasks == 0:
+        return 0.0
+    return max(bottom_levels(dag, include_comm=include_comm).values())
+
+
+def critical_path(dag: TaskDAG, include_comm: bool = True) -> list[TaskId]:
+    """One critical path as a list of task ids from an entry to an exit.
+
+    Ties are broken deterministically by the stable topological order, so
+    repeated calls return the same path.
+    """
+    if dag.num_tasks == 0:
+        return []
+    blevel = bottom_levels(dag, include_comm=include_comm)
+    order = dag.topological_order()
+    pos = {t: i for i, t in enumerate(order)}
+    # Start from the entry task with the largest b-level.
+    current = min(dag.entry_tasks(), key=lambda t: (-blevel[t], pos[t]))
+    path = [current]
+    while True:
+        succs = dag.successors(current)
+        if not succs:
+            return path
+        # The critical child is the one whose (comm + b-level) dominates.
+        def weight(s: TaskId) -> float:
+            comm = dag.data(current, s) if include_comm else 0.0
+            return comm + blevel[s]
+
+        current = min(succs, key=lambda s: (-weight(s), pos[s]))
+        path.append(current)
+
+
+def graph_levels(dag: TaskDAG) -> dict[TaskId, int]:
+    """ASAP depth of every task: 0 for entries, else 1 + max parent level."""
+    depth: dict[TaskId, int] = {}
+    for t in dag.topological_order():
+        preds = dag.predecessors(t)
+        depth[t] = 0 if not preds else 1 + max(depth[p] for p in preds)
+    return depth
+
+
+def parallelism_profile(dag: TaskDAG) -> list[int]:
+    """Number of tasks at each ASAP depth (the graph's width profile).
+
+    ``max(parallelism_profile(dag))`` bounds how many processors the graph
+    can keep busy simultaneously under level-synchronous execution.
+    """
+    depth = graph_levels(dag)
+    if not depth:
+        return []
+    width = [0] * (max(depth.values()) + 1)
+    for lvl in depth.values():
+        width[lvl] += 1
+    return width
+
+
+def ideal_lower_bound(dag: TaskDAG, num_procs: int) -> float:
+    """A simple makespan lower bound: max(CP length without comm,
+    total work / processor count).
+
+    Used by tests and by the speedup metric's sanity checks; every valid
+    schedule's makespan is >= this bound when the machine executes tasks
+    at nominal speed.
+    """
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    if dag.num_tasks == 0:
+        return 0.0
+    return max(critical_path_length(dag, include_comm=False), dag.total_cost() / num_procs)
+
+
+def map_costs(dag: TaskDAG, fn: Callable[[TaskId, float], float]) -> TaskDAG:
+    """Return a copy of ``dag`` with every task cost replaced by
+    ``fn(task_id, old_cost)``.  Edge data is preserved."""
+    clone = dag.copy()
+    for t in dag.tasks():
+        clone.set_cost(t, fn(t, dag.cost(t)))
+    return clone

@@ -1,0 +1,34 @@
+"""Task-graph generators: parametric random DAGs and the classic
+application graphs of the evaluation (Gaussian elimination, FFT,
+Laplace, Cholesky, fork-join, trees, series-parallel, Montage-like and
+map-reduce workflows)."""
+
+from repro.dag.generators.costs import randomize_costs, scale_ccr
+from repro.dag.generators.random_dag import random_dag
+from repro.dag.generators.layered import layered_dag
+from repro.dag.generators.gaussian import gaussian_elimination_dag
+from repro.dag.generators.fft import fft_dag
+from repro.dag.generators.laplace import laplace_dag
+from repro.dag.generators.cholesky import cholesky_dag
+from repro.dag.generators.forkjoin import fork_join_dag
+from repro.dag.generators.trees import in_tree_dag, out_tree_dag
+from repro.dag.generators.series_parallel import series_parallel_dag
+from repro.dag.generators.workflows import mapreduce_dag, montage_dag, pipeline_dag
+
+__all__ = [
+    "randomize_costs",
+    "scale_ccr",
+    "random_dag",
+    "layered_dag",
+    "gaussian_elimination_dag",
+    "fft_dag",
+    "laplace_dag",
+    "cholesky_dag",
+    "fork_join_dag",
+    "in_tree_dag",
+    "out_tree_dag",
+    "series_parallel_dag",
+    "mapreduce_dag",
+    "montage_dag",
+    "pipeline_dag",
+]

@@ -1,0 +1,80 @@
+"""Tiled Cholesky factorisation task graph.
+
+The right-looking tiled Cholesky of a ``t x t`` tile matrix produces
+four task kinds per step ``k``:
+
+* ``POTRF(k)`` — factor the diagonal tile,
+* ``TRSM(k, i)`` (``i > k``) — solve the panel tiles,
+* ``SYRK(k, i)`` (``i > k``) — symmetric update of diagonal tile ``i``,
+* ``GEMM(k, i, j)`` (``k < i < j``) — update of off-diagonal tile
+  ``(i, j)``.
+
+Dependencies follow data flow on the tiles: a step-``k`` consumer of
+tile ``(a, b)`` depends on the step-``k-1`` producer of that tile.
+This is the canonical dense-linear-algebra workflow used to stress
+schedulers with mixed fan-out and chain structure; ``t`` tiles yield
+``t(t+1)(t+2)/6 + ...`` ~ O(t³) tasks, so keep ``t`` modest.
+
+Costs reflect the kernels' flop counts on ``b x b`` tiles relative to
+``cost_scale`` (POTRF 1/3, TRSM 1, SYRK 1, GEMM 2); every edge carries
+one tile (``data_scale`` units).
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+
+
+def cholesky_dag(
+    tiles: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """Build the tiled-Cholesky DAG for a ``tiles x tiles`` tile matrix."""
+    t = tiles
+    if t < 1:
+        raise ConfigurationError(f"tiles must be >= 1, got {t}")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+
+    dag = TaskDAG(name or f"cholesky-t{t}")
+
+    def add(kind: str, *idx: int, cost: float) -> tuple:
+        tid = (kind, *idx)
+        dag.add_task(Task(id=tid, cost=cost, name=f"{kind}{idx}", attrs={"kind": kind}))
+        return tid
+
+    # writer[(a, b)] is the task that last wrote tile (a, b).
+    writer: dict[tuple[int, int], tuple] = {}
+
+    for k in range(t):
+        potrf = add("POTRF", k, cost=cost_scale / 3.0)
+        if (k, k) in writer:
+            dag.add_edge(writer[(k, k)], potrf, data=data_scale)
+        writer[(k, k)] = potrf
+
+        for i in range(k + 1, t):
+            trsm = add("TRSM", k, i, cost=cost_scale)
+            dag.add_edge(potrf, trsm, data=data_scale)
+            if (i, k) in writer:
+                dag.add_edge(writer[(i, k)], trsm, data=data_scale)
+            writer[(i, k)] = trsm
+
+        for i in range(k + 1, t):
+            syrk = add("SYRK", k, i, cost=cost_scale)
+            dag.add_edge(writer[(i, k)], syrk, data=data_scale)
+            if (i, i) in writer:
+                dag.add_edge(writer[(i, i)], syrk, data=data_scale)
+            writer[(i, i)] = syrk
+
+            for j in range(i + 1, t):
+                gemm = add("GEMM", k, i, j, cost=2.0 * cost_scale)
+                dag.add_edge(writer[(i, k)], gemm, data=data_scale)
+                dag.add_edge(writer[(j, k)], gemm, data=data_scale)
+                if (j, i) in writer:
+                    dag.add_edge(writer[(j, i)], gemm, data=data_scale)
+                writer[(j, i)] = gemm
+    return dag

@@ -1,0 +1,79 @@
+"""Cost annotation helpers shared by the generators.
+
+The evaluation protocol controls two knobs on every graph:
+
+* the average task cost (irrelevant to relative metrics, kept for
+  realism), and
+* the **CCR** (communication-to-computation ratio): total edge data
+  divided by total task cost.  :func:`scale_ccr` rescales edge data so a
+  graph hits a target CCR exactly, which is how the CCR sweeps (E2) are
+  produced without changing graph structure.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def randomize_costs(
+    dag: TaskDAG,
+    avg_cost: float = 10.0,
+    avg_data: float | None = None,
+    seed: SeedLike = None,
+) -> TaskDAG:
+    """Return a copy of ``dag`` with uniformly random cost annotations.
+
+    Task costs are drawn from ``U(0, 2*avg_cost]`` (the TPDS-2002
+    protocol; the open lower end avoids zero-cost tasks) and edge data
+    from ``U(0, 2*avg_data]`` with ``avg_data`` defaulting to
+    ``avg_cost`` (CCR about 1 before any exact rescale).
+    """
+    if avg_cost <= 0:
+        raise ConfigurationError(f"avg_cost must be > 0, got {avg_cost}")
+    if avg_data is None:
+        avg_data = avg_cost
+    if avg_data < 0:
+        raise ConfigurationError(f"avg_data must be >= 0, got {avg_data}")
+    rng = as_generator(seed)
+    clone = dag.copy()
+    for t in clone.tasks():
+        clone.set_cost(t, float(rng.uniform(1e-6, 2.0 * avg_cost)))
+    for u, v in clone.edges():
+        clone.set_data(u, v, float(rng.uniform(0.0, 2.0 * avg_data)))
+    return clone
+
+
+def scale_ccr(dag: TaskDAG, ccr: float) -> TaskDAG:
+    """Return a copy whose total data / total cost equals ``ccr`` exactly.
+
+    Keeps the *relative* sizes of edges; a graph whose edges all carry
+    zero data gets uniform data instead (there is nothing to scale).
+    Requires a graph with positive total cost and at least one edge for
+    a non-zero target.
+    """
+    if ccr < 0:
+        raise ConfigurationError(f"ccr must be >= 0, got {ccr}")
+    clone = dag.copy()
+    total_cost = clone.total_cost()
+    if total_cost <= 0:
+        raise ConfigurationError("cannot scale CCR of a graph with zero total cost")
+    edges = list(clone.edges())
+    if ccr == 0:
+        for u, v in edges:
+            clone.set_data(u, v, 0.0)
+        return clone
+    if not edges:
+        raise ConfigurationError("cannot reach a non-zero CCR without edges")
+    total_data = clone.total_data()
+    target = ccr * total_cost
+    if total_data <= 0:
+        uniform = target / len(edges)
+        for u, v in edges:
+            clone.set_data(u, v, uniform)
+        return clone
+    factor = target / total_data
+    for u, v in edges:
+        clone.set_data(u, v, clone.data(u, v) * factor)
+    return clone

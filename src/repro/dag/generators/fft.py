@@ -1,0 +1,68 @@
+"""Fast-Fourier-transform task graph (the genre's second application DAG).
+
+The published FFT graph has two parts for an input of ``p = 2^m``
+points:
+
+1. a binary tree of *recursive-call* tasks of depth ``m`` (``2p - 1``
+   tasks): the root splits the input, every node feeds its two halves,
+2. ``m`` layers of ``p`` *butterfly* tasks; a butterfly task ``(s, i)``
+   at stage ``s`` consumes the stage-``s-1`` outputs of positions ``i``
+   and ``i XOR 2^(s-1)`` (the leaves of the call tree act as stage 0).
+
+Total tasks: ``(2p - 1) + p·m``.  All tasks cost ``cost_scale``
+(butterflies are constant work) and every edge carries ``data_scale``
+units, matching the uniform-cost convention of the published graph.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+
+
+def fft_dag(
+    points: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """Build the FFT DAG for ``points`` input points (a power of two)."""
+    p = points
+    if p < 2 or (p & (p - 1)) != 0:
+        raise ConfigurationError(f"points must be a power of two >= 2, got {p}")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    m = p.bit_length() - 1
+
+    dag = TaskDAG(name or f"fft-p{p}")
+
+    # Part 1: recursive-call tree, depth 0 (root) .. m (leaves).
+    for d in range(m + 1):
+        for i in range(1 << d):
+            dag.add_task(
+                Task(id=("call", d, i), cost=cost_scale, name=f"c{d},{i}",
+                     attrs={"kind": "call", "depth": d})
+            )
+    for d in range(m):
+        for i in range(1 << d):
+            dag.add_edge(("call", d, i), ("call", d + 1, 2 * i), data=data_scale)
+            dag.add_edge(("call", d, i), ("call", d + 1, 2 * i + 1), data=data_scale)
+
+    # Part 2: butterfly stages 1 .. m over p positions.
+    for s in range(1, m + 1):
+        for i in range(p):
+            dag.add_task(
+                Task(id=("bfly", s, i), cost=cost_scale, name=f"b{s},{i}",
+                     attrs={"kind": "butterfly", "stage": s})
+            )
+    for i in range(p):
+        partner = i ^ 1
+        dag.add_edge(("call", m, i), ("bfly", 1, i), data=data_scale)
+        dag.add_edge(("call", m, partner), ("bfly", 1, i), data=data_scale)
+    for s in range(2, m + 1):
+        stride = 1 << (s - 1)
+        for i in range(p):
+            dag.add_edge(("bfly", s - 1, i), ("bfly", s, i), data=data_scale)
+            dag.add_edge(("bfly", s - 1, i ^ stride), ("bfly", s, i), data=data_scale)
+    return dag

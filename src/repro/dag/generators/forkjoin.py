@@ -1,0 +1,64 @@
+"""Fork-join task graphs.
+
+``stages`` sequential fork-join blocks: each block forks ``width``
+independent chains of ``chain_length`` tasks between a fork task and a
+join task.  This is the bulk-synchronous shape (parallel loops with
+barriers) and the stress test for communication-heavy joins.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def fork_join_dag(
+    width: int,
+    stages: int = 1,
+    chain_length: int = 1,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> TaskDAG:
+    """Build a fork-join DAG.
+
+    ``jitter`` in [0, 1) perturbs task costs uniformly by ±jitter
+    (seeded), modelling imbalanced parallel loops.
+    """
+    if width < 1 or stages < 1 or chain_length < 1:
+        raise ConfigurationError("width, stages and chain_length must be >= 1")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    if not (0.0 <= jitter < 1.0):
+        raise ConfigurationError(f"jitter must be in [0, 1), got {jitter}")
+
+    rng = as_generator(seed)
+
+    def cost() -> float:
+        if jitter == 0.0:
+            return cost_scale
+        return float(cost_scale * rng.uniform(1.0 - jitter, 1.0 + jitter))
+
+    dag = TaskDAG(name or f"forkjoin-w{width}-s{stages}")
+    prev_join = None
+    for s in range(stages):
+        fork = ("fork", s)
+        dag.add_task(Task(id=fork, cost=cost(), name=f"fork{s}"))
+        if prev_join is not None:
+            dag.add_edge(prev_join, fork, data=data_scale)
+        join = ("join", s)
+        dag.add_task(Task(id=join, cost=cost(), name=f"join{s}"))
+        for w in range(width):
+            prev = fork
+            for c in range(chain_length):
+                tid = ("work", s, w, c)
+                dag.add_task(Task(id=tid, cost=cost(), name=f"w{s},{w},{c}"))
+                dag.add_edge(prev, tid, data=data_scale)
+                prev = tid
+            dag.add_edge(prev, join, data=data_scale)
+        prev_join = join
+    return dag

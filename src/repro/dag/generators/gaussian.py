@@ -1,0 +1,61 @@
+"""Gaussian-elimination task graph (the genre's standard application DAG).
+
+For a matrix of size ``m`` the elimination proceeds in ``m-1`` steps; at
+step ``k`` a *pivot* task ``("piv", k)`` prepares column ``k`` and
+*update* tasks ``("upd", k, j)`` (``j = k+1 .. m-1``) apply it to the
+remaining columns.  Dependencies:
+
+* ``piv(k) -> upd(k, j)`` for every ``j`` (the pivot column is broadcast),
+* ``upd(k, k+1) -> piv(k+1)`` (the next pivot needs its updated column),
+* ``upd(k, j) -> upd(k+1, j)`` for ``j > k+1`` (columns flow down steps).
+
+Task count is ``(m² + m - 2) / 2``, matching the published experiments.
+Costs shrink with the active submatrix: the pivot at step ``k`` costs
+``cost_scale * (m - k)`` and each update ``cost_scale * 2(m - k)``
+(one multiply-subtract pass over a column); an edge carries the active
+column of ``m - k - 1`` elements times ``data_scale``.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+
+
+def gaussian_elimination_dag(
+    matrix_size: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """Build the Gaussian-elimination DAG for an ``m x m`` matrix."""
+    m = matrix_size
+    if m < 2:
+        raise ConfigurationError(f"matrix_size must be >= 2, got {m}")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+
+    dag = TaskDAG(name or f"gauss-m{m}")
+    for k in range(m - 1):
+        active = m - k
+        dag.add_task(
+            Task(id=("piv", k), cost=cost_scale * active, name=f"piv{k}",
+                 attrs={"step": k, "kind": "pivot"})
+        )
+        for j in range(k + 1, m):
+            dag.add_task(
+                Task(id=("upd", k, j), cost=cost_scale * 2 * active,
+                     name=f"upd{k},{j}", attrs={"step": k, "column": j, "kind": "update"})
+            )
+
+    for k in range(m - 1):
+        column = max(1, m - k - 1)
+        data = data_scale * column
+        for j in range(k + 1, m):
+            dag.add_edge(("piv", k), ("upd", k, j), data=data)
+        if k + 1 < m - 1:
+            dag.add_edge(("upd", k, k + 1), ("piv", k + 1), data=data)
+            for j in range(k + 2, m):
+                dag.add_edge(("upd", k, j), ("upd", k + 1, j), data=data)
+    return dag

@@ -1,0 +1,113 @@
+"""Parametric random DAGs following the TPDS-2002 evaluation protocol.
+
+The generator is controlled by the knobs every paper in the genre
+sweeps:
+
+* ``num_tasks`` — graph size,
+* ``shape`` (α) — expected depth is ``sqrt(n)/α`` and expected width per
+  level ``α*sqrt(n)``: α < 1 gives long thin graphs, α > 1 short fat
+  ones,
+* ``out_degree`` — maximum edges a task sends to later levels,
+* ``ccr`` — exact communication-to-computation ratio of the result,
+* ``avg_cost`` — mean nominal task cost.
+
+Structure guarantee: every non-entry task has at least one parent in an
+earlier level, so the graph is a single connected scheduling problem
+(no free-floating islands beyond the entry level).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dag.generators.costs import scale_ccr
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def random_dag(
+    num_tasks: int,
+    shape: float = 1.0,
+    out_degree: int = 4,
+    ccr: float = 1.0,
+    avg_cost: float = 10.0,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> TaskDAG:
+    """Generate one random weighted DAG (see module docstring).
+
+    Raises :class:`ConfigurationError` on nonsensical parameters.  The
+    graph is deterministic for a given seed.
+    """
+    if num_tasks < 1:
+        raise ConfigurationError(f"num_tasks must be >= 1, got {num_tasks}")
+    if shape <= 0:
+        raise ConfigurationError(f"shape must be > 0, got {shape}")
+    if out_degree < 1:
+        raise ConfigurationError(f"out_degree must be >= 1, got {out_degree}")
+    if ccr < 0:
+        raise ConfigurationError(f"ccr must be >= 0, got {ccr}")
+    if avg_cost <= 0:
+        raise ConfigurationError(f"avg_cost must be > 0, got {avg_cost}")
+
+    rng = as_generator(seed)
+    dag = TaskDAG(name or f"random-n{num_tasks}-a{shape:g}")
+
+    # ---- structure: levels ------------------------------------------
+    mean_depth = max(1.0, math.sqrt(num_tasks) / shape)
+    mean_width = max(1.0, math.sqrt(num_tasks) * shape)
+    levels: list[list[int]] = []
+    remaining = num_tasks
+    next_id = 0
+    while remaining > 0:
+        # Uniform width in [1, 2*mean_width), clipped to what's left and,
+        # if this might be the last level, to exactly what's left.
+        width = int(rng.integers(1, max(2, int(2 * mean_width))))
+        width = min(width, remaining)
+        if len(levels) + 1 >= int(2 * mean_depth) and remaining <= 2 * mean_width:
+            width = remaining
+        level = list(range(next_id, next_id + width))
+        next_id += width
+        remaining -= width
+        levels.append(level)
+
+    for level in levels:
+        for tid in level:
+            dag.add_task(Task(id=tid, cost=float(rng.uniform(1e-6, 2.0 * avg_cost))))
+
+    # ---- structure: edges -------------------------------------------
+    # Each non-entry task pulls one mandatory parent from the previous
+    # level (connectivity), then each task fans out up to `out_degree`
+    # extra children in strictly later levels.
+    for li in range(1, len(levels)):
+        prev = levels[li - 1]
+        for tid in levels[li]:
+            parent = int(rng.choice(prev))
+            dag.add_edge(parent, tid, data=float(rng.uniform(0.0, 2.0 * avg_cost)))
+
+    flat_after: list[list[int]] = []
+    suffix: list[int] = []
+    for level in reversed(levels):
+        flat_after.append(list(suffix))
+        suffix = level + suffix
+    flat_after.reverse()
+
+    for li, level in enumerate(levels):
+        candidates = flat_after[li]
+        if not candidates:
+            continue
+        for tid in level:
+            extra = int(rng.integers(0, out_degree + 1))
+            if extra == 0:
+                continue
+            picks = rng.choice(len(candidates), size=min(extra, len(candidates)), replace=False)
+            for k in picks:
+                child = candidates[int(k)]
+                if not dag.has_edge(tid, child):
+                    dag.add_edge(tid, child, data=float(rng.uniform(0.0, 2.0 * avg_cost)))
+
+    if dag.num_edges == 0:
+        return dag  # single-level graph: CCR is vacuous without edges
+    return scale_ccr(dag, ccr)

@@ -1,0 +1,82 @@
+"""Random series-parallel task graphs.
+
+Built by recursive composition: a block is either a single task, a
+*series* chain of sub-blocks, or a *parallel* bundle of sub-blocks
+between a split task and a merge task.  Series-parallel DAGs are the
+structured-programming subset of DAGs (nested loops and sections) and a
+common generator family in the scheduling literature.
+"""
+
+from __future__ import annotations
+
+from repro.dag.generators.costs import scale_ccr
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+from repro.types import TaskId
+from repro.utils.rng import SeedLike, as_generator
+
+
+def series_parallel_dag(
+    num_tasks: int,
+    ccr: float = 1.0,
+    avg_cost: float = 10.0,
+    parallel_bias: float = 0.5,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> TaskDAG:
+    """Generate a series-parallel DAG with roughly ``num_tasks`` tasks.
+
+    ``parallel_bias`` in [0, 1] steers composition toward parallel (1)
+    or series (0) blocks.  The exact task count may exceed the request
+    slightly because parallel blocks need split/merge tasks.
+    """
+    if num_tasks < 1:
+        raise ConfigurationError(f"num_tasks must be >= 1, got {num_tasks}")
+    if not (0.0 <= parallel_bias <= 1.0):
+        raise ConfigurationError(f"parallel_bias must be in [0, 1], got {parallel_bias}")
+    if avg_cost <= 0:
+        raise ConfigurationError(f"avg_cost must be > 0, got {avg_cost}")
+
+    rng = as_generator(seed)
+    dag = TaskDAG(name or f"sp-n{num_tasks}")
+    counter = [0]
+
+    def new_task() -> TaskId:
+        tid = counter[0]
+        counter[0] += 1
+        dag.add_task(Task(id=tid, cost=float(rng.uniform(1e-6, 2.0 * avg_cost))))
+        return tid
+
+    def edge(u: TaskId, v: TaskId) -> None:
+        if not dag.has_edge(u, v):
+            dag.add_edge(u, v, data=float(rng.uniform(0.0, 2.0 * avg_cost)))
+
+    def build(budget: int) -> tuple[TaskId, TaskId]:
+        """Build a block of about ``budget`` tasks; return (head, tail)."""
+        if budget <= 1:
+            t = new_task()
+            return t, t
+        if rng.random() < parallel_bias and budget >= 4:
+            # Parallel: split + k branches + merge.
+            k = int(rng.integers(2, max(3, min(5, budget - 1))))
+            split = new_task()
+            merge = new_task()
+            remaining = budget - 2
+            share = max(1, remaining // k)
+            for _ in range(k):
+                head, tail = build(share)
+                edge(split, head)
+                edge(tail, merge)
+            return split, merge
+        # Series: two sub-blocks chained.
+        left = budget // 2
+        h1, t1 = build(left)
+        h2, t2 = build(budget - left)
+        edge(t1, h2)
+        return h1, t2
+
+    build(num_tasks)
+    if dag.num_edges == 0:
+        return dag
+    return scale_ccr(dag, ccr)

@@ -1,0 +1,62 @@
+"""In-tree (reduction) and out-tree (broadcast) task graphs.
+
+Complete ``arity``-ary trees of the given ``depth``.  Out-trees model
+divide/broadcast phases (root is the entry); in-trees model reductions
+(root is the exit).  Both are classic extremes for schedulers: out-trees
+reward spreading, in-trees reward clustering near the root.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+
+
+def _tree_nodes(arity: int, depth: int) -> list[tuple[int, int]]:
+    return [(d, i) for d in range(depth + 1) for i in range(arity**d)]
+
+
+def out_tree_dag(
+    arity: int,
+    depth: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """Complete out-tree (broadcast): root at depth 0 fans out."""
+    if arity < 1 or depth < 0:
+        raise ConfigurationError("arity must be >= 1 and depth >= 0")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    dag = TaskDAG(name or f"outtree-a{arity}-d{depth}")
+    for d, i in _tree_nodes(arity, depth):
+        dag.add_task(Task(id=(d, i), cost=cost_scale, name=f"t{d},{i}"))
+    for d, i in _tree_nodes(arity, depth):
+        if d < depth:
+            for c in range(arity):
+                dag.add_edge((d, i), (d + 1, arity * i + c), data=data_scale)
+    return dag
+
+
+def in_tree_dag(
+    arity: int,
+    depth: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """Complete in-tree (reduction): leaves at depth ``depth`` reduce to
+    the root, which is the single exit task."""
+    if arity < 1 or depth < 0:
+        raise ConfigurationError("arity must be >= 1 and depth >= 0")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    dag = TaskDAG(name or f"intree-a{arity}-d{depth}")
+    for d, i in _tree_nodes(arity, depth):
+        dag.add_task(Task(id=(d, i), cost=cost_scale, name=f"t{d},{i}"))
+    for d, i in _tree_nodes(arity, depth):
+        if d < depth:
+            for c in range(arity):
+                dag.add_edge((d + 1, arity * i + c), (d, i), data=data_scale)
+    return dag

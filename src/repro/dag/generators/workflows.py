@@ -1,0 +1,135 @@
+"""Scientific-workflow shaped task graphs.
+
+Three workflow families used by the example programs and the
+application experiments:
+
+* :func:`montage_dag` — the shape of the Montage astronomy mosaic
+  pipeline (project / fit / background-model / background-correct /
+  assemble), parametrised by the number of input images,
+* :func:`mapreduce_dag` — map fan-out, all-to-all shuffle, reduce fan-in,
+* :func:`pipeline_dag` — ``p`` parallel pipelines of ``s`` stages with
+  optional nearest-neighbour coupling (stencil-style halo exchange).
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def montage_dag(
+    images: int,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> TaskDAG:
+    """Montage-like workflow over ``images`` input tiles.
+
+    Levels: per-image ``project`` -> pairwise ``difffit`` (adjacent
+    overlaps) -> single ``concatfit`` -> single ``bgmodel`` -> per-image
+    ``background`` -> single ``imgtbl`` -> single ``madd`` -> single
+    ``jpeg``.  Projection is the expensive step (x4), matching the real
+    pipeline's profile; slight per-task cost jitter is seeded.
+    """
+    if images < 2:
+        raise ConfigurationError(f"images must be >= 2, got {images}")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    rng = as_generator(seed)
+
+    def c(scale: float) -> float:
+        return float(scale * rng.uniform(0.8, 1.2))
+
+    dag = TaskDAG(name or f"montage-i{images}")
+    for i in range(images):
+        dag.add_task(Task(id=("project", i), cost=c(4 * cost_scale), name=f"mProject{i}"))
+    for i in range(images - 1):
+        dag.add_task(Task(id=("difffit", i), cost=c(cost_scale), name=f"mDiffFit{i}"))
+        dag.add_edge(("project", i), ("difffit", i), data=data_scale)
+        dag.add_edge(("project", i + 1), ("difffit", i), data=data_scale)
+    dag.add_task(Task(id="concatfit", cost=c(cost_scale), name="mConcatFit"))
+    for i in range(images - 1):
+        dag.add_edge(("difffit", i), "concatfit", data=data_scale / 4)
+    dag.add_task(Task(id="bgmodel", cost=c(2 * cost_scale), name="mBgModel"))
+    dag.add_edge("concatfit", "bgmodel", data=data_scale / 4)
+    for i in range(images):
+        dag.add_task(Task(id=("background", i), cost=c(cost_scale), name=f"mBackground{i}"))
+        dag.add_edge("bgmodel", ("background", i), data=data_scale / 4)
+        dag.add_edge(("project", i), ("background", i), data=data_scale)
+    dag.add_task(Task(id="imgtbl", cost=c(cost_scale), name="mImgtbl"))
+    for i in range(images):
+        dag.add_edge(("background", i), "imgtbl", data=data_scale / 2)
+    dag.add_task(Task(id="madd", cost=c(6 * cost_scale), name="mAdd"))
+    dag.add_edge("imgtbl", "madd", data=data_scale)
+    dag.add_task(Task(id="jpeg", cost=c(cost_scale), name="mJPEG"))
+    dag.add_edge("madd", "jpeg", data=data_scale)
+    return dag
+
+
+def mapreduce_dag(
+    mappers: int,
+    reducers: int,
+    map_cost: float = 10.0,
+    reduce_cost: float = 10.0,
+    shuffle_data: float = 10.0,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> TaskDAG:
+    """Map / shuffle / reduce: every mapper feeds every reducer.
+
+    A zero-cost ``split`` entry fans data to mappers and reducers feed a
+    ``collect`` exit, keeping the graph single-entry/single-exit.
+    """
+    if mappers < 1 or reducers < 1:
+        raise ConfigurationError("mappers and reducers must be >= 1")
+    if map_cost <= 0 or reduce_cost <= 0 or shuffle_data < 0:
+        raise ConfigurationError("costs must be > 0 and shuffle_data >= 0")
+    rng = as_generator(seed)
+    dag = TaskDAG(name or f"mapreduce-m{mappers}-r{reducers}")
+    dag.add_task(Task(id="split", cost=map_cost / 10, name="split"))
+    dag.add_task(Task(id="collect", cost=reduce_cost / 10, name="collect"))
+    for i in range(mappers):
+        dag.add_task(Task(id=("map", i), cost=float(map_cost * rng.uniform(0.5, 1.5))))
+        dag.add_edge("split", ("map", i), data=shuffle_data)
+    for j in range(reducers):
+        dag.add_task(Task(id=("reduce", j), cost=float(reduce_cost * rng.uniform(0.5, 1.5))))
+        for i in range(mappers):
+            # Shuffle volume splits roughly evenly across reducers.
+            dag.add_edge(("map", i), ("reduce", j), data=shuffle_data / reducers)
+        dag.add_edge(("reduce", j), "collect", data=shuffle_data / reducers)
+    return dag
+
+
+def pipeline_dag(
+    pipelines: int,
+    stages: int,
+    coupled: bool = False,
+    cost_scale: float = 10.0,
+    data_scale: float = 10.0,
+    name: str | None = None,
+) -> TaskDAG:
+    """``pipelines`` parallel chains of ``stages`` tasks.
+
+    With ``coupled=True`` each stage also reads its neighbours' previous
+    stage (halo exchange), turning independent chains into a stencil.
+    """
+    if pipelines < 1 or stages < 1:
+        raise ConfigurationError("pipelines and stages must be >= 1")
+    if cost_scale <= 0 or data_scale < 0:
+        raise ConfigurationError("cost_scale must be > 0 and data_scale >= 0")
+    dag = TaskDAG(name or f"pipeline-p{pipelines}-s{stages}")
+    for p in range(pipelines):
+        for s in range(stages):
+            dag.add_task(Task(id=(p, s), cost=cost_scale, name=f"st{p},{s}"))
+    for p in range(pipelines):
+        for s in range(1, stages):
+            dag.add_edge((p, s - 1), (p, s), data=data_scale)
+            if coupled:
+                if p > 0:
+                    dag.add_edge((p - 1, s - 1), (p, s), data=data_scale / 2)
+                if p + 1 < pipelines:
+                    dag.add_edge((p + 1, s - 1), (p, s), data=data_scale / 2)
+    return dag

@@ -1,0 +1,334 @@
+"""Validated weighted task DAG built on :class:`networkx.DiGraph`.
+
+:class:`TaskDAG` is the single graph type used throughout the library.
+It enforces the invariants every scheduler relies on:
+
+* the graph is directed and acyclic (checked on demand and incrementally
+  on edge insertion),
+* every node carries a :class:`~repro.dag.task.Task` with a finite,
+  non-negative cost,
+* every edge carries a finite, non-negative ``data`` volume (the amount
+  of data the child reads from the parent).
+
+Iteration orders (``tasks()``, ``topological_order()``) are deterministic
+for a given construction sequence so that scheduling runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.dag.task import Task
+from repro.exceptions import (
+    CostError,
+    CycleError,
+    DuplicateTaskError,
+    GraphError,
+    UnknownTaskError,
+)
+from repro.types import Edge, TaskId
+
+
+class TaskDAG:
+    """A weighted directed acyclic task graph.
+
+    Examples
+    --------
+    >>> dag = TaskDAG("demo")
+    >>> dag.add_task(Task("a", cost=2.0))
+    >>> dag.add_task(Task("b", cost=3.0))
+    >>> dag.add_edge("a", "b", data=4.0)
+    >>> dag.num_tasks, dag.num_edges
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "dag") -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+        self._topo_cache: list[TaskId] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task | TaskId, cost: float | None = None) -> Task:
+        """Add a task node.
+
+        Accepts either a prepared :class:`Task` or a bare id plus optional
+        ``cost`` (defaulting to 1.0).  Returns the stored task.  Adding an
+        id twice raises :class:`DuplicateTaskError`.
+        """
+        if not isinstance(task, Task):
+            task = Task(id=task, cost=1.0 if cost is None else cost)
+        elif cost is not None:
+            raise ValueError("pass cost either inside Task or as argument, not both")
+        if task.id in self._g:
+            raise DuplicateTaskError(task.id)
+        self._g.add_node(task.id, task=task)
+        self._topo_cache = None
+        return task
+
+    def add_edge(self, parent: TaskId, child: TaskId, data: float = 0.0) -> None:
+        """Add a dependency edge ``parent -> child`` carrying ``data`` units.
+
+        Both endpoints must already exist.  An edge that would create a
+        cycle (including a self-loop) raises :class:`CycleError`; a
+        repeated edge raises :class:`GraphError` (costs on a dependency
+        are not silently overwritten).
+        """
+        for tid in (parent, child):
+            if tid not in self._g:
+                raise UnknownTaskError(tid)
+        if parent == child:
+            raise CycleError(f"self-loop on task {parent!r}")
+        if self._g.has_edge(parent, child):
+            raise GraphError(f"duplicate edge {parent!r} -> {child!r}")
+        data = float(data)
+        if math.isnan(data) or math.isinf(data) or data < 0:
+            raise CostError(f"edge {parent!r}->{child!r}: data must be finite and >= 0")
+        # Cheap incremental cycle check: a new edge u->v creates a cycle
+        # iff v already reaches u.
+        if nx.has_path(self._g, child, parent):
+            raise CycleError(f"edge {parent!r} -> {child!r} would create a cycle")
+        self._g.add_edge(parent, child, data=data)
+        self._topo_cache = None
+
+    def remove_task(self, task_id: TaskId) -> None:
+        """Remove a task and all incident edges."""
+        if task_id not in self._g:
+            raise UnknownTaskError(task_id)
+        self._g.remove_node(task_id)
+        self._topo_cache = None
+
+    def set_cost(self, task_id: TaskId, cost: float) -> None:
+        """Replace the nominal cost of an existing task."""
+        self._g.nodes[self._require(task_id)]["task"] = self.task(task_id).with_cost(cost)
+
+    def set_data(self, parent: TaskId, child: TaskId, data: float) -> None:
+        """Replace the data volume of an existing edge."""
+        if not self._g.has_edge(parent, child):
+            raise GraphError(f"no edge {parent!r} -> {child!r}")
+        data = float(data)
+        if math.isnan(data) or math.isinf(data) or data < 0:
+            raise CostError(f"edge {parent!r}->{child!r}: data must be finite and >= 0")
+        self._g.edges[parent, child]["data"] = data
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge | tuple[TaskId, TaskId, float]],
+        costs: Mapping[TaskId, float] | None = None,
+        name: str = "dag",
+    ) -> "TaskDAG":
+        """Build a DAG from an edge list, creating tasks on first mention.
+
+        ``edges`` items are ``(parent, child)`` or ``(parent, child, data)``.
+        ``costs`` overrides the default task cost of 1.0.
+        """
+        dag = cls(name)
+        costs = dict(costs or {})
+        edge_list: list[tuple[TaskId, TaskId, float]] = []
+        for item in edges:
+            if len(item) == 2:
+                u, v = item  # type: ignore[misc]
+                d = 0.0
+            else:
+                u, v, d = item  # type: ignore[misc]
+            for tid in (u, v):
+                if not dag.has_task(tid):
+                    dag.add_task(Task(id=tid, cost=costs.get(tid, 1.0)))
+            edge_list.append((u, v, float(d)))
+        for tid, cost in costs.items():
+            if not dag.has_task(tid):
+                dag.add_task(Task(id=tid, cost=cost))
+        for u, v, d in edge_list:
+            dag.add_edge(u, v, data=d)
+        return dag
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def __len__(self) -> int:
+        return self.num_tasks
+
+    def __contains__(self, task_id: TaskId) -> bool:
+        return task_id in self._g
+
+    def has_task(self, task_id: TaskId) -> bool:
+        return task_id in self._g
+
+    def has_edge(self, parent: TaskId, child: TaskId) -> bool:
+        return self._g.has_edge(parent, child)
+
+    def _require(self, task_id: TaskId) -> TaskId:
+        if task_id not in self._g:
+            raise UnknownTaskError(task_id)
+        return task_id
+
+    def task(self, task_id: TaskId) -> Task:
+        """Return the :class:`Task` stored under ``task_id``."""
+        return self._g.nodes[self._require(task_id)]["task"]
+
+    def cost(self, task_id: TaskId) -> float:
+        """Nominal computation cost of a task."""
+        return self.task(task_id).cost
+
+    def data(self, parent: TaskId, child: TaskId) -> float:
+        """Data volume carried by the edge ``parent -> child``."""
+        try:
+            return self._g.edges[parent, child]["data"]
+        except KeyError:
+            raise GraphError(f"no edge {parent!r} -> {child!r}") from None
+
+    def tasks(self) -> Iterator[TaskId]:
+        """Iterate task ids in insertion order."""
+        return iter(self._g.nodes)
+
+    def task_objects(self) -> Iterator[Task]:
+        """Iterate stored :class:`Task` records in insertion order."""
+        return (self._g.nodes[n]["task"] for n in self._g.nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate edges as ``(parent, child)`` pairs."""
+        return iter(self._g.edges)
+
+    def predecessors(self, task_id: TaskId) -> list[TaskId]:
+        return list(self._g.predecessors(self._require(task_id)))
+
+    def successors(self, task_id: TaskId) -> list[TaskId]:
+        return list(self._g.successors(self._require(task_id)))
+
+    def in_degree(self, task_id: TaskId) -> int:
+        return self._g.in_degree(self._require(task_id))
+
+    def out_degree(self, task_id: TaskId) -> int:
+        return self._g.out_degree(self._require(task_id))
+
+    def entry_tasks(self) -> list[TaskId]:
+        """Tasks with no predecessors."""
+        return [n for n in self._g.nodes if self._g.in_degree(n) == 0]
+
+    def exit_tasks(self) -> list[TaskId]:
+        """Tasks with no successors."""
+        return [n for n in self._g.nodes if self._g.out_degree(n) == 0]
+
+    def topological_order(self) -> list[TaskId]:
+        """A deterministic topological order (cached until mutation).
+
+        Uses :func:`networkx.lexicographical_topological_sort` keyed by the
+        string form of the id so the order is stable across runs and
+        insertion orders.
+        """
+        if self._topo_cache is None:
+            try:
+                self._topo_cache = list(
+                    nx.lexicographical_topological_sort(self._g, key=lambda n: (str(type(n)), str(n)))
+                )
+            except nx.NetworkXUnfeasible as exc:  # pragma: no cover - guarded by add_edge
+                raise CycleError("graph contains a cycle") from exc
+        return list(self._topo_cache)
+
+    def total_cost(self) -> float:
+        """Sum of all nominal task costs (sequential execution time)."""
+        return sum(t.cost for t in self.task_objects())
+
+    def total_data(self) -> float:
+        """Sum of all edge data volumes."""
+        return sum(self._g.edges[e]["data"] for e in self._g.edges)
+
+    def ccr(self) -> float:
+        """Communication-to-computation ratio of the nominal annotations.
+
+        Defined as total edge data divided by total task cost; 0.0 for a
+        graph with no computation (degenerate but legal).
+        """
+        total = self.total_cost()
+        return self.total_data() / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "TaskDAG":
+        """Deep-enough copy: tasks are immutable so node records are shared."""
+        clone = TaskDAG(name or self.name)
+        clone._g = self._g.copy()
+        clone._topo_cache = None
+        return clone
+
+    def relabel(self, mapping: Mapping[TaskId, TaskId]) -> "TaskDAG":
+        """Return a copy with task ids replaced according to ``mapping``.
+
+        Ids missing from ``mapping`` are kept.  The mapping must be
+        injective on the affected ids.
+        """
+        new = TaskDAG(self.name)
+        seen: set[TaskId] = set()
+        for old_id in self._g.nodes:
+            new_id = mapping.get(old_id, old_id)
+            if new_id in seen:
+                raise GraphError(f"relabel mapping collides on {new_id!r}")
+            seen.add(new_id)
+            old_task = self._g.nodes[old_id]["task"]
+            new.add_task(Task(id=new_id, cost=old_task.cost, name=old_task.name, attrs=dict(old_task.attrs)))
+        for u, v in self._g.edges:
+            new.add_edge(mapping.get(u, u), mapping.get(v, v), data=self._g.edges[u, v]["data"])
+        return new
+
+    def with_virtual_endpoints(
+        self, entry_id: TaskId = "__entry__", exit_id: TaskId = "__exit__"
+    ) -> "TaskDAG":
+        """Return a copy with single zero-cost entry and exit pseudo-tasks.
+
+        Several classic algorithms (CPOP's critical path, MCP's ALAP) are
+        simplest on single-entry/single-exit graphs.  Edges from/to the
+        virtual endpoints carry zero data so they never induce
+        communication.  If the graph already has a unique entry (resp.
+        exit), no pseudo-task is added on that side.
+        """
+        clone = self.copy()
+        entries = clone.entry_tasks()
+        exits = clone.exit_tasks()
+        if len(entries) > 1:
+            clone.add_task(Task(id=entry_id, cost=0.0, name="virtual-entry"))
+            for e in entries:
+                clone.add_edge(entry_id, e, data=0.0)
+        if len(exits) > 1:
+            clone.add_task(Task(id=exit_id, cost=0.0, name="virtual-exit"))
+            for x in exits:
+                clone.add_edge(x, exit_id, data=0.0)
+        return clone
+
+    def validate(self) -> None:
+        """Re-check all structural invariants; raises on violation.
+
+        Construction already enforces these incrementally — this is a
+        belt-and-braces hook for graphs deserialised from files.
+        """
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise CycleError("graph contains a cycle")
+        for n in self._g.nodes:
+            task = self._g.nodes[n].get("task")
+            if task is None or task.id != n:
+                raise GraphError(f"node {n!r} lacks a consistent Task record")
+        for u, v in self._g.edges:
+            data = self._g.edges[u, v].get("data")
+            if data is None or math.isnan(data) or data < 0:
+                raise CostError(f"edge {u!r}->{v!r} has invalid data {data!r}")
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying :class:`networkx.DiGraph`."""
+        return self._g.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskDAG({self.name!r}, tasks={self.num_tasks}, edges={self.num_edges})"

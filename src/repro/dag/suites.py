@@ -1,0 +1,91 @@
+"""Named benchmark suites: curated DAG collections for evaluation.
+
+The scheduling literature evaluates on (a) parametric random graphs and
+(b) a fixed set of application kernels.  This module bundles both as
+reusable, seeded suites so downstream users can benchmark their own
+schedulers against exactly the workloads this repository uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.dag.generators import (
+    cholesky_dag,
+    fft_dag,
+    fork_join_dag,
+    gaussian_elimination_dag,
+    in_tree_dag,
+    laplace_dag,
+    mapreduce_dag,
+    montage_dag,
+    out_tree_dag,
+    pipeline_dag,
+    random_dag,
+    series_parallel_dag,
+)
+from repro.dag.graph import TaskDAG
+from repro.utils.rng import SeedLike, spawn_children
+
+
+def application_suite(scale: int = 1) -> dict[str, TaskDAG]:
+    """The fixed application kernels at a given scale (1 = small).
+
+    Returns a name -> DAG mapping; names are stable across versions so
+    results remain comparable.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    s = scale
+    return {
+        "gauss": gaussian_elimination_dag(5 + 3 * s),
+        "fft": fft_dag(2 ** (2 + s)),
+        "laplace": laplace_dag(3 + 2 * s),
+        "cholesky": cholesky_dag(2 + 2 * s),
+        "forkjoin": fork_join_dag(2 + 2 * s, stages=s + 1, chain_length=2),
+        "intree": in_tree_dag(2, 2 + s),
+        "outtree": out_tree_dag(2, 2 + s),
+        "montage": montage_dag(4 + 4 * s, seed=11),
+        "mapreduce": mapreduce_dag(3 * s + 2, 2 * s, seed=13),
+        "pipeline": pipeline_dag(2 + s, 3 + 2 * s, coupled=True),
+    }
+
+
+def random_suite(
+    count: int = 20,
+    num_tasks: int = 80,
+    ccr: float = 1.0,
+    seed: SeedLike = 0,
+) -> list[TaskDAG]:
+    """``count`` seeded random DAGs under the standard protocol."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    out = []
+    for i, rng in enumerate(spawn_children(seed, count)):
+        out.append(
+            random_dag(
+                num_tasks,
+                ccr=ccr,
+                seed=int(rng.integers(0, 2**62)),
+                name=f"random-suite-{i}",
+            )
+        )
+    return out
+
+
+def mixed_suite(seed: SeedLike = 0) -> dict[str, TaskDAG]:
+    """A cross-section of every generator family (smoke/regression set)."""
+    streams = spawn_children(seed, 3)
+    suite: dict[str, TaskDAG] = dict(application_suite(scale=1))
+    suite["random-small"] = random_dag(40, seed=int(streams[0].integers(0, 2**62)))
+    suite["random-fat"] = random_dag(60, shape=2.0, seed=int(streams[1].integers(0, 2**62)))
+    suite["series-parallel"] = series_parallel_dag(50, seed=int(streams[2].integers(0, 2**62)))
+    return suite
+
+
+#: Registry of suite factories by name (CLI-facing).
+SUITES: Mapping[str, Callable[[], Mapping[str, TaskDAG] | list[TaskDAG]]] = {
+    "application": application_suite,
+    "random": random_suite,
+    "mixed": mixed_suite,
+}

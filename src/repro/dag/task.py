@@ -1,0 +1,52 @@
+"""The :class:`Task` node record of a task graph."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import CostError
+from repro.types import TaskId
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task (node) of a task DAG.
+
+    Parameters
+    ----------
+    id:
+        Hashable identifier, unique within a graph.
+    cost:
+        Nominal computation cost (work) of the task in abstract time
+        units.  On a homogeneous machine this *is* the execution time; on
+        a heterogeneous machine it seeds the ETC matrix (see
+        :mod:`repro.machine.etc`).  Must be finite and non-negative; entry
+        and exit pseudo-tasks may legitimately have cost 0.
+    name:
+        Optional human-readable label (defaults to ``str(id)``).
+    attrs:
+        Free-form metadata (e.g. the matrix indices a Gaussian-elimination
+        task operates on).  Not interpreted by the schedulers.
+    """
+
+    id: TaskId
+    cost: float = 1.0
+    name: str = ""
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cost = float(self.cost)
+        if math.isnan(cost) or math.isinf(cost) or cost < 0:
+            raise CostError(f"task {self.id!r}: cost must be finite and >= 0, got {self.cost!r}")
+        object.__setattr__(self, "cost", cost)
+        if not self.name:
+            object.__setattr__(self, "name", str(self.id))
+
+    def with_cost(self, cost: float) -> "Task":
+        """Return a copy of this task with a different nominal cost."""
+        return Task(id=self.id, cost=cost, name=self.name, attrs=dict(self.attrs))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.name}, cost={self.cost:g})"

@@ -1,0 +1,134 @@
+"""Task-graph transformations: coarsening, pruning, extraction.
+
+Utilities for preparing graphs before scheduling:
+
+* :func:`merge_tasks` — contract a task group into one coarser task
+  (granularity control: merging fine-grained tasks amortises scheduling
+  and communication overhead),
+* :func:`zero_small_edges` — drop communication below a threshold (noise
+  filtering for profiled graphs),
+* :func:`extract_subgraph` — the induced sub-DAG of a task subset,
+* :func:`summarize` — a one-paragraph statistics report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dag.analysis import critical_path_length, parallelism_profile
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import CycleError, GraphError, UnknownTaskError
+from repro.types import TaskId
+
+
+def merge_tasks(dag: TaskDAG, group: Iterable[TaskId], new_id: TaskId) -> TaskDAG:
+    """Contract ``group`` into a single task ``new_id``.
+
+    The merged task's cost is the group's total cost; edges between
+    group members disappear (their data moves through local memory);
+    parallel edges to/from the outside aggregate their data volumes.
+    Raises :class:`CycleError` if the contraction would create a cycle
+    (i.e. a path leaves the group and re-enters it) and
+    :class:`GraphError` if ``new_id`` collides with a surviving task.
+    """
+    members = set(group)
+    if not members:
+        raise GraphError("merge group must be non-empty")
+    for t in members:
+        if not dag.has_task(t):
+            raise UnknownTaskError(t)
+    if dag.has_task(new_id) and new_id not in members:
+        raise GraphError(f"new id {new_id!r} collides with an existing task")
+
+    # Contraction is legal iff no path leaves the group and returns.
+    # Check: for every outside task reachable from the group, it must not
+    # reach the group again.
+    order = dag.topological_order()
+    reaches_from_group: set[TaskId] = set()
+    for t in order:
+        if t in members or any(p in members or p in reaches_from_group for p in dag.predecessors(t)):
+            if t not in members:
+                reaches_from_group.add(t)
+    for outside in reaches_from_group:
+        for child in dag.successors(outside):
+            if child in members:
+                raise CycleError(
+                    f"merging would create a cycle: path re-enters the group via {outside!r} -> {child!r}"
+                )
+
+    merged = TaskDAG(dag.name)
+    total_cost = sum(dag.cost(t) for t in members)
+    for t in order:
+        if t in members:
+            continue
+        old = dag.task(t)
+        merged.add_task(Task(id=t, cost=old.cost, name=old.name, attrs=dict(old.attrs)))
+    merged.add_task(Task(id=new_id, cost=total_cost, name=str(new_id)))
+
+    in_data: dict[TaskId, float] = {}
+    out_data: dict[TaskId, float] = {}
+    for u, v in dag.edges():
+        d = dag.data(u, v)
+        if u in members and v in members:
+            continue
+        if u in members:
+            out_data[v] = out_data.get(v, 0.0) + d
+        elif v in members:
+            in_data[u] = in_data.get(u, 0.0) + d
+        else:
+            merged.add_edge(u, v, data=d)
+    for u, d in in_data.items():
+        merged.add_edge(u, new_id, data=d)
+    for v, d in out_data.items():
+        merged.add_edge(new_id, v, data=d)
+    return merged
+
+
+def zero_small_edges(dag: TaskDAG, threshold: float) -> TaskDAG:
+    """Copy of ``dag`` with every edge carrying < ``threshold`` data set
+    to zero volume (the dependency itself is preserved)."""
+    if threshold < 0:
+        raise GraphError(f"threshold must be >= 0, got {threshold}")
+    clone = dag.copy()
+    for u, v in clone.edges():
+        if clone.data(u, v) < threshold:
+            clone.set_data(u, v, 0.0)
+    return clone
+
+
+def extract_subgraph(dag: TaskDAG, tasks: Iterable[TaskId], name: str | None = None) -> TaskDAG:
+    """The sub-DAG induced by ``tasks`` (edges with both ends inside)."""
+    keep = set(tasks)
+    for t in keep:
+        if not dag.has_task(t):
+            raise UnknownTaskError(t)
+    sub = TaskDAG(name or f"{dag.name}-sub")
+    for t in dag.topological_order():
+        if t in keep:
+            old = dag.task(t)
+            sub.add_task(Task(id=t, cost=old.cost, name=old.name, attrs=dict(old.attrs)))
+    for u, v in dag.edges():
+        if u in keep and v in keep:
+            sub.add_edge(u, v, data=dag.data(u, v))
+    return sub
+
+
+def summarize(dag: TaskDAG) -> str:
+    """One-paragraph statistics report of a task graph."""
+    profile = parallelism_profile(dag)
+    cp = critical_path_length(dag)
+    cp_nocomm = critical_path_length(dag, include_comm=False)
+    lines = [
+        f"graph {dag.name!r}: {dag.num_tasks} tasks, {dag.num_edges} edges",
+        f"  total work {dag.total_cost():g}, total data {dag.total_data():g} "
+        f"(CCR {dag.ccr():.3f})",
+        f"  depth {len(profile)}, max width {max(profile) if profile else 0}, "
+        f"avg width {dag.num_tasks / len(profile):.2f}" if profile else "  empty",
+        f"  critical path {cp:g} with comm, {cp_nocomm:g} without "
+        f"(ideal parallelism {dag.total_cost() / cp_nocomm:.2f})"
+        if cp_nocomm > 0
+        else "  zero-length critical path",
+        f"  entries {len(dag.entry_tasks())}, exits {len(dag.exit_tasks())}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Energy accounting and DVFS slack reclamation.
+
+A classic extension of static scheduling: once a makespan-optimised
+schedule exists, tasks with slack can run at a lower processor frequency
+without moving the makespan, trading the cubic dynamic-power curve for
+"free" energy savings.  This package provides
+
+* :class:`PowerModel` — per-processor static/dynamic power parameters,
+* :func:`schedule_energy` — energy of a schedule under a frequency map,
+* :func:`reclaim_slack` — the frequency-assignment post-pass.
+"""
+
+from repro.energy.power import PowerModel, schedule_energy
+from repro.energy.dvfs import DvfsResult, reclaim_slack
+
+__all__ = ["PowerModel", "schedule_energy", "DvfsResult", "reclaim_slack"]

@@ -1,0 +1,94 @@
+"""DVFS slack reclamation: stretch slack-owning tasks at lower frequency.
+
+The post-pass keeps every *start time* of the schedule fixed and only
+stretches task executions into their own slack windows (as computed by
+:func:`repro.schedule.analysis.task_slacks` — which accounts for both
+consumer data deadlines and the next task on the same processor).
+Because no start moves, each task's stretch is independent of every
+other's and the makespan is provably unchanged.
+
+Tasks owning duplicates are left at nominal frequency (their copies
+exist to deliver data early; slowing them defeats the purpose), as are
+duplicates themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.energy.power import PowerModel, schedule_energy
+from repro.exceptions import ConfigurationError
+from repro.instance import Instance
+from repro.schedule.analysis import task_slacks
+from repro.schedule.schedule import Schedule
+from repro.types import TaskId
+
+#: Safety margin: only consume this fraction of a task's slack, so that
+#: floating-point drift can never turn a zero-slack consumer infeasible.
+_SLACK_USE = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class DvfsResult:
+    """Outcome of one slack-reclamation pass."""
+
+    frequencies: dict[TaskId, float]
+    energy_nominal: float
+    energy_scaled: float
+    slowed_tasks: int
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative energy saved (0 when nothing could be slowed)."""
+        if self.energy_nominal <= 0:
+            return 0.0
+        return 1.0 - self.energy_scaled / self.energy_nominal
+
+
+def reclaim_slack(
+    schedule: Schedule,
+    instance: Instance,
+    model: PowerModel,
+    levels: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 1.0),
+) -> DvfsResult:
+    """Assign each primary task the lowest legal frequency level.
+
+    A level ``f`` is legal for a task of nominal duration ``d`` when the
+    execution stretch ``d/f - d`` fits inside the task's slack.  Returns
+    the frequency map plus before/after energy under ``model``.
+    """
+    levels = sorted(set(float(f) for f in levels))
+    if not levels or levels[0] <= 0 or levels[-1] > 1.0:
+        raise ConfigurationError("levels must be within (0, 1]")
+    if levels[-1] != 1.0:
+        raise ConfigurationError("levels must include the nominal frequency 1.0")
+
+    slack = task_slacks(schedule, instance)
+    frequencies: dict[TaskId, float] = {}
+    slowed = 0
+    for task in instance.dag.tasks():
+        placed = schedule.entry(task)
+        copies = schedule.copies(task)
+        if any(c.duplicate for c in copies):
+            frequencies[task] = 1.0
+            continue
+        budget = slack[task] * _SLACK_USE
+        chosen = 1.0
+        for f in levels:
+            stretch = placed.duration / f - placed.duration
+            if stretch <= budget:
+                chosen = f
+                break
+        frequencies[task] = chosen
+        if chosen < 1.0:
+            slowed += 1
+
+    nominal = schedule_energy(schedule, model)
+    scaled = schedule_energy(schedule, model, frequencies)
+    return DvfsResult(
+        frequencies=frequencies,
+        energy_nominal=nominal,
+        energy_scaled=scaled,
+        slowed_tasks=slowed,
+    )

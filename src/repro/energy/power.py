@@ -1,0 +1,87 @@
+"""Processor power model and schedule energy accounting.
+
+The standard CMOS abstraction: at relative frequency ``f`` (1.0 =
+nominal) a processor draws ``static + dynamic * f^3`` power while busy
+and ``static`` power while idle; a task's execution time scales as
+``1/f``.  Energy of a busy interval of nominal duration ``d`` run at
+``f`` is therefore
+
+    ``static * d/f  +  dynamic * f^3 * d/f  =  (static/f + dynamic*f^2) * d``
+
+— the dynamic part falls quadratically with ``f``, which is the entire
+point of slack reclamation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.schedule.schedule import Schedule
+from repro.types import TaskId
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Uniform per-processor power parameters (relative units).
+
+    Attributes
+    ----------
+    static:
+        Power drawn whenever the processor is on (idle included),
+        per time unit.
+    dynamic:
+        Dynamic power coefficient at nominal frequency (f = 1).
+    """
+
+    static: float = 0.2
+    dynamic: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.static < 0 or self.dynamic < 0:
+            raise ConfigurationError("power parameters must be >= 0")
+
+    def busy_power(self, f: float) -> float:
+        """Power while executing at relative frequency ``f``."""
+        if not (0.0 < f <= 1.0):
+            raise ConfigurationError(f"frequency must be in (0, 1], got {f}")
+        return self.static + self.dynamic * f**3
+
+    def busy_energy(self, nominal_duration: float, f: float) -> float:
+        """Energy to run a task of nominal duration at frequency ``f``."""
+        if nominal_duration < 0:
+            raise ConfigurationError("duration must be >= 0")
+        if not (0.0 < f <= 1.0):
+            raise ConfigurationError(f"frequency must be in (0, 1], got {f}")
+        actual = nominal_duration / f
+        return self.busy_power(f) * actual
+
+
+def schedule_energy(
+    schedule: Schedule,
+    model: PowerModel,
+    frequencies: Mapping[TaskId, float] | None = None,
+) -> float:
+    """Total energy of a schedule under the power model.
+
+    ``frequencies`` maps task id -> relative frequency for *primary*
+    copies (default 1.0 everywhere; duplicates always run at nominal —
+    they exist to be fast).  Idle intervals up to the makespan charge
+    static power on every processor.
+    """
+    frequencies = frequencies or {}
+    span = schedule.makespan
+    energy = 0.0
+    busy_actual: dict = {p: 0.0 for p in schedule.machine.proc_ids()}
+    for placed in schedule.all_placements():
+        f = 1.0 if placed.duplicate else float(frequencies.get(placed.task, 1.0))
+        if not (0.0 < f <= 1.0):
+            raise ConfigurationError(f"frequency for {placed.task!r} must be in (0, 1]")
+        # `placed.duration` is the nominal (f = 1) duration.
+        actual = placed.duration / f
+        energy += model.dynamic * f**3 * actual
+        busy_actual[placed.proc] += actual
+    # Static power: every processor is on for the whole makespan.
+    energy += model.static * span * schedule.machine.num_procs
+    return energy

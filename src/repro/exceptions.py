@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A task graph is structurally invalid (cycle, missing node, ...)."""
+
+
+class CycleError(GraphError):
+    """The task graph contains a directed cycle."""
+
+
+class UnknownTaskError(GraphError, KeyError):
+    """A task id was referenced that is not present in the graph."""
+
+    def __init__(self, task_id: object) -> None:
+        super().__init__(f"unknown task: {task_id!r}")
+        self.task_id = task_id
+
+
+class DuplicateTaskError(GraphError):
+    """A task id was added twice to the same graph."""
+
+    def __init__(self, task_id: object) -> None:
+        super().__init__(f"duplicate task: {task_id!r}")
+        self.task_id = task_id
+
+
+class MachineError(ReproError):
+    """A machine/platform description is invalid."""
+
+
+class UnknownProcessorError(MachineError, KeyError):
+    """A processor id was referenced that is not part of the machine."""
+
+    def __init__(self, proc_id: object) -> None:
+        super().__init__(f"unknown processor: {proc_id!r}")
+        self.proc_id = proc_id
+
+
+class CostError(ReproError):
+    """A cost annotation is missing or invalid (negative, NaN, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or infeasible."""
+
+
+class ValidationError(ScheduleError):
+    """A schedule failed feasibility validation.
+
+    Carries the list of human-readable violation strings so test suites
+    and callers can assert on specific failures.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        preview = "; ".join(violations[:5])
+        more = "" if len(violations) <= 5 else f" (+{len(violations) - 5} more)"
+        super().__init__(f"invalid schedule: {preview}{more}")
+        self.violations = list(violations)
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a schedule for the given instance."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration passed to a scheduler, generator or bench."""
+
+
+class ParseError(ReproError):
+    """A task-graph file (STG/JSON/DOT) could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed to run."""

@@ -1,0 +1,160 @@
+"""Lossless serialisation of whole scheduling instances.
+
+An :class:`~repro.instance.Instance` bundles a DAG, a machine and an
+ETC matrix; being able to write the bundle to one JSON file makes
+experiments *shareable* — a bug report or a paper artifact can pin the
+exact instance, not just the seeds that produced it.
+
+Supported communication models: Zero, Uniform and Link (the three this
+library ships).  A custom model serialises only if it is one of these.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.dag import io as dag_io
+from repro.exceptions import ParseError
+from repro.instance import Instance
+from repro.machine.cluster import Machine
+from repro.machine.comm import (
+    CommunicationModel,
+    LinkCommunication,
+    UniformCommunication,
+    ZeroCommunication,
+)
+from repro.machine.etc import ETCMatrix
+from repro.machine.processor import Processor
+from repro.utils.encoding import decode_id, encode_id
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# machine
+# ----------------------------------------------------------------------
+def _comm_to_dict(comm: CommunicationModel, proc_ids) -> dict:
+    if isinstance(comm, ZeroCommunication):
+        return {"type": "zero"}
+    if isinstance(comm, UniformCommunication):
+        return {"type": "uniform", "latency": comm.latency, "bandwidth": comm.bandwidth}
+    if isinstance(comm, LinkCommunication):
+        links = []
+        for src in proc_ids:
+            for dst in proc_ids:
+                if src == dst:
+                    continue
+                # Re-derive per-pair parameters through the public API.
+                latency = comm.time(0.0, src, dst)
+                unit = comm.time(1.0, src, dst) - latency
+                links.append(
+                    {
+                        "src": encode_id(src),
+                        "dst": encode_id(dst),
+                        "latency": latency,
+                        "bandwidth": 1.0 / unit if unit > 0 else 1e30,
+                    }
+                )
+        return {"type": "links", "links": links}
+    raise ParseError(f"cannot serialise communication model {type(comm).__name__}")
+
+
+def _comm_from_dict(doc: dict, proc_ids) -> CommunicationModel:
+    kind = doc.get("type")
+    if kind == "zero":
+        return ZeroCommunication()
+    if kind == "uniform":
+        return UniformCommunication(doc["latency"], doc["bandwidth"])
+    if kind == "links":
+        lat: dict = {p: {} for p in proc_ids}
+        bw: dict = {p: {} for p in proc_ids}
+        for rec in doc["links"]:
+            src = decode_id(rec["src"])
+            dst = decode_id(rec["dst"])
+            lat[src][dst] = rec["latency"]
+            bw[src][dst] = rec["bandwidth"]
+        return LinkCommunication(proc_ids, lat, bw)
+    raise ParseError(f"unknown communication model type {kind!r}")
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """Serialise a machine (processors + communication model)."""
+    ids = machine.proc_ids()
+    return {
+        "name": machine.name,
+        "processors": [
+            {
+                "id": encode_id(p),
+                "speed": machine.speed(p),
+                "name": machine.processor(p).name,
+            }
+            for p in ids
+        ],
+        "comm": _comm_to_dict(machine.comm, ids),
+    }
+
+
+def machine_from_dict(doc: dict) -> Machine:
+    """Rebuild a machine from :func:`machine_to_dict` output."""
+    try:
+        procs = [
+            Processor(id=decode_id(rec["id"]), speed=rec.get("speed", 1.0),
+                      name=rec.get("name", ""))
+            for rec in doc["processors"]
+        ]
+        comm = _comm_from_dict(doc["comm"], [p.id for p in procs])
+    except KeyError as exc:
+        raise ParseError(f"machine document missing key: {exc}") from None
+    return Machine(procs, comm, name=doc.get("name", "machine"))
+
+
+# ----------------------------------------------------------------------
+# instance
+# ----------------------------------------------------------------------
+def instance_to_json(instance: Instance) -> str:
+    """Serialise a complete instance to JSON text."""
+    doc = {
+        "format": "repro-instance-v1",
+        "name": instance.name,
+        "dag": json.loads(dag_io.to_json(instance.dag)),
+        "machine": machine_to_dict(instance.machine),
+        "etc": {
+            "tasks": [encode_id(t) for t in instance.etc.task_ids],
+            "procs": [encode_id(p) for p in instance.etc.proc_ids],
+            "values": instance.etc.as_array().tolist(),
+        },
+    }
+    return json.dumps(doc, indent=1)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Rebuild an instance from :func:`instance_to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from None
+    if doc.get("format") != "repro-instance-v1":
+        raise ParseError(f"unsupported instance format {doc.get('format')!r}")
+    dag = dag_io.from_json(json.dumps(doc["dag"]))
+    machine = machine_from_dict(doc["machine"])
+    etc_doc = doc["etc"]
+    etc = ETCMatrix(
+        [decode_id(t) for t in etc_doc["tasks"]],
+        [decode_id(p) for p in etc_doc["procs"]],
+        np.asarray(etc_doc["values"], dtype=float),
+    )
+    return Instance(dag=dag, machine=machine, etc=etc, name=doc.get("name", ""))
+
+
+def save_instance(instance: Instance, path: PathLike) -> None:
+    """Write the instance JSON to disk."""
+    Path(path).write_text(instance_to_json(instance))
+
+
+def load_instance(path: PathLike) -> Instance:
+    """Read an instance JSON from disk."""
+    return instance_from_json(Path(path).read_text())

@@ -1,0 +1,35 @@
+"""Machine (target-system) model: processors, communication, ETC matrices."""
+
+from repro.machine.processor import Processor
+from repro.machine.comm import (
+    CommunicationModel,
+    LinkCommunication,
+    UniformCommunication,
+    ZeroCommunication,
+)
+from repro.machine.cluster import Machine
+from repro.machine.etc import ETCMatrix, generate_etc, etc_from_speeds
+from repro.machine.topology import (
+    bus_machine,
+    fully_connected_machine,
+    mesh_machine,
+    ring_machine,
+    star_machine,
+)
+
+__all__ = [
+    "Processor",
+    "CommunicationModel",
+    "LinkCommunication",
+    "UniformCommunication",
+    "ZeroCommunication",
+    "Machine",
+    "ETCMatrix",
+    "generate_etc",
+    "etc_from_speeds",
+    "bus_machine",
+    "fully_connected_machine",
+    "mesh_machine",
+    "ring_machine",
+    "star_machine",
+]

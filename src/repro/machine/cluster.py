@@ -1,0 +1,113 @@
+"""The :class:`Machine`: a set of processors plus a communication model."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import MachineError, UnknownProcessorError
+from repro.machine.comm import CommunicationModel, UniformCommunication, ZeroCommunication
+from repro.machine.processor import Processor
+from repro.types import ProcId
+
+
+class Machine:
+    """A target computing system.
+
+    A machine is a finite set of :class:`Processor` records and a
+    :class:`~repro.machine.comm.CommunicationModel`.  Heterogeneity of
+    *computation* is expressed either through processor speeds (the
+    consistent model) or an explicit ETC matrix
+    (:class:`~repro.machine.etc.ETCMatrix`); heterogeneity of
+    *communication* through the link model.
+    """
+
+    def __init__(
+        self,
+        processors: Sequence[Processor],
+        comm: CommunicationModel | None = None,
+        name: str = "machine",
+    ) -> None:
+        if not processors:
+            raise MachineError("a machine needs at least one processor")
+        ids = [p.id for p in processors]
+        if len(set(ids)) != len(ids):
+            raise MachineError("duplicate processor ids")
+        self.name = name
+        self._procs: dict[ProcId, Processor] = {p.id: p for p in processors}
+        self._order: list[ProcId] = ids
+        self.comm: CommunicationModel = comm if comm is not None else ZeroCommunication()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_procs: int,
+        speed: float = 1.0,
+        latency: float = 0.0,
+        bandwidth: float = 1.0,
+        name: str = "homogeneous",
+    ) -> "Machine":
+        """Fully connected machine with identical processors and links."""
+        if num_procs < 1:
+            raise MachineError(f"num_procs must be >= 1, got {num_procs}")
+        procs = [Processor(id=i, speed=speed) for i in range(num_procs)]
+        return cls(procs, UniformCommunication(latency, bandwidth), name=name)
+
+    @classmethod
+    def from_speeds(
+        cls,
+        speeds: Iterable[float],
+        latency: float = 0.0,
+        bandwidth: float = 1.0,
+        name: str = "machine",
+    ) -> "Machine":
+        """Fully connected machine with the given per-processor speeds."""
+        procs = [Processor(id=i, speed=s) for i, s in enumerate(speeds)]
+        if not procs:
+            raise MachineError("speeds must be non-empty")
+        return cls(procs, UniformCommunication(latency, bandwidth), name=name)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_procs(self) -> int:
+        return len(self._order)
+
+    def proc_ids(self) -> list[ProcId]:
+        """Processor ids in their declared (deterministic) order."""
+        return list(self._order)
+
+    def processor(self, proc_id: ProcId) -> Processor:
+        try:
+            return self._procs[proc_id]
+        except KeyError:
+            raise UnknownProcessorError(proc_id) from None
+
+    def __contains__(self, proc_id: ProcId) -> bool:
+        return proc_id in self._procs
+
+    def speed(self, proc_id: ProcId) -> float:
+        return self.processor(proc_id).speed
+
+    def comm_time(self, data: float, src: ProcId, dst: ProcId) -> float:
+        """Transfer time of ``data`` units between two processors."""
+        if src not in self._procs:
+            raise UnknownProcessorError(src)
+        if dst not in self._procs:
+            raise UnknownProcessorError(dst)
+        return self.comm.time(data, src, dst)
+
+    def avg_comm_time(self, data: float) -> float:
+        """Average transfer time across distinct processor pairs."""
+        return self.comm.average_time(data)
+
+    def is_homogeneous_speeds(self) -> bool:
+        """True when all processors share one speed (computation side)."""
+        speeds = {p.speed for p in self._procs.values()}
+        return len(speeds) == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine({self.name!r}, procs={self.num_procs}, comm={self.comm!r})"

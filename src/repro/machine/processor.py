@@ -1,0 +1,46 @@
+"""The :class:`Processor` record of a machine model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import MachineError
+from repro.types import ProcId
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One processing element of the target system.
+
+    Parameters
+    ----------
+    id:
+        Hashable identifier, unique within a machine.  Built-in machine
+        builders use consecutive integers starting at 0.
+    speed:
+        Relative speed factor (> 0).  A task with nominal cost ``c`` takes
+        ``c / speed`` time units on this processor when the ETC matrix is
+        derived from speeds (the *consistent* heterogeneity model).
+        Explicitly generated ETC matrices override this.
+    name:
+        Optional human-readable label.
+    """
+
+    id: ProcId
+    speed: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        speed = float(self.speed)
+        if math.isnan(speed) or math.isinf(speed) or speed <= 0:
+            raise MachineError(
+                f"processor {self.id!r}: speed must be finite and > 0, got {self.speed!r}"
+            )
+        object.__setattr__(self, "speed", speed)
+        if not self.name:
+            object.__setattr__(self, "name", f"P{self.id}")
+
+    def exec_time(self, cost: float) -> float:
+        """Execution time of a task with nominal ``cost`` on this processor."""
+        return cost / self.speed

@@ -1,0 +1,157 @@
+"""Named machine profiles: realistic target-system presets.
+
+The parametric builders in :mod:`repro.machine.topology` are fully
+general; these profiles capture the three system archetypes the
+heterogeneous-scheduling literature targets, ready to drop into
+examples and user code:
+
+* :func:`workstation_cluster` — a LAN of mixed-generation workstations
+  (moderate consistent heterogeneity, visible network costs),
+* :func:`accelerated_node` — CPUs plus accelerators where only *some*
+  kernels enjoy the accelerator speedup (inconsistent ETC — the case
+  where HEFT-style per-task processor choice matters most),
+* :func:`compute_grid` — clustered machines with cheap intra-cluster
+  and expensive inter-cluster links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import TaskDAG
+from repro.exceptions import MachineError
+from repro.instance import Instance
+from repro.machine.cluster import Machine
+from repro.machine.comm import LinkCommunication, UniformCommunication
+from repro.machine.etc import ETCMatrix
+from repro.machine.processor import Processor
+from repro.utils.rng import SeedLike, as_generator
+
+
+def workstation_cluster(
+    num_nodes: int = 8,
+    generations: int = 3,
+    latency: float = 1.0,
+    bandwidth: float = 2.0,
+    seed: SeedLike = 0,
+) -> Machine:
+    """Mixed-generation workstation LAN.
+
+    Node speeds are drawn from ``generations`` discrete tiers
+    (1.0, 1.5, 2.25, ... — each generation 50% faster), mimicking a lab
+    that buys machines every couple of years.
+    """
+    if num_nodes < 1:
+        raise MachineError(f"num_nodes must be >= 1, got {num_nodes}")
+    if generations < 1:
+        raise MachineError(f"generations must be >= 1, got {generations}")
+    rng = as_generator(seed)
+    tiers = [1.5**g for g in range(generations)]
+    speeds = [float(tiers[int(rng.integers(0, len(tiers)))]) for _ in range(num_nodes)]
+    procs = [Processor(id=i, speed=s, name=f"ws{i}") for i, s in enumerate(speeds)]
+    return Machine(procs, UniformCommunication(latency, bandwidth), name="workstation-cluster")
+
+
+def accelerated_node(
+    dag: TaskDAG,
+    num_cpus: int = 4,
+    num_accels: int = 2,
+    accel_speedup: float = 8.0,
+    accel_fraction: float = 0.4,
+    pcie_latency: float = 2.0,
+    pcie_bandwidth: float = 4.0,
+    seed: SeedLike = 0,
+) -> Instance:
+    """A CPU + accelerator node as a ready-made :class:`Instance`.
+
+    A seeded ``accel_fraction`` of the tasks are "accelerable": they run
+    ``accel_speedup``x faster on accelerator processors; everything else
+    runs *slower* there (0.5x), producing the classic inconsistent ETC
+    where greedy per-task processor choice is non-trivial.  Transfers to
+    or from an accelerator pay the PCIe-style link; CPU-to-CPU transfers
+    are fast shared-memory copies.
+    """
+    if num_cpus < 1 or num_accels < 0:
+        raise MachineError("need >= 1 CPU and >= 0 accelerators")
+    if accel_speedup <= 0 or not (0.0 <= accel_fraction <= 1.0):
+        raise MachineError("bad accelerator parameters")
+    rng = as_generator(seed)
+
+    cpu_ids = list(range(num_cpus))
+    accel_ids = list(range(num_cpus, num_cpus + num_accels))
+    procs = [Processor(id=i, name=f"cpu{i}") for i in cpu_ids] + [
+        Processor(id=i, name=f"accel{i - num_cpus}") for i in accel_ids
+    ]
+    all_ids = cpu_ids + accel_ids
+
+    lat: dict[int, dict[int, float]] = {}
+    bw: dict[int, dict[int, float]] = {}
+    for src in all_ids:
+        lat[src] = {}
+        bw[src] = {}
+        for dst in all_ids:
+            if src == dst:
+                continue
+            if src in cpu_ids and dst in cpu_ids:
+                lat[src][dst] = 0.1
+                bw[src][dst] = 50.0  # shared memory
+            else:
+                lat[src][dst] = pcie_latency
+                bw[src][dst] = pcie_bandwidth
+    machine = Machine(procs, LinkCommunication(all_ids, lat, bw), name="accelerated-node")
+
+    tasks = list(dag.tasks())
+    accelerable = {t for t in tasks if rng.random() < accel_fraction}
+    values = np.zeros((len(tasks), len(all_ids)))
+    for i, t in enumerate(tasks):
+        base = dag.cost(t)
+        for j, p in enumerate(all_ids):
+            if p in cpu_ids:
+                values[i, j] = base
+            elif t in accelerable:
+                values[i, j] = base / accel_speedup
+            else:
+                values[i, j] = base * 2.0
+    etc = ETCMatrix(tasks, all_ids, values)
+    return Instance(dag=dag, machine=machine, etc=etc, name=f"{dag.name}@accel-node")
+
+
+def compute_grid(
+    clusters: int = 3,
+    nodes_per_cluster: int = 4,
+    intra_latency: float = 0.5,
+    intra_bandwidth: float = 10.0,
+    inter_latency: float = 20.0,
+    inter_bandwidth: float = 1.0,
+    seed: SeedLike = 0,
+) -> Machine:
+    """Clusters of homogeneous nodes joined by a slow WAN.
+
+    Intra-cluster links are fast; inter-cluster links pay the WAN.  Node
+    speeds differ per cluster (drawn once per cluster), modelling sites
+    with different hardware.
+    """
+    if clusters < 1 or nodes_per_cluster < 1:
+        raise MachineError("clusters and nodes_per_cluster must be >= 1")
+    rng = as_generator(seed)
+    cluster_speed = [float(rng.uniform(1.0, 2.0)) for _ in range(clusters)]
+    procs = []
+    cluster_of: dict[int, int] = {}
+    for c in range(clusters):
+        for k in range(nodes_per_cluster):
+            pid = c * nodes_per_cluster + k
+            procs.append(Processor(id=pid, speed=cluster_speed[c], name=f"c{c}n{k}"))
+            cluster_of[pid] = c
+    ids = [p.id for p in procs]
+    lat: dict[int, dict[int, float]] = {}
+    bw: dict[int, dict[int, float]] = {}
+    for src in ids:
+        lat[src] = {}
+        bw[src] = {}
+        for dst in ids:
+            if src == dst:
+                continue
+            same = cluster_of[src] == cluster_of[dst]
+            lat[src][dst] = intra_latency if same else inter_latency
+            bw[src][dst] = intra_bandwidth if same else inter_bandwidth
+    return Machine(procs, LinkCommunication(ids, lat, bw), name="compute-grid")

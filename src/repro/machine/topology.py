@@ -1,0 +1,142 @@
+"""Interconnect topology builders.
+
+Each builder returns a :class:`~repro.machine.cluster.Machine` whose
+communication model encodes the *effective* per-pair cost of the
+topology: a route of ``h`` hops with per-hop latency ``L`` and per-link
+bandwidth ``B`` costs ``h*L + data/B`` (store-and-forward latency, but a
+single bandwidth term — the standard contention-free approximation used
+by the static-scheduling literature).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import networkx as nx
+
+from repro.exceptions import MachineError
+from repro.machine.cluster import Machine
+from repro.machine.comm import LinkCommunication, UniformCommunication
+from repro.machine.processor import Processor
+
+
+def _speeds(num_procs: int, speeds: Sequence[float] | None) -> list[float]:
+    if speeds is None:
+        return [1.0] * num_procs
+    speeds = list(speeds)
+    if len(speeds) != num_procs:
+        raise MachineError(f"expected {num_procs} speeds, got {len(speeds)}")
+    return speeds
+
+
+def _machine_from_link_graph(
+    g: nx.Graph,
+    speeds: Sequence[float],
+    latency: float,
+    bandwidth: float,
+    name: str,
+) -> Machine:
+    """Build a machine from an undirected link graph via hop counts."""
+    procs = [Processor(id=i, speed=s) for i, s in enumerate(speeds)]
+    hops = dict(nx.all_pairs_shortest_path_length(g))
+    ids = [p.id for p in procs]
+    lat: dict[int, dict[int, float]] = {}
+    bw: dict[int, dict[int, float]] = {}
+    for src in ids:
+        lat[src] = {}
+        bw[src] = {}
+        for dst in ids:
+            if src == dst:
+                continue
+            try:
+                h = hops[src][dst]
+            except KeyError:
+                raise MachineError(f"topology is disconnected: no route {src} -> {dst}") from None
+            lat[src][dst] = latency * h
+            bw[src][dst] = bandwidth
+    return Machine(procs, LinkCommunication(ids, lat, bw), name=name)
+
+
+def fully_connected_machine(
+    num_procs: int,
+    speeds: Sequence[float] | None = None,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+) -> Machine:
+    """Complete graph: every pair linked directly (the HEFT-paper model)."""
+    return Machine(
+        [Processor(id=i, speed=s) for i, s in enumerate(_speeds(num_procs, speeds))],
+        UniformCommunication(latency, bandwidth),
+        name=f"complete-{num_procs}",
+    )
+
+
+def bus_machine(
+    num_procs: int,
+    speeds: Sequence[float] | None = None,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+) -> Machine:
+    """Single shared bus: every pair one hop apart at the bus bandwidth.
+
+    Contention on the bus is not modelled analytically (matching the
+    literature's contention-free assumption); the discrete-event simulator
+    can replay schedules with serialised transfers to quantify the error.
+    """
+    return Machine(
+        [Processor(id=i, speed=s) for i, s in enumerate(_speeds(num_procs, speeds))],
+        UniformCommunication(latency, bandwidth),
+        name=f"bus-{num_procs}",
+    )
+
+
+def star_machine(
+    num_procs: int,
+    speeds: Sequence[float] | None = None,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+) -> Machine:
+    """Star: processor 0 is the hub; leaf-to-leaf routes take two hops."""
+    if num_procs < 1:
+        raise MachineError("num_procs must be >= 1")
+    g = nx.star_graph(num_procs - 1)  # node 0 is the hub
+    return _machine_from_link_graph(
+        g, _speeds(num_procs, speeds), latency, bandwidth, name=f"star-{num_procs}"
+    )
+
+
+def ring_machine(
+    num_procs: int,
+    speeds: Sequence[float] | None = None,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+) -> Machine:
+    """Bidirectional ring; route length is the shorter arc."""
+    if num_procs < 1:
+        raise MachineError("num_procs must be >= 1")
+    if num_procs <= 2:
+        g = nx.path_graph(num_procs)
+    else:
+        g = nx.cycle_graph(num_procs)
+    return _machine_from_link_graph(
+        g, _speeds(num_procs, speeds), latency, bandwidth, name=f"ring-{num_procs}"
+    )
+
+
+def mesh_machine(
+    rows: int,
+    cols: int,
+    speeds: Sequence[float] | None = None,
+    latency: float = 0.0,
+    bandwidth: float = 1.0,
+) -> Machine:
+    """2-D mesh with XY (Manhattan) routing; ids are row-major integers."""
+    if rows < 1 or cols < 1:
+        raise MachineError("mesh dimensions must be >= 1")
+    grid = nx.grid_2d_graph(rows, cols)
+    relabel = {(r, c): r * cols + c for r, c in grid.nodes}
+    g = nx.relabel_nodes(grid, relabel)
+    return _machine_from_link_graph(
+        g, _speeds(rows * cols, speeds), latency, bandwidth, name=f"mesh-{rows}x{cols}"
+    )

@@ -1,0 +1,162 @@
+"""Post-hoc schedule analysis: why is the makespan what it is?
+
+Tools for dissecting a finished schedule:
+
+* :func:`dominant_path` — the chain of placements (linked by precedence
+  or processor-order) that determines the makespan; shortening anything
+  off this path cannot help.
+* :func:`task_slacks` — how much each task could slip without moving
+  the makespan (0 on the dominant path).
+* :func:`utilisation` — per-processor busy fraction over the makespan.
+* :func:`communication_volume` — data actually transferred per directed
+  processor pair (duplication-aware: a child charges its cheapest
+  supplying copy).
+* :func:`explain` — a one-screen text report combining all of the above.
+"""
+
+from __future__ import annotations
+
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule, ScheduledTask
+from repro.types import ProcId, TaskId
+
+_EPS = 1e-9
+
+
+def _supplier(
+    schedule: Schedule, instance: Instance, parent: TaskId, child_copy: ScheduledTask
+) -> tuple[ScheduledTask, float]:
+    """The parent copy that delivers data to ``child_copy`` earliest."""
+    best = None
+    best_arrival = float("inf")
+    for copy in schedule.copies(parent):
+        arrival = copy.end + instance.comm_time(
+            parent, child_copy.task, copy.proc, child_copy.proc
+        )
+        if arrival < best_arrival - _EPS:
+            best_arrival = arrival
+            best = copy
+    assert best is not None
+    return best, best_arrival
+
+
+def dominant_path(schedule: Schedule, instance: Instance) -> list[ScheduledTask]:
+    """The placement chain pinning the makespan, latest-finishing first
+    reversed to execution order.
+
+    Walk backwards from the latest-finishing copy: at each step the
+    blocker is either the preceding task on the same processor (if it
+    ends exactly at this copy's start) or the parent whose data arrival
+    equals the start.  Entry tasks starting at 0 end the walk.
+    """
+    placements = schedule.all_placements()
+    if not placements:
+        return []
+    current = max(placements, key=lambda p: (p.end, str(p.task)))
+    path = [current]
+    while current.start > _EPS:
+        blocker: ScheduledTask | None = None
+        # Same-processor predecessor ending at our start?
+        for other in schedule.proc_entries(current.proc):
+            if abs(other.end - current.start) <= _EPS and other is not current:
+                blocker = other
+                break
+        if blocker is None:
+            # Parent whose arrival equals our start.
+            for parent in instance.dag.predecessors(current.task):
+                copy, arrival = _supplier(schedule, instance, parent, current)
+                if abs(arrival - current.start) <= _EPS * max(1.0, arrival):
+                    blocker = copy
+                    break
+        if blocker is None:
+            break  # start determined by the ready time of an entry, or slack
+        path.append(blocker)
+        current = blocker
+    path.reverse()
+    return path
+
+
+def task_slacks(schedule: Schedule, instance: Instance) -> dict[TaskId, float]:
+    """Latest-permissible-finish minus actual finish per task (primary
+    copies).  A task's slack is how far it could slip, all else fixed,
+    without growing the makespan or starving a consumer."""
+    span = schedule.makespan
+    dag = instance.dag
+    slack: dict[TaskId, float] = {}
+    for task in dag.tasks():
+        placed = schedule.entry(task)
+        latest = span
+        # Consumers bound the finish: data must still arrive on time.
+        for child in dag.successors(task):
+            for child_copy in schedule.copies(child):
+                comm = instance.comm_time(task, child, placed.proc, child_copy.proc)
+                latest = min(latest, child_copy.start - comm)
+        # The next task on the same processor bounds it too.
+        entries = schedule.proc_entries(placed.proc)
+        for i, entry in enumerate(entries):
+            if entry.start == placed.start and entry.task == task and i + 1 < len(entries):
+                latest = min(latest, entries[i + 1].start)
+                break
+        slack[task] = max(0.0, latest - placed.end)
+    return slack
+
+
+def utilisation(schedule: Schedule) -> dict[ProcId, float]:
+    """Busy fraction of each processor over the makespan (0 when the
+    schedule is empty)."""
+    span = schedule.makespan
+    out: dict[ProcId, float] = {}
+    for proc in schedule.machine.proc_ids():
+        busy = schedule.timeline(proc).busy_time()
+        out[proc] = busy / span if span > 0 else 0.0
+    return out
+
+
+def communication_volume(
+    schedule: Schedule, instance: Instance
+) -> dict[tuple[ProcId, ProcId], float]:
+    """Data volume actually shipped per directed processor pair.
+
+    Each (parent, child-copy) edge charges the parent copy that supplies
+    it (the earliest-arrival copy); local supplies charge nothing.
+    """
+    volume: dict[tuple[ProcId, ProcId], float] = {}
+    dag = instance.dag
+    for child in dag.tasks():
+        for child_copy in schedule.copies(child):
+            for parent in dag.predecessors(child):
+                supplier, _ = _supplier(schedule, instance, parent, child_copy)
+                if supplier.proc == child_copy.proc:
+                    continue
+                key = (supplier.proc, child_copy.proc)
+                volume[key] = volume.get(key, 0.0) + dag.data(parent, child)
+    return volume
+
+
+def explain(schedule: Schedule, instance: Instance, top: int = 8) -> str:
+    """A one-screen text report of the schedule's structure."""
+    lines = [f"schedule {schedule.name!r}: makespan {schedule.makespan:g}"]
+    path = dominant_path(schedule, instance)
+    lines.append(f"dominant path ({len(path)} placements):")
+    for placed in path[:top]:
+        kind = "dup" if placed.duplicate else "run"
+        lines.append(
+            f"  {kind} {placed.task!r} on P{placed.proc} "
+            f"[{placed.start:g}, {placed.end:g})"
+        )
+    if len(path) > top:
+        lines.append(f"  ... and {len(path) - top} more")
+    util = utilisation(schedule)
+    mean_util = sum(util.values()) / len(util) if util else 0.0
+    lines.append(
+        "utilisation: "
+        + ", ".join(f"P{p}={u:.0%}" for p, u in util.items())
+        + f" (mean {mean_util:.0%})"
+    )
+    volume = communication_volume(schedule, instance)
+    total = sum(volume.values())
+    lines.append(f"cross-processor data shipped: {total:g} units over {len(volume)} links")
+    slack = task_slacks(schedule, instance)
+    tight = sum(1 for s in slack.values() if s <= _EPS)
+    lines.append(f"zero-slack tasks: {tight}/{len(slack)}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Schedule diffing: what actually changed between two schedules?
+
+When two algorithm variants disagree by 2% of makespan, the interesting
+question is *which decisions* differed.  :func:`diff_schedules` aligns
+two schedules of the same instance and reports moved tasks, reordered
+processors and the makespan delta; :func:`diff_report` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ScheduleError
+from repro.schedule.schedule import Schedule
+from repro.types import ProcId, TaskId
+
+
+@dataclass(frozen=True)
+class TaskMove:
+    """One task whose placement differs between the two schedules."""
+
+    task: TaskId
+    proc_a: ProcId
+    proc_b: ProcId
+    start_a: float
+    start_b: float
+
+    @property
+    def moved_processor(self) -> bool:
+        return self.proc_a != self.proc_b
+
+    @property
+    def start_delta(self) -> float:
+        """Positive = starts later in B."""
+        return self.start_b - self.start_a
+
+
+@dataclass
+class ScheduleDiff:
+    """Structured difference between schedules A and B."""
+
+    makespan_a: float
+    makespan_b: float
+    moves: list[TaskMove] = field(default_factory=list)
+    duplicates_a: int = 0
+    duplicates_b: int = 0
+
+    @property
+    def makespan_delta(self) -> float:
+        """Positive = B is slower."""
+        return self.makespan_b - self.makespan_a
+
+    @property
+    def tasks_moved(self) -> int:
+        return sum(1 for m in self.moves if m.moved_processor)
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.moves
+            and abs(self.makespan_delta) < 1e-12
+            and self.duplicates_a == self.duplicates_b
+        )
+
+
+def diff_schedules(a: Schedule, b: Schedule) -> ScheduleDiff:
+    """Compare two schedules of the same task set.
+
+    Raises :class:`ScheduleError` if the primary task sets differ (they
+    are then schedules of different problems, not variants).
+    """
+    tasks_a = set(a.tasks())
+    tasks_b = set(b.tasks())
+    if tasks_a != tasks_b:
+        missing = tasks_a ^ tasks_b
+        raise ScheduleError(
+            f"schedules cover different tasks; symmetric difference e.g. "
+            f"{sorted(map(str, missing))[:3]}"
+        )
+    moves: list[TaskMove] = []
+    for t in sorted(tasks_a, key=str):
+        ea, eb = a.entry(t), b.entry(t)
+        if ea.proc != eb.proc or abs(ea.start - eb.start) > 1e-9:
+            moves.append(
+                TaskMove(task=t, proc_a=ea.proc, proc_b=eb.proc,
+                         start_a=ea.start, start_b=eb.start)
+            )
+    return ScheduleDiff(
+        makespan_a=a.makespan,
+        makespan_b=b.makespan,
+        moves=moves,
+        duplicates_a=a.num_duplicates(),
+        duplicates_b=b.num_duplicates(),
+    )
+
+
+def diff_report(a: Schedule, b: Schedule, top: int = 10) -> str:
+    """Human-readable summary of :func:`diff_schedules`."""
+    d = diff_schedules(a, b)
+    if d.identical:
+        return f"schedules identical (makespan {d.makespan_a:g})"
+    lines = [
+        f"A: {a.name!r} makespan {d.makespan_a:g} ({d.duplicates_a} dups)",
+        f"B: {b.name!r} makespan {d.makespan_b:g} ({d.duplicates_b} dups)",
+        f"delta: {d.makespan_delta:+g} "
+        f"({100 * d.makespan_delta / d.makespan_a:+.2f}%)"
+        if d.makespan_a > 0 else "delta: n/a",
+        f"placements differing: {len(d.moves)} "
+        f"(processor moves: {d.tasks_moved})",
+    ]
+    biggest = sorted(d.moves, key=lambda m: -abs(m.start_delta))[:top]
+    for m in biggest:
+        arrow = f"P{m.proc_a}->P{m.proc_b}" if m.moved_processor else f"P{m.proc_a}"
+        lines.append(
+            f"  {str(m.task):<16} {arrow:<10} start {m.start_a:g} -> {m.start_b:g} "
+            f"({m.start_delta:+g})"
+        )
+    if len(d.moves) > top:
+        lines.append(f"  ... and {len(d.moves) - top} more")
+    return "\n".join(lines)

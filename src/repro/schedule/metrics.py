@@ -1,0 +1,120 @@
+"""Schedule-quality metrics used throughout the evaluation.
+
+Definitions follow the HEFT paper (Topcuoglu et al., TPDS 2002), which
+the target ICPP-2007 paper's genre standardises on:
+
+* **makespan** — finish time of the schedule.
+* **SLR** (schedule length ratio) — makespan divided by the sum of the
+  minimum ETC entries along the (communication-free) critical path.
+  SLR >= 1 always; lower is better; 1.0 means the schedule is as fast as
+  the absolute critical-path bound.
+* **speedup** — best sequential time (min over processors of the full
+  ETC column sum) divided by makespan.
+* **efficiency** — speedup divided by the processor count.
+* **pairwise comparison** — for each pair of schedulers, on what
+  percentage of instances each produced the strictly better / equal /
+  worse makespan (the classic "better/equal/worse" table).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ScheduleError
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+
+#: Two makespans closer than this (relatively) count as "equal" in the
+#: pairwise comparison, mirroring the papers' percentage tables.
+_PAIR_RTOL = 1e-9
+
+
+def makespan(schedule: Schedule) -> float:
+    """Finish time of the schedule (maximum over all placed copies)."""
+    return schedule.makespan
+
+
+def slr(schedule: Schedule, instance: Instance) -> float:
+    """Schedule length ratio (lower is better, >= 1 for feasible input).
+
+    Raises :class:`ScheduleError` for a degenerate instance whose
+    critical-path bound is zero (no computation at all).
+    """
+    bound = instance.cp_min_length
+    if bound <= 0:
+        raise ScheduleError("SLR undefined: instance has a zero critical-path bound")
+    return schedule.makespan / bound
+
+
+def speedup(schedule: Schedule, instance: Instance) -> float:
+    """Sequential-over-parallel speedup (higher is better)."""
+    span = schedule.makespan
+    if span <= 0:
+        raise ScheduleError("speedup undefined for an empty schedule")
+    return instance.sequential_time / span
+
+
+def efficiency(schedule: Schedule, instance: Instance) -> float:
+    """Speedup normalised by processor count, in (0, 1] for sane inputs."""
+    return speedup(schedule, instance) / instance.num_procs
+
+
+def total_idle_time(schedule: Schedule) -> float:
+    """Summed idle time across processors up to each one's last finish."""
+    return sum(schedule.timeline(p).idle_time() for p in schedule.machine.proc_ids())
+
+
+def load_balance(schedule: Schedule) -> float:
+    """Mean busy time divided by max busy time, in (0, 1]; 1 is perfect.
+
+    Returns 1.0 for an empty schedule by convention.
+    """
+    busy = [schedule.timeline(p).busy_time() for p in schedule.machine.proc_ids()]
+    peak = max(busy, default=0.0)
+    if peak <= 0:
+        return 1.0
+    return (sum(busy) / len(busy)) / peak
+
+
+def num_duplicates(schedule: Schedule) -> int:
+    """Number of duplicate placements in the schedule."""
+    return schedule.num_duplicates()
+
+
+def pairwise_comparison(
+    results: Mapping[str, Sequence[float]],
+) -> dict[tuple[str, str], tuple[float, float, float]]:
+    """Better/equal/worse percentages between every ordered scheduler pair.
+
+    ``results[name]`` is the makespan produced by scheduler ``name`` on a
+    common sequence of instances (all sequences must be aligned and of
+    equal length).  Returns ``{(a, b): (better%, equal%, worse%)}`` where
+    *better* means ``a`` beat ``b``.
+    """
+    names = list(results)
+    lengths = {len(results[n]) for n in names}
+    if len(lengths) > 1:
+        raise ValueError(f"result sequences have mismatched lengths: {sorted(lengths)}")
+    n_inst = lengths.pop() if lengths else 0
+    out: dict[tuple[str, str], tuple[float, float, float]] = {}
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            better = equal = worse = 0
+            for x, y in zip(results[a], results[b]):
+                if abs(x - y) <= _PAIR_RTOL * max(abs(x), abs(y), 1.0):
+                    equal += 1
+                elif x < y:
+                    better += 1
+                else:
+                    worse += 1
+            if n_inst:
+                out[(a, b)] = (
+                    100.0 * better / n_inst,
+                    100.0 * equal / n_inst,
+                    100.0 * worse / n_inst,
+                )
+            else:
+                out[(a, b)] = (0.0, 0.0, 0.0)
+    return out

@@ -1,0 +1,63 @@
+"""Scheduling algorithms: classic baselines and shared machinery.
+
+The paper's own contribution lives in :mod:`repro.core`; this package
+holds everything it is compared against, all built on one shared
+list-scheduling substrate (:mod:`repro.schedulers.base`).
+"""
+
+from repro.schedulers.base import ListScheduler, Scheduler, eft_placement, ready_time
+from repro.schedulers.ranking import (
+    alap_times,
+    downward_ranks,
+    machine_static_levels,
+    upward_ranks,
+)
+from repro.schedulers.heft import HEFT
+from repro.schedulers.cpop import CPOP
+from repro.schedulers.hcpt import HCPT
+from repro.schedulers.pets import PETS
+from repro.schedulers.peft import PEFT
+from repro.schedulers.dls import DLS
+from repro.schedulers.etf import ETF
+from repro.schedulers.mcp import MCP
+from repro.schedulers.hlfet import HLFET
+from repro.schedulers.lmt import LMT
+from repro.schedulers.baselines import RandomScheduler, RoundRobinScheduler
+from repro.schedulers.duplication_tds import TDS
+from repro.schedulers.optimal import BranchAndBoundScheduler
+from repro.schedulers.clustering import DSC, ClusteringScheduler, LinearClustering
+from repro.schedulers.meta import GeneticScheduler, SimulatedAnnealingScheduler
+from repro.schedulers.registry import all_scheduler_names, get_scheduler, register_scheduler
+
+__all__ = [
+    "Scheduler",
+    "ListScheduler",
+    "eft_placement",
+    "ready_time",
+    "upward_ranks",
+    "downward_ranks",
+    "machine_static_levels",
+    "alap_times",
+    "HEFT",
+    "CPOP",
+    "HCPT",
+    "PETS",
+    "PEFT",
+    "DLS",
+    "ETF",
+    "MCP",
+    "HLFET",
+    "LMT",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "TDS",
+    "BranchAndBoundScheduler",
+    "ClusteringScheduler",
+    "DSC",
+    "LinearClustering",
+    "SimulatedAnnealingScheduler",
+    "GeneticScheduler",
+    "get_scheduler",
+    "all_scheduler_names",
+    "register_scheduler",
+]

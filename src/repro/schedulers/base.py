@@ -1,0 +1,198 @@
+"""Shared list-scheduling machinery.
+
+All list schedulers follow the same two-phase loop:
+
+1. pick the next task according to a *priority policy*,
+2. pick a processor and start time according to a *placement policy*.
+
+This module supplies the placement side — duplication-aware ready times,
+earliest-start/earliest-finish computation with or without insertion —
+plus the :class:`Scheduler` interface and a :class:`ListScheduler`
+template so each algorithm only spells out its policies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SchedulingError
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+from repro.types import ProcId, TaskId
+
+
+class Scheduler(ABC):
+    """A static scheduling algorithm.
+
+    Subclasses set :attr:`name` (used in experiment tables) and implement
+    :meth:`schedule`.  Schedulers must be deterministic for a given
+    instance unless they explicitly take a seed.
+    """
+
+    #: Display name used by the registry and experiment reports.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule(self, instance: Instance) -> Schedule:
+        """Produce a complete, feasible schedule for ``instance``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def ready_time(
+    schedule: Schedule,
+    instance: Instance,
+    task: TaskId,
+    proc: ProcId,
+) -> float:
+    """Earliest data-ready time of ``task`` on ``proc``.
+
+    The maximum over parents of the earliest moment that parent's output
+    can be present on ``proc``; each parent contributes the minimum over
+    its placed copies (primary or duplicate) of ``end + comm``.  Raises
+    :class:`SchedulingError` if some parent is not placed yet — priority
+    policies must only submit ready tasks.
+    """
+    ready = 0.0
+    for parent in instance.dag.predecessors(task):
+        if parent not in schedule:
+            raise SchedulingError(f"parent {parent!r} of {task!r} is unscheduled")
+        arrival = min(
+            copy.end + instance.comm_time(parent, task, copy.proc, proc)
+            for copy in schedule.copies(parent)
+        )
+        ready = max(ready, arrival)
+    return ready
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A candidate placement of one task."""
+
+    proc: ProcId
+    start: float
+    end: float
+
+    @property
+    def finish(self) -> float:
+        return self.end
+
+
+def placement_on(
+    schedule: Schedule,
+    instance: Instance,
+    task: TaskId,
+    proc: ProcId,
+    insertion: bool = True,
+) -> Placement:
+    """Earliest placement of ``task`` on a specific processor."""
+    duration = instance.exec_time(task, proc)
+    ready = ready_time(schedule, instance, task, proc)
+    start = schedule.timeline(proc).find_slot(ready, duration, insertion=insertion)
+    return Placement(proc=proc, start=start, end=start + duration)
+
+
+def eft_placement(
+    schedule: Schedule,
+    instance: Instance,
+    task: TaskId,
+    insertion: bool = True,
+    procs: Sequence[ProcId] | None = None,
+) -> Placement:
+    """Earliest-finish-time placement across processors (HEFT's rule).
+
+    Ties on finish time break deterministically by processor order so
+    runs are reproducible.
+    """
+    candidates = procs if procs is not None else instance.machine.proc_ids()
+    if not candidates:
+        raise SchedulingError("no candidate processors")
+    best: Placement | None = None
+    for proc in candidates:
+        cand = placement_on(schedule, instance, task, proc, insertion=insertion)
+        if best is None or cand.end < best.end - 1e-12:
+            best = cand
+    assert best is not None
+    return best
+
+
+def est_placement(
+    schedule: Schedule,
+    instance: Instance,
+    task: TaskId,
+    insertion: bool = True,
+    procs: Sequence[ProcId] | None = None,
+) -> Placement:
+    """Earliest-start-time placement across processors (ETF's rule)."""
+    candidates = procs if procs is not None else instance.machine.proc_ids()
+    if not candidates:
+        raise SchedulingError("no candidate processors")
+    best: Placement | None = None
+    for proc in candidates:
+        cand = placement_on(schedule, instance, task, proc, insertion=insertion)
+        if best is None or cand.start < best.start - 1e-12:
+            best = cand
+    assert best is not None
+    return best
+
+
+def topological_by_priority(dag, key) -> list[TaskId]:
+    """Kahn's algorithm driven by a priority key (smaller = earlier).
+
+    Produces a valid topological order that follows ``key(task)`` as
+    closely as precedence allows.  Use this when a priority metric can
+    tie or invert across an edge (zero-cost chains), where naive sorting
+    could emit a child before its parent.
+    """
+    import heapq
+
+    indegree = {t: dag.in_degree(t) for t in dag.tasks()}
+    heap = [(key(t), i, t) for i, t in enumerate(dag.tasks()) if indegree[t] == 0]
+    heapq.heapify(heap)
+    out: list[TaskId] = []
+    while heap:
+        _, _, task = heapq.heappop(heap)
+        out.append(task)
+        for child in dag.successors(task):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                heapq.heappush(heap, (key(child), len(out), child))
+    if len(out) != dag.num_tasks:
+        raise SchedulingError("graph contains a cycle or disconnected bookkeeping")
+    return out
+
+
+class ListScheduler(Scheduler):
+    """Template for static-priority list schedulers.
+
+    Subclasses provide :meth:`priority_order` (a full topological-
+    compatible task order) and optionally override :meth:`place` (the
+    default is insertion-based EFT).
+    """
+
+    #: Whether the placement phase may use idle-gap insertion.
+    insertion: bool = True
+
+    @abstractmethod
+    def priority_order(self, instance: Instance) -> list[TaskId]:
+        """Full task order; every task must appear after its parents."""
+
+    def place(self, schedule: Schedule, instance: Instance, task: TaskId) -> Placement:
+        """Choose a processor and start time for ``task``."""
+        return eft_placement(schedule, instance, task, insertion=self.insertion)
+
+    def schedule(self, instance: Instance) -> Schedule:
+        schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
+        order = self.priority_order(instance)
+        if set(order) != set(instance.dag.tasks()) or len(order) != instance.num_tasks:
+            raise SchedulingError(
+                f"{self.name}: priority order covers {len(order)} tasks, "
+                f"instance has {instance.num_tasks}"
+            )
+        for task in order:
+            placed = self.place(schedule, instance, task)
+            schedule.add(task, placed.proc, placed.start, placed.end - placed.start)
+        return schedule

@@ -1,0 +1,18 @@
+"""Clustering-based schedulers (the third classic school, next to list
+scheduling and duplication).
+
+Clustering algorithms first group tasks into clusters assuming unbounded
+processors (zeroing the communication inside a cluster), then fold the
+clusters onto the bounded machine and order the tasks.  Two classic
+cluster-growing strategies are provided:
+
+* :class:`DSC` — Dominant Sequence Clustering (Yang & Gerasoulis, 1994),
+* :class:`LinearClustering` — repeated critical-path extraction
+  (Kim & Browne, 1988).
+"""
+
+from repro.schedulers.clustering.base import ClusteringScheduler
+from repro.schedulers.clustering.dsc import DSC
+from repro.schedulers.clustering.linear import LinearClustering
+
+__all__ = ["ClusteringScheduler", "DSC", "LinearClustering"]

@@ -1,0 +1,88 @@
+"""DSC — Dominant Sequence Clustering (Yang & Gerasoulis, 1994).
+
+The classic near-optimal unbounded-processor clustering heuristic.  This
+implementation follows the practical simplification common in
+comparative studies: tasks are examined in decreasing *dominant
+sequence* priority (t-level + b-level over machine-averaged costs); each
+task either joins the cluster of one of its parents — appended after the
+cluster's current tail — when that strictly reduces its earliest start
+time, or opens a new cluster.  Edge costs inside a cluster are zero
+(same processor); the sequence constraint within a cluster is the
+append order.
+"""
+
+from __future__ import annotations
+
+from repro.instance import Instance
+from repro.schedulers.clustering.base import ClusteringScheduler
+from repro.schedulers.ranking import est_times, upward_ranks
+from repro.types import TaskId
+
+
+class DSC(ClusteringScheduler):
+    """Dominant Sequence Clustering (bounded-processor adaptation)."""
+
+    name = "DSC"
+
+    def clusters(self, instance: Instance) -> list[list[TaskId]]:
+        dag = instance.dag
+        w = {t: instance.avg_exec_time(t) for t in dag.tasks()}
+        blevel = upward_ranks(instance)  # includes avg comm
+        tlevel = est_times(instance)
+        pos = {t: i for i, t in enumerate(dag.topological_order())}
+
+        # Examination order: decreasing dominant-sequence priority,
+        # repaired to a topological order so every examined task's
+        # parents are already clustered.
+        priority = {t: tlevel[t] + blevel[t] for t in dag.tasks()}
+        order = sorted(dag.tasks(), key=lambda t: (-priority[t], pos[t]))
+        order = _topological_fix(dag, order)
+
+        cluster_of: dict[TaskId, int] = {}
+        cluster_members: dict[int, list[TaskId]] = {}
+        cluster_finish: dict[int, float] = {}  # completion of cluster tail
+        start: dict[TaskId, float] = {}
+        finish: dict[TaskId, float] = {}
+        next_cluster = 0
+
+        def arrival(parent: TaskId, child: TaskId, same_cluster: bool) -> float:
+            comm = 0.0 if same_cluster else instance.avg_comm_time(parent, child)
+            return finish[parent] + comm
+
+        for t in order:
+            parents = dag.predecessors(t)
+            # Option A: new cluster — start when all remote data arrives.
+            est_new = max((arrival(p, t, False) for p in parents), default=0.0)
+            best_cluster = None
+            best_est = est_new
+            # Option B: join a parent's cluster (append after its tail).
+            candidate_clusters = {cluster_of[p] for p in parents}
+            for cid in sorted(candidate_clusters):
+                est = cluster_finish[cid]
+                for p in parents:
+                    est = max(est, arrival(p, t, cluster_of[p] == cid))
+                if est < best_est - 1e-12:
+                    best_est = est
+                    best_cluster = cid
+            if best_cluster is None:
+                cid = next_cluster
+                next_cluster += 1
+                cluster_members[cid] = []
+                cluster_finish[cid] = 0.0
+            else:
+                cid = best_cluster
+            cluster_of[t] = cid
+            cluster_members[cid].append(t)
+            start[t] = best_est
+            finish[t] = best_est + w[t]
+            cluster_finish[cid] = finish[t]
+
+        return [cluster_members[cid] for cid in sorted(cluster_members)]
+
+
+def _topological_fix(dag, order: list[TaskId]) -> list[TaskId]:
+    """Stable-repair a priority order into a topological one."""
+    from repro.schedulers.base import topological_by_priority
+
+    rank = {t: i for i, t in enumerate(order)}
+    return topological_by_priority(dag, key=lambda t: rank[t])

@@ -1,0 +1,53 @@
+"""Linear clustering (Kim & Browne, 1988).
+
+Repeatedly extracts the current critical path of the *unclustered*
+remainder of the graph and makes it one cluster.  Each cluster is a
+chain, so intra-cluster execution is strictly sequential and all chain
+communication is zeroed — the archetypal "communication-avoiding"
+clustering that the DSC paper improved on.
+"""
+
+from __future__ import annotations
+
+from repro.instance import Instance
+from repro.schedulers.clustering.base import ClusteringScheduler
+from repro.types import TaskId
+
+
+class LinearClustering(ClusteringScheduler):
+    """Repeated critical-path extraction."""
+
+    name = "LC"
+
+    def clusters(self, instance: Instance) -> list[list[TaskId]]:
+        dag = instance.dag
+        pos = {t: i for i, t in enumerate(dag.topological_order())}
+        remaining: set[TaskId] = set(dag.tasks())
+        out: list[list[TaskId]] = []
+
+        while remaining:
+            # Longest path (avg exec + avg comm) through the remaining
+            # subgraph, computed by DP over the stable topological order.
+            best_len: dict[TaskId, float] = {}
+            best_succ: dict[TaskId, TaskId | None] = {}
+            for t in sorted(remaining, key=lambda x: -pos[x]):
+                tail = 0.0
+                nxt: TaskId | None = None
+                for s in dag.successors(t):
+                    if s not in remaining:
+                        continue
+                    cand = instance.avg_comm_time(t, s) + best_len[s]
+                    if cand > tail + 1e-12 or (abs(cand - tail) <= 1e-12 and nxt is not None and pos[s] < pos[nxt]):
+                        tail = cand
+                        nxt = s
+                best_len[t] = instance.avg_exec_time(t) + tail
+                best_succ[t] = nxt
+            head = max(remaining, key=lambda t: (best_len[t], -pos[t]))
+            chain: list[TaskId] = []
+            cur: TaskId | None = head
+            while cur is not None:
+                chain.append(cur)
+                cur = best_succ[cur]
+            out.append(chain)
+            remaining.difference_update(chain)
+        return out

@@ -1,0 +1,95 @@
+"""TDS-style task-duplication baseline (after Darbha & Agrawal, 1998).
+
+The classic duplication school: every exit task anchors a *linear
+cluster* obtained by walking favourite predecessors (the parent whose
+data arrival constrains the earliest start) back to an entry task; each
+cluster runs on one processor, duplicating the whole chain there so the
+chain communicates only through local memory.
+
+The published TDS assumes unbounded homogeneous processors; this
+implementation adapts it to bounded heterogeneous machines the standard
+way: clusters are ordered by decreasing length and folded onto the ``q``
+processors round-robin (tasks deduplicated per processor), then placed
+in global topological order with duplication-aware ready times.  It is a
+*baseline* — the point of experiment E15 is to show the contribution's
+selective duplication beats whole-chain duplication under bounded
+resources.
+"""
+
+from __future__ import annotations
+
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import Scheduler, ready_time
+from repro.types import ProcId, TaskId
+
+
+class TDS(Scheduler):
+    """Linear-clustering duplication scheduler."""
+
+    name = "TDS"
+
+    def _favourite_predecessor(self, instance: Instance, ect: dict[TaskId, float], task: TaskId) -> TaskId | None:
+        """Parent whose (average-cost) data arrival is latest."""
+        dag = instance.dag
+        parents = dag.predecessors(task)
+        if not parents:
+            return None
+        pos = {t: i for i, t in enumerate(dag.topological_order())}
+        return min(
+            parents,
+            key=lambda p: (-(ect[p] + instance.avg_comm_time(p, task)), pos[p]),
+        )
+
+    def _clusters(self, instance: Instance) -> list[list[TaskId]]:
+        """One favourite-predecessor chain per exit task, longest first."""
+        dag = instance.dag
+        # Average-cost earliest completion times.
+        ect: dict[TaskId, float] = {}
+        for t in dag.topological_order():
+            arrival = 0.0
+            for p in dag.predecessors(t):
+                arrival = max(arrival, ect[p] + instance.avg_comm_time(p, t))
+            ect[t] = arrival + instance.avg_exec_time(t)
+
+        clusters: list[list[TaskId]] = []
+        for exit_task in dag.exit_tasks():
+            chain: list[TaskId] = []
+            cur: TaskId | None = exit_task
+            while cur is not None:
+                chain.append(cur)
+                cur = self._favourite_predecessor(instance, ect, cur)
+            chain.reverse()  # entry .. exit
+            clusters.append(chain)
+        clusters.sort(key=lambda c: (-sum(instance.avg_exec_time(t) for t in c), str(c[-1])))
+        return clusters
+
+    def schedule(self, instance: Instance) -> Schedule:
+        dag = instance.dag
+        procs = instance.machine.proc_ids()
+        clusters = self._clusters(instance)
+
+        # Fold clusters onto processors round-robin, deduplicating tasks
+        # that several clusters pin to the same processor.
+        tasks_on: dict[ProcId, set[TaskId]] = {p: set() for p in procs}
+        for i, chain in enumerate(clusters):
+            proc = procs[i % len(procs)]
+            tasks_on[proc].update(chain)
+
+        # Any task on no cluster (side branches) goes to the processor
+        # that runs it fastest.
+        covered = set().union(*tasks_on.values()) if tasks_on else set()
+        for t in dag.tasks():
+            if t not in covered:
+                tasks_on[instance.etc.best_proc(t)].add(t)
+
+        schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
+        for task in dag.topological_order():
+            # Deterministic copy order; the first placement is primary.
+            owners = [p for p in procs if task in tasks_on[p]]
+            for k, proc in enumerate(owners):
+                ready = ready_time(schedule, instance, task, proc)
+                duration = instance.exec_time(task, proc)
+                start = schedule.timeline(proc).find_slot(ready, duration)
+                schedule.add(task, proc, start, duration, duplicate=k > 0)
+        return schedule

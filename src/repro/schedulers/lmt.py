@@ -1,0 +1,36 @@
+"""LMT — Levelized Min Time (Iverson, Özgüner & Follen, 1995).
+
+A two-phase level-by-level heuristic: tasks are grouped by ASAP depth
+(all precedence constraints run between levels), then within each level
+tasks are taken largest-average-cost first and each goes to the
+processor minimising its completion time given the machine state.  One
+of the standard low-cost heterogeneous baselines.
+"""
+
+from __future__ import annotations
+
+from repro.dag.analysis import graph_levels
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import Scheduler, eft_placement
+
+
+class LMT(Scheduler):
+    """Levelized Min Time scheduler."""
+
+    name = "LMT"
+
+    def schedule(self, instance: Instance) -> Schedule:
+        dag = instance.dag
+        levels = graph_levels(dag)
+        pos = {t: i for i, t in enumerate(dag.topological_order())}
+        max_level = max(levels.values(), default=0)
+
+        schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
+        for lvl in range(max_level + 1):
+            members = [t for t in dag.tasks() if levels[t] == lvl]
+            members.sort(key=lambda t: (-instance.avg_exec_time(t), pos[t]))
+            for task in members:
+                placed = eft_placement(schedule, instance, task, insertion=True)
+                schedule.add(task, placed.proc, placed.start, placed.end - placed.start)
+        return schedule

@@ -1,0 +1,21 @@
+"""Metaheuristic schedulers (search-based comparison points).
+
+Static-scheduling papers of the era regularly contrast constructive
+heuristics against search: far more scheduling time for somewhat better
+makespans.  Two classic searchers over the *assignment* space are
+provided, both decoding candidate assignments through the same
+rank-ordered insertion placement used everywhere else:
+
+* :class:`SimulatedAnnealingScheduler`
+* :class:`GeneticScheduler`
+"""
+
+from repro.schedulers.meta.decoder import decode_assignment
+from repro.schedulers.meta.annealing import SimulatedAnnealingScheduler
+from repro.schedulers.meta.genetic import GeneticScheduler
+
+__all__ = [
+    "decode_assignment",
+    "SimulatedAnnealingScheduler",
+    "GeneticScheduler",
+]

@@ -1,0 +1,50 @@
+"""PETS — Performance Effective Task Scheduling (Ilavarasan &
+Thambidurai, 2007).
+
+A contemporaneous low-complexity competitor of the target paper: tasks
+are processed level by level (ASAP depth); within a level the priority
+is ``rank = round(ACC + DTC + RPT)`` where ACC is the average
+computation cost, DTC the total outgoing communication and RPT the
+highest parent rank.  Placement is insertion-based EFT.
+"""
+
+from __future__ import annotations
+
+from repro.dag.analysis import graph_levels
+from repro.instance import Instance
+from repro.schedulers.base import ListScheduler
+from repro.types import TaskId
+
+
+class PETS(ListScheduler):
+    """Performance Effective Task Scheduling."""
+
+    insertion = True
+    name = "PETS"
+
+    def priority_order(self, instance: Instance) -> list[TaskId]:
+        dag = instance.dag
+        levels = graph_levels(dag)
+        order = dag.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+
+        acc = {t: instance.avg_exec_time(t) for t in dag.tasks()}
+        dtc = {
+            t: sum(instance.avg_comm_time(t, s) for s in dag.successors(t))
+            for t in dag.tasks()
+        }
+        rank: dict[TaskId, float] = {}
+        for t in order:
+            rpt = max((rank[p] for p in dag.predecessors(t)), default=0.0)
+            # The published algorithm rounds the rank to an integer.
+            rank[t] = float(round(acc[t] + dtc[t] + rpt))
+
+        max_level = max(levels.values(), default=0)
+        out: list[TaskId] = []
+        for lvl in range(max_level + 1):
+            members = [t for t in dag.tasks() if levels[t] == lvl]
+            # Higher rank first; ties by smaller average cost, then by
+            # topological position for determinism.
+            members.sort(key=lambda t: (-rank[t], acc[t], pos[t]))
+            out.extend(members)
+        return out

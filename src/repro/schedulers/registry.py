@@ -1,0 +1,98 @@
+"""Name-based scheduler registry.
+
+The CLI and the bench harness refer to schedulers by name; the registry
+maps names to zero-argument factories so each experiment run gets a
+fresh scheduler object (some schedulers keep per-run state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.schedulers.base import Scheduler
+
+_REGISTRY: dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a scheduler factory under a unique name."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"scheduler {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory()
+
+
+def all_scheduler_names() -> list[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_schedulers(names: Iterable[str]) -> list[Scheduler]:
+    """Instantiate several schedulers by name."""
+    return [get_scheduler(n) for n in names]
+
+
+def _register_builtins() -> None:
+    # Imported lazily to avoid circular imports at package load.
+    from repro.schedulers.baselines import RandomScheduler, RoundRobinScheduler
+    from repro.schedulers.cpop import CPOP
+    from repro.schedulers.dls import DLS
+    from repro.schedulers.duplication_tds import TDS
+    from repro.schedulers.etf import ETF
+    from repro.schedulers.hcpt import HCPT
+    from repro.schedulers.heft import HEFT
+    from repro.schedulers.hlfet import HLFET
+    from repro.schedulers.lmt import LMT
+    from repro.schedulers.mcp import MCP
+    from repro.schedulers.optimal import BranchAndBoundScheduler
+    from repro.schedulers.peft import PEFT
+    from repro.schedulers.pets import PETS
+
+    register_scheduler("HEFT", HEFT)
+    register_scheduler("HEFT-median", lambda: HEFT(agg="median"))
+    register_scheduler("HEFT-best", lambda: HEFT(agg="best"))
+    register_scheduler("HEFT-worst", lambda: HEFT(agg="worst"))
+    register_scheduler("CPOP", CPOP)
+    register_scheduler("HCPT", HCPT)
+    register_scheduler("PETS", PETS)
+    register_scheduler("PEFT", PEFT)
+    register_scheduler("DLS", DLS)
+    register_scheduler("ETF", ETF)
+    register_scheduler("MCP", MCP)
+    register_scheduler("HLFET", HLFET)
+    register_scheduler("LMT", LMT)
+    register_scheduler("TDS", TDS)
+    register_scheduler("Random", RandomScheduler)
+    register_scheduler("RoundRobin", RoundRobinScheduler)
+    register_scheduler("OPT-BB", BranchAndBoundScheduler)
+
+    from repro.schedulers.clustering import DSC, LinearClustering
+    from repro.schedulers.meta import GeneticScheduler, SimulatedAnnealingScheduler
+
+    register_scheduler("DSC", DSC)
+    register_scheduler("LC", LinearClustering)
+    register_scheduler("SA", SimulatedAnnealingScheduler)
+    register_scheduler("GA", GeneticScheduler)
+
+    from repro.core import (
+        DuplicationScheduler,
+        ImprovedScheduler,
+        LookaheadScheduler,
+    )
+
+    register_scheduler("IMP", ImprovedScheduler)
+    register_scheduler("LA-HEFT", LookaheadScheduler)
+    register_scheduler("DUP-HEFT", DuplicationScheduler)
+
+
+_register_builtins()

@@ -1,0 +1,28 @@
+"""Discrete-event execution simulator.
+
+Replays a static :class:`~repro.schedule.schedule.Schedule` on its
+machine, re-deriving all start/finish times from first principles
+(processor order + message arrivals) independently of the scheduler's
+bookkeeping — optionally under stochastic runtime noise, which is how
+the robustness experiment (E14) measures how schedules degrade when
+execution times deviate from the ETC estimates.
+"""
+
+from repro.sim.engine import Event, EventQueue
+from repro.sim.noise import MultiplicativeNoise, NoiseModel, NoNoise, PerProcessorDrift
+from repro.sim.executor import SimulatedCopy, SimulationResult, execute
+from repro.sim.trace import save_chrome_trace, to_chrome_trace
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "NoiseModel",
+    "NoNoise",
+    "MultiplicativeNoise",
+    "PerProcessorDrift",
+    "SimulatedCopy",
+    "SimulationResult",
+    "execute",
+    "to_chrome_trace",
+    "save_chrome_trace",
+]

@@ -1,0 +1,77 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, payload)`` triples in a binary heap; the
+sequence number makes simultaneous events fire in scheduling order so
+every simulation run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import ReproError
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (e.g. deadlock)."""
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence.  Ordering: time, then insertion order."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (last popped event time)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; events may not be scheduled in the past."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"event {kind!r} scheduled at {time} before current time {self._now}"
+            )
+        ev = Event(time=max(time, self._now), seq=next(self._seq), kind=kind, payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        return ev
+
+    def drain(self, handler: Callable[[Event], None], max_events: int | None = None) -> int:
+        """Pop events into ``handler`` until empty; returns event count."""
+        handled = 0
+        while self._heap:
+            handler(self.pop())
+            handled += 1
+            if max_events is not None and handled >= max_events:
+                break
+        return handled
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
+        return iter(sorted(self._heap))

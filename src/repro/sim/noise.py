@@ -1,0 +1,101 @@
+"""Runtime-variation models for the execution simulator.
+
+The ETC matrix a static scheduler plans against is an *estimate*;
+reality deviates.  A :class:`NoiseModel` maps each copy's nominal
+(planned) duration to an actual one.  All models are seeded and
+deterministic per (task, proc) pair within one run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import ProcId, TaskId
+from repro.utils.rng import SeedLike, as_generator
+
+
+class NoiseModel(ABC):
+    """Maps planned durations to simulated ones."""
+
+    @abstractmethod
+    def duration(self, task: TaskId, proc: ProcId, nominal: float) -> float:
+        """Actual duration of one execution of ``task`` on ``proc``."""
+
+    def comm_factor(self) -> float:
+        """Multiplier applied to every communication time (default 1)."""
+        return 1.0
+
+
+class NoNoise(NoiseModel):
+    """Identity model: simulation reproduces the plan exactly."""
+
+    def duration(self, task: TaskId, proc: ProcId, nominal: float) -> float:
+        return nominal
+
+
+class MultiplicativeNoise(NoiseModel):
+    """Lognormal multiplicative noise with coefficient of variation ``cv``.
+
+    ``duration = nominal * X`` with ``E[X] = 1`` and ``sd[X] = cv`` —
+    the standard model for execution-time estimation error.  Each
+    (task, proc) pair draws one factor per model instance, so repeated
+    queries are consistent within a run.
+    """
+
+    def __init__(self, cv: float, seed: SeedLike = None, comm_cv: float | None = None) -> None:
+        if cv < 0:
+            raise ConfigurationError(f"cv must be >= 0, got {cv}")
+        self.cv = float(cv)
+        self._rng = as_generator(seed)
+        self._cache: dict[tuple[TaskId, ProcId], float] = {}
+        if comm_cv is not None and comm_cv < 0:
+            raise ConfigurationError(f"comm_cv must be >= 0, got {comm_cv}")
+        self._comm_factor = 1.0
+        if comm_cv:
+            sigma2 = np.log(1.0 + comm_cv * comm_cv)
+            self._comm_factor = float(
+                self._rng.lognormal(mean=-sigma2 / 2.0, sigma=np.sqrt(sigma2))
+            )
+
+    def _factor(self, key: tuple[TaskId, ProcId]) -> float:
+        if key not in self._cache:
+            if self.cv == 0:
+                self._cache[key] = 1.0
+            else:
+                sigma2 = np.log(1.0 + self.cv * self.cv)
+                self._cache[key] = float(
+                    self._rng.lognormal(mean=-sigma2 / 2.0, sigma=np.sqrt(sigma2))
+                )
+        return self._cache[key]
+
+    def duration(self, task: TaskId, proc: ProcId, nominal: float) -> float:
+        return nominal * self._factor((task, proc))
+
+    def comm_factor(self) -> float:
+        return self._comm_factor
+
+
+class PerProcessorDrift(NoiseModel):
+    """Each processor is uniformly slower/faster than estimated.
+
+    Models systematic estimation bias (e.g. thermal throttling or
+    background load on specific machines): processor ``p`` multiplies
+    every duration by a factor drawn once from ``U[1-drift, 1+drift]``.
+    """
+
+    def __init__(self, drift: float, seed: SeedLike = None) -> None:
+        if not (0.0 <= drift < 1.0):
+            raise ConfigurationError(f"drift must be in [0, 1), got {drift}")
+        self.drift = float(drift)
+        self._rng = as_generator(seed)
+        self._factors: dict[ProcId, float] = {}
+
+    def duration(self, task: TaskId, proc: ProcId, nominal: float) -> float:
+        if proc not in self._factors:
+            self._factors[proc] = float(
+                self._rng.uniform(1.0 - self.drift, 1.0 + self.drift)
+            )
+        return nominal * self._factors[proc]

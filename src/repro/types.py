@@ -1,0 +1,31 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The library identifies tasks and processors by small hashable ids
+(typically ``int`` or ``str``).  Centralising the aliases keeps signatures
+consistent and lets downstream users import one canonical vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence, Tuple, Union
+
+#: Identifier of a task (node of the DAG).  Any hashable is accepted, the
+#: built-in generators use consecutive integers.
+TaskId = Hashable
+
+#: Identifier of a processor.  The built-in machine builders use
+#: consecutive integers starting at 0.
+ProcId = Hashable
+
+#: A directed edge of the task graph.
+Edge = Tuple[TaskId, TaskId]
+
+#: Per-processor execution costs of one task: ``costs[p]`` is the
+#: estimated execution time of the task on processor ``p``.
+CostVector = Mapping[ProcId, float]
+
+#: Numeric scalar accepted by cost parameters.
+Number = Union[int, float]
+
+#: A sequence of task ids, e.g. a priority order or a critical path.
+TaskPath = Sequence[TaskId]

@@ -1,0 +1,25 @@
+"""Small shared utilities (RNG handling, statistics, table formatting)."""
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.stats import (
+    confidence_interval95,
+    describe,
+    geometric_mean,
+    mean,
+    median,
+    stdev,
+)
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "confidence_interval95",
+    "describe",
+    "geometric_mean",
+    "mean",
+    "median",
+    "stdev",
+    "format_series",
+    "format_table",
+]

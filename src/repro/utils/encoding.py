@@ -1,0 +1,27 @@
+"""JSON-safe encoding of task/processor identifiers.
+
+The library allows any hashable id; JSON does not.  Tuples — the only
+non-primitive ids the built-in generators produce — are encoded with a
+``__tuple__`` tag and decoded back exactly; other primitives pass
+through unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+
+
+def encode_id(value) -> object:
+    """Encode an id for JSON (tuples tagged, primitives unchanged)."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_id(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ParseError(f"cannot serialise id of type {type(value).__name__}: {value!r}")
+
+
+def decode_id(value):
+    """Inverse of :func:`encode_id`."""
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(decode_id(v) for v in value["__tuple__"])
+    return value

@@ -1,0 +1,64 @@
+"""ASCII line plots for terminal-rendered figures.
+
+The experiment reports are series tables; :func:`ascii_plot` adds a
+rough visual of the same series so a reader can see crossovers without
+leaving the terminal.  Purely cosmetic — all assertions run against the
+numeric tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render series as a crude ASCII scatter/line chart.
+
+    Each series gets a glyph; a legend follows the chart.  Values are
+    min-max normalised over all series together so relative positions
+    are faithful.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+    for name, vals in series.items():
+        if len(vals) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals or len(x_values) < 2:
+        return (title + "\n" if title else "") + "(not enough data to plot)"
+
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo if hi > lo else 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = x_hi - x_lo if x_hi > x_lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for x, v in zip(x_values, vals):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((v - lo) / span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        out.append(" " * 10 + " │" + "".join(row))
+    out.append(f"{lo:>10.4g} ┤" + "".join(grid[-1]))
+    out.append(" " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    out.append("legend: " + legend)
+    return "\n".join(out)

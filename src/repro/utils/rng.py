@@ -1,0 +1,51 @@
+"""Deterministic random-number-generator plumbing.
+
+Everything stochastic in the library (DAG generation, ETC matrices,
+runtime noise) accepts a ``seed`` argument that may be ``None``, an
+``int`` or an existing :class:`numpy.random.Generator`.  This module
+normalises those inputs so that:
+
+* the same integer seed always produces the same results,
+* independent sub-streams can be derived for parallel experiment arms
+  without correlation (via :func:`spawn_children`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    ``None`` yields a nondeterministically-seeded generator; an ``int`` or
+    :class:`~numpy.random.SeedSequence` yields a deterministic one; an
+    existing generator is passed through unchanged (so callers can thread
+    one stream through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is not None and not isinstance(seed, (int, np.integer)):
+        raise TypeError(f"seed must be None, int or Generator, got {type(seed).__name__}")
+    return np.random.default_rng(seed)
+
+
+def spawn_children(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used by the bench harness to give each repetition of an experiment its
+    own stream, so adding repetitions never perturbs earlier ones.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by jumping the parent's bit stream.
+        return [np.random.default_rng(seed.integers(0, 2**63)) for _ in range(n)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

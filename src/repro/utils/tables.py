@@ -1,0 +1,80 @@
+"""Plain-text table/series formatting for experiment reports.
+
+The bench harness prints each reproduced figure as a series table (one row
+per x-value, one column per scheduler) and each reproduced table directly.
+Keeping the formatter here means tests can assert on structure without
+caring about benches.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt_cell(value: object, width: int = 0) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` must all have the same arity as ``headers``; a mismatch is a
+    programming error and raises ``ValueError`` rather than printing a
+    ragged table.
+    """
+    headers = [str(h) for h in headers]
+    str_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row arity {len(row)} != header arity {len(headers)}: {row!r}"
+            )
+        str_rows.append([_fmt_cell(c) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render a figure-style series: x column plus one column per series.
+
+    Every series must have one value per x point.  This is the textual
+    equivalent of one line-plot from the paper's evaluation section.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    headers = [x_name, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

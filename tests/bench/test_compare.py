@@ -1,0 +1,84 @@
+"""Tests for the user-facing comparison API."""
+
+import pytest
+
+from repro.bench.compare import compare_schedulers
+from repro.dag.generators import random_dag
+from repro.dag.suites import application_suite
+from repro.exceptions import ConfigurationError
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import Scheduler, eft_placement
+
+
+@pytest.fixture(scope="module")
+def small_dags():
+    return [random_dag(25, seed=s) for s in range(3)]
+
+
+class TestCompareSchedulers:
+    def test_basic(self, small_dags):
+        res = compare_schedulers(["HEFT", "CPOP"], small_dags, num_procs=3,
+                                 etc_draws=2, seed=1)
+        assert res.scheduler_names == ["HEFT", "CPOP"]
+        assert len(res.instance_names) == 6
+        assert len(res.makespans["HEFT"]) == 6
+        assert ("HEFT", "CPOP") in res.pairwise
+
+    def test_report_and_winner(self, small_dags):
+        res = compare_schedulers(["IMP", "HEFT"], small_dags, num_procs=3,
+                                 etc_draws=1, seed=2)
+        assert res.winner() == "IMP"
+        report = res.report()
+        assert "IMP" in report and "mean SLR" in report
+
+    def test_accepts_mapping(self):
+        suite = {k: v for k, v in list(application_suite().items())[:2]}
+        res = compare_schedulers(["HEFT"], suite, etc_draws=1, seed=3)
+        assert len(res.instance_names) == 2
+
+    def test_custom_scheduler_object(self, small_dags):
+        class MyScheduler(Scheduler):
+            name = "mine"
+
+            def schedule(self, instance: Instance) -> Schedule:
+                s = Schedule(instance.machine, name="mine")
+                order = instance.dag.topological_order()
+                for t in order:
+                    p = eft_placement(s, instance, t)
+                    s.add(t, p.proc, p.start, p.end - p.start)
+                return s
+
+        res = compare_schedulers([MyScheduler(), "HEFT"], small_dags,
+                                 num_procs=3, etc_draws=1, seed=4)
+        assert "mine" in res.scheduler_names
+        assert res.mean_slr("mine") >= 1.0
+
+    def test_invalid_custom_scheduler_caught(self, small_dags):
+        class Broken(Scheduler):
+            name = "broken"
+
+            def schedule(self, instance: Instance) -> Schedule:
+                return Schedule(instance.machine)  # schedules nothing
+
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            compare_schedulers([Broken()], small_dags[:1], etc_draws=1)
+
+    def test_duplicate_names_rejected(self, small_dags):
+        with pytest.raises(ConfigurationError):
+            compare_schedulers(["HEFT", "HEFT"], small_dags)
+
+    def test_empty_dags_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_schedulers(["HEFT"], [])
+
+    def test_bad_draws_rejected(self, small_dags):
+        with pytest.raises(ConfigurationError):
+            compare_schedulers(["HEFT"], small_dags, etc_draws=0)
+
+    def test_deterministic(self, small_dags):
+        a = compare_schedulers(["HEFT"], small_dags, etc_draws=2, seed=5)
+        b = compare_schedulers(["HEFT"], small_dags, etc_draws=2, seed=5)
+        assert a.makespans == b.makespans

@@ -1,0 +1,63 @@
+"""Tests for the experiment registry (smoke-runs the quick protocol of a
+representative subset; the benchmarks/ tree runs all of them)."""
+
+import pytest
+
+from repro.bench.registry import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestRegistryStructure:
+    def test_experiment_ids(self):
+        ids = all_experiment_ids()
+        # E1..E15 are the paper's artifacts; E16..E18 are extensions
+        # documented in DESIGN.md §4b.
+        assert ids == [f"E{i}" for i in range(1, 19)]
+
+    def test_lookup(self):
+        exp = get_experiment("E9")
+        assert exp.artifact == "table"
+        assert "airwise" in exp.title or "pairwise" in exp.title.lower()
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_artifacts_classified(self):
+        kinds = {get_experiment(e).artifact for e in all_experiment_ids()}
+        assert kinds == {"figure", "table"}
+
+
+class TestWorkloadAxes:
+    def test_quick_axes_are_subprotocol(self):
+        from repro.bench import workloads as W
+
+        assert set(W.sizes(True)) <= set(W.sizes(False))
+        assert set(W.ccrs(True)) <= set(W.ccrs(False))
+        assert set(W.proc_counts(True)) <= set(W.proc_counts(False))
+        assert W.reps(True) < W.reps(False)
+
+    def test_compared_lineups(self):
+        from repro.bench import workloads as W
+
+        assert "IMP" in W.COMPARED and "HEFT" in W.COMPARED
+        assert set(W.COMPARED) <= set(W.COMPARED_WIDE)
+        assert "MCP" in W.COMPARED_HOMOGENEOUS
+
+
+class TestQuickRuns:
+    """Tiny smoke runs; the statistical assertions live in benchmarks/."""
+
+    def test_e13_optimality_report(self):
+        report = run_experiment("E13", quick=True)
+        assert "optimality" in report.lower()
+        assert "IMP" in report and "HEFT" in report
+
+    def test_e12_ablation_report(self):
+        report = run_experiment("E12", quick=True)
+        assert "none (=HEFT)" in report
+        assert "+0.00%" in report  # the baseline row gains nothing

@@ -1,0 +1,33 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.bench.report import generate_report, write_report
+from repro.exceptions import ExperimentError
+
+
+class TestGenerateReport:
+    def test_single_experiment(self):
+        text = generate_report(quick=True, experiment_ids=["E13"])
+        assert text.startswith("# Regenerated evaluation")
+        assert "## E13" in text
+        assert "optimality gap" in text
+        assert "protocol: quick" in text
+
+    def test_metadata_header(self):
+        text = generate_report(quick=True, experiment_ids=["E13"])
+        assert "library: repro" in text
+        assert "python:" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            generate_report(experiment_ids=["E99"])
+
+    def test_write(self, tmp_path):
+        path = write_report(tmp_path / "r.md", quick=True, experiment_ids=["E13"])
+        assert path.exists()
+        assert "E13" in path.read_text()
+
+    def test_order_preserved(self):
+        text = generate_report(quick=True, experiment_ids=["E13", "E12"])
+        assert text.index("## E13") < text.index("## E12")

@@ -1,0 +1,83 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.bench.runner import METRICS, run_instances, run_sweep
+from repro.bench import workloads as W
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import spawn_children
+
+
+def tiny_factory(x, rng):
+    return W.random_instance(rng, num_tasks=int(x), num_procs=3)
+
+
+class TestRunSweep:
+    def test_shape_of_result(self):
+        res = run_sweep(["HEFT", "CPOP"], "n", [10, 20], tiny_factory, reps=2, seed=1)
+        assert res.x_values == [10, 20]
+        assert set(res.series) == {"HEFT", "CPOP"}
+        assert len(res.series["HEFT"]) == 2
+        assert len(res.raw["HEFT"][0]) == 2
+
+    def test_deterministic(self):
+        a = run_sweep(["HEFT"], "n", [15], tiny_factory, reps=2, seed=3)
+        b = run_sweep(["HEFT"], "n", [15], tiny_factory, reps=2, seed=3)
+        assert a.series == b.series
+
+    def test_paired_instances(self):
+        # Both schedulers see the same instances: Random with the same
+        # seed as itself must produce identical series.
+        res = run_sweep(["HEFT", "HEFT-median"], "n", [12], tiny_factory, reps=3, seed=4)
+        # means are finite and positive SLRs
+        for vals in res.series.values():
+            assert all(v >= 1.0 - 1e-9 for v in vals)
+
+    def test_metric_selection(self):
+        res = run_sweep(["HEFT"], "n", [12], tiny_factory, reps=1, metric="speedup", seed=5)
+        assert res.metric == "speedup"
+        assert res.series["HEFT"][0] > 0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(["HEFT"], "n", [10], tiny_factory, metric="nope")
+
+    def test_bad_reps(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(["HEFT"], "n", [10], tiny_factory, reps=0)
+
+    def test_table_renders(self):
+        res = run_sweep(["HEFT"], "n", [10], tiny_factory, reps=1, seed=6)
+        text = res.table("demo")
+        assert "demo" in text and "HEFT" in text
+
+    def test_best_at(self):
+        res = run_sweep(["HEFT", "Random"], "n", [20], tiny_factory, reps=3, seed=7)
+        assert res.best_at(0) == "HEFT"
+
+    def test_best_at_higher_better(self):
+        res = run_sweep(
+            ["HEFT", "Random"], "n", [20], tiny_factory, reps=3,
+            metric="speedup", seed=7,
+        )
+        assert res.best_at(0) == "HEFT"
+
+    def test_mean_over_x(self):
+        res = run_sweep(["HEFT"], "n", [10, 20], tiny_factory, reps=1, seed=8)
+        assert res.mean_over_x("HEFT") == pytest.approx(
+            sum(res.series["HEFT"]) / 2
+        )
+
+    def test_sched_seconds_recorded(self):
+        res = run_sweep(["HEFT"], "n", [10], tiny_factory, reps=1, seed=9)
+        assert res.sched_seconds["HEFT"] > 0
+
+
+class TestRunInstances:
+    def test_aligned_output(self):
+        instances = [tiny_factory(10, rng) for rng in spawn_children(0, 3)]
+        out = run_instances(["HEFT", "CPOP"], instances)
+        assert len(out["HEFT"]) == len(out["CPOP"]) == 3
+
+    def test_all_metrics_registered(self):
+        assert {"slr", "speedup", "efficiency", "makespan"} <= set(METRICS)

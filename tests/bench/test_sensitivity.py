@@ -1,0 +1,63 @@
+"""Tests for the parameter-sensitivity analyser."""
+
+import pytest
+
+from repro.bench.sensitivity import OperatingPoint, analyze_sensitivity
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small, deterministic analysis shared by the assertions below.
+    return analyze_sensitivity(
+        "HEFT",
+        base=OperatingPoint(num_tasks=50, num_procs=4, ccr=1.0, heterogeneity=0.5),
+        step=0.5,
+        reps=3,
+        seed=7,
+    )
+
+
+class TestAnalyzeSensitivity:
+    def test_all_parameters_reported(self, result):
+        assert set(result.elasticities) == {
+            "ccr", "heterogeneity", "num_procs", "num_tasks"
+        }
+
+    def test_base_slr_sane(self, result):
+        assert result.base_slr >= 1.0
+
+    def test_ccr_elasticity_positive(self, result):
+        # More communication always hurts at this operating point.
+        assert result.elasticities["ccr"] > 0
+
+    def test_finite_values(self, result):
+        import math
+
+        for v in result.elasticities.values():
+            assert math.isfinite(v)
+
+    def test_dominant_is_argmax(self, result):
+        dom = result.dominant()
+        assert abs(result.elasticities[dom]) == max(
+            abs(v) for v in result.elasticities.values()
+        )
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "elasticity" in text and "HEFT" in text
+
+    def test_deterministic(self):
+        a = analyze_sensitivity("HEFT", reps=2, seed=9,
+                                base=OperatingPoint(num_tasks=30, num_procs=3))
+        b = analyze_sensitivity("HEFT", reps=2, seed=9,
+                                base=OperatingPoint(num_tasks=30, num_procs=3))
+        assert a.elasticities == b.elasticities
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analyze_sensitivity(step=0.0)
+        with pytest.raises(ConfigurationError):
+            analyze_sensitivity(step=1.0)
+        with pytest.raises(ConfigurationError):
+            analyze_sensitivity(reps=0)

@@ -1,0 +1,91 @@
+"""Shared fixtures: canonical small graphs, machines and instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.instance import Instance, homogeneous_instance, make_instance
+from repro.machine.cluster import Machine
+from repro.machine.etc import ETCMatrix
+
+import numpy as np
+
+
+@pytest.fixture
+def diamond_dag() -> TaskDAG:
+    """a -> {b, c} -> d with distinct costs and data volumes."""
+    dag = TaskDAG("diamond")
+    for tid, cost in (("a", 2.0), ("b", 4.0), ("c", 3.0), ("d", 2.0)):
+        dag.add_task(Task(tid, cost=cost))
+    dag.add_edge("a", "b", data=3.0)
+    dag.add_edge("a", "c", data=1.0)
+    dag.add_edge("b", "d", data=2.0)
+    dag.add_edge("c", "d", data=2.0)
+    return dag
+
+
+@pytest.fixture
+def chain_dag() -> TaskDAG:
+    """Linear chain t0 -> t1 -> t2 -> t3."""
+    dag = TaskDAG("chain")
+    prev = None
+    for i in range(4):
+        dag.add_task(Task(i, cost=float(i + 1)))
+        if prev is not None:
+            dag.add_edge(prev, i, data=2.0)
+        prev = i
+    return dag
+
+
+@pytest.fixture
+def diamond_instance(diamond_dag) -> Instance:
+    """Diamond on 3 heterogeneous processors (seeded)."""
+    return make_instance(diamond_dag, num_procs=3, heterogeneity=0.5, seed=42)
+
+
+@pytest.fixture
+def homogeneous_diamond(diamond_dag) -> Instance:
+    return homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+
+
+def make_topcuoglu_instance() -> Instance:
+    """The canonical 10-task example of Topcuoglu et al. (TPDS 2002).
+
+    Published reference values: upward ranks (mean aggregation)
+    n1=108.000, n2=77.000, n3=80.000, n4=80.000, n5=69.000, n6=63.333,
+    n7=42.667, n8=35.667, n9=44.333, n10=14.667; HEFT makespan 80,
+    CPOP makespan 86 on 3 fully connected processors.
+    """
+    dag = TaskDAG("topcuoglu2002")
+    etc_rows = {
+        1: (14, 16, 9),
+        2: (13, 19, 18),
+        3: (11, 13, 19),
+        4: (13, 8, 17),
+        5: (12, 13, 10),
+        6: (13, 16, 9),
+        7: (7, 15, 11),
+        8: (5, 11, 14),
+        9: (18, 12, 20),
+        10: (21, 7, 16),
+    }
+    for tid, row in etc_rows.items():
+        dag.add_task(Task(tid, cost=float(sum(row)) / 3.0))
+    edges = [
+        (1, 2, 18), (1, 3, 12), (1, 4, 9), (1, 5, 11), (1, 6, 14),
+        (2, 8, 19), (2, 9, 16), (3, 7, 23), (4, 8, 27), (4, 9, 23),
+        (5, 9, 13), (6, 8, 15), (7, 10, 17), (8, 10, 11), (9, 10, 13),
+    ]
+    for u, v, d in edges:
+        dag.add_edge(u, v, data=float(d))
+    machine = Machine.homogeneous(3, latency=0.0, bandwidth=1.0, name="topcuoglu-3p")
+    values = np.array([etc_rows[t] for t in dag.tasks()], dtype=float)
+    etc = ETCMatrix(list(dag.tasks()), machine.proc_ids(), values)
+    return Instance(dag=dag, machine=machine, etc=etc, name="topcuoglu2002")
+
+
+@pytest.fixture
+def topcuoglu_instance() -> Instance:
+    return make_topcuoglu_instance()

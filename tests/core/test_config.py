@@ -1,0 +1,46 @@
+"""Tests for ImprovedConfig (the ablation surface)."""
+
+import pytest
+
+from repro.core.config import ImprovedConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_enable_everything(self):
+        c = ImprovedConfig()
+        assert c.lookahead and c.duplication and c.refinement
+        assert len(c.rank_variants) >= 2
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImprovedConfig(rank_variants=())
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImprovedConfig(rank_variants=("mean", "mode"))  # type: ignore[arg-type]
+
+    def test_duplicate_variants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImprovedConfig(rank_variants=("mean", "mean"))
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImprovedConfig(refinement_rounds=-1)
+
+    def test_frozen(self):
+        c = ImprovedConfig()
+        with pytest.raises(AttributeError):
+            c.lookahead = False  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_baseline_heft_disables_all(self):
+        c = ImprovedConfig.baseline_heft()
+        assert not (c.lookahead or c.duplication or c.refinement)
+        assert c.rank_variants == ("mean",)
+
+    def test_labels(self):
+        assert ImprovedConfig().label() == "IMP[rank+la+dup+ref]"
+        assert ImprovedConfig.baseline_heft().label() == "IMP[none]"
+        assert ImprovedConfig(rank_variants=("mean",), duplication=False).label() == "IMP[la+ref]"

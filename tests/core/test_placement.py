@@ -1,0 +1,179 @@
+"""Tests for the lookahead/duplication placement engine."""
+
+import pytest
+
+from repro.core.placement import PlacementEngine
+from repro.dag.graph import TaskDAG
+from repro.instance import homogeneous_instance, make_instance
+from repro.dag.generators import random_dag
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate
+from repro.schedulers.base import eft_placement
+from repro.schedulers.ranking import upward_ranks
+
+
+@pytest.fixture
+def fork_instance():
+    """a broadcasts expensive data to both children: the second child
+    must either wait 50 time units, queue behind its sibling, or re-run
+    a locally — duplication pays."""
+    dag = TaskDAG.from_edges(
+        [("a", "b", 50.0), ("a", "c", 50.0)],
+        costs={"a": 2.0, "b": 5.0, "c": 5.0},
+    )
+    return homogeneous_instance(dag, num_procs=2, bandwidth=1.0)
+
+
+class TestPlainEngineMatchesEft:
+    def test_equivalent_to_eft(self, topcuoglu_instance):
+        engine = PlacementEngine(lookahead=False, duplication=False)
+        ranks = upward_ranks(topcuoglu_instance)
+        from repro.schedulers.heft import HEFT
+
+        order = HEFT().priority_order(topcuoglu_instance)
+        s_engine = Schedule(topcuoglu_instance.machine)
+        s_ref = Schedule(topcuoglu_instance.machine)
+        for t in order:
+            engine.place(s_engine, topcuoglu_instance, t, ranks)
+            p = eft_placement(s_ref, topcuoglu_instance, t)
+            s_ref.add(t, p.proc, p.start, p.end - p.start)
+        assert s_engine.makespan == pytest.approx(80.0)
+        assert s_engine.assignment() == s_ref.assignment()
+
+
+class TestDuplication:
+    def test_duplicates_constraining_parent(self, fork_instance):
+        engine = PlacementEngine(lookahead=False, duplication=True)
+        s = Schedule(fork_instance.machine)
+        engine.place(s, fork_instance, "a")
+        engine.place(s, fork_instance, "b")
+        engine.place(s, fork_instance, "c")
+        validate(s, fork_instance)
+        # With a duplicate of a on the second processor both children
+        # finish by t=7; without one the best alternative is 12 (queue
+        # both children on a's processor).
+        assert s.makespan <= 7.0 + 1e-9
+        assert s.num_duplicates() == 1
+
+    def test_duplicate_never_increases_eft(self, fork_instance):
+        plain = PlacementEngine(lookahead=False, duplication=False)
+        dup = PlacementEngine(lookahead=False, duplication=True)
+        for engine_pair in [(plain, dup)]:
+            spans = []
+            for engine in engine_pair:
+                s = Schedule(fork_instance.machine)
+                for t in ("a", "b", "c"):
+                    engine.place(s, fork_instance, t)
+                spans.append(s.makespan)
+            assert spans[1] <= spans[0] + 1e-9
+
+    def test_no_duplication_when_useless(self, fork_instance):
+        # Zero communication: duplicating can never help.
+        dag = TaskDAG.from_edges([("a", "b", 0.0)], costs={"a": 2.0, "b": 3.0})
+        inst = homogeneous_instance(dag, num_procs=2)
+        engine = PlacementEngine(lookahead=False, duplication=True)
+        s = Schedule(inst.machine)
+        engine.place(s, inst, "a")
+        engine.place(s, inst, "b")
+        assert s.num_duplicates() == 0
+
+    def test_max_duplications_respected(self):
+        # A join of many expensive remote parents: the engine may only
+        # duplicate up to the configured bound per placement.
+        edges = [((f"p{i}"), "join", 40.0) for i in range(6)]
+        costs = {f"p{i}": 1.0 for i in range(6)}
+        costs["join"] = 2.0
+        dag = TaskDAG.from_edges(edges, costs=costs)
+        inst = homogeneous_instance(dag, num_procs=3, bandwidth=1.0)
+        engine = PlacementEngine(lookahead=False, duplication=True,
+                                 max_duplications_per_task=2)
+        s = Schedule(inst.machine)
+        for t in dag.topological_order():
+            engine.place(s, inst, t)
+        validate(s, inst)
+        assert s.num_duplicates() <= 2 * dag.num_tasks
+
+    def test_rollback_leaves_no_garbage(self, topcuoglu_instance):
+        # After a full run the number of placements equals tasks plus
+        # committed duplicates; no tentative copies leak.
+        engine = PlacementEngine(lookahead=True, duplication=True)
+        ranks = upward_ranks(topcuoglu_instance)
+        from repro.schedulers.heft import HEFT
+
+        s = Schedule(topcuoglu_instance.machine)
+        for t in HEFT().priority_order(topcuoglu_instance):
+            engine.place(s, topcuoglu_instance, t, ranks)
+        assert len(s.all_placements()) == len(s) + s.num_duplicates()
+        validate(s, topcuoglu_instance)
+
+
+class TestLookaheadTrap:
+    """A deterministic instance where greedy EFT provably loses.
+
+    Task t runs slightly faster on P1, but its only child c is cheap on
+    P0 and t->c carries heavy data: picking P1 for t (greedy) forces c
+    into either an expensive run (P1) or an expensive transfer (P0).
+    """
+
+    @pytest.fixture
+    def trap(self):
+        import numpy as np
+
+        from repro.instance import Instance
+        from repro.machine.cluster import Machine
+        from repro.machine.etc import ETCMatrix
+
+        dag = TaskDAG.from_edges([("t", "c", 20.0)], costs={"t": 1.0, "c": 1.0})
+        machine = Machine.homogeneous(2, bandwidth=1.0)
+        etc = ETCMatrix(
+            ["t", "c"], [0, 1], np.array([[10.0, 9.0], [5.0, 50.0]])
+        )
+        return Instance(dag=dag, machine=machine, etc=etc)
+
+    def test_greedy_falls_in(self, trap):
+        from repro.schedulers.heft import HEFT
+
+        greedy = HEFT().schedule(trap)
+        assert greedy.proc_of("t") == 1  # EFT picks the 9 over the 10
+        assert greedy.makespan == pytest.approx(34.0)
+
+    def test_lookahead_avoids(self, trap):
+        from repro.core.lookahead import LookaheadScheduler
+
+        smart = LookaheadScheduler().schedule(trap)
+        validate(smart, trap)
+        assert smart.proc_of("t") == 0
+        assert smart.makespan == pytest.approx(15.0)
+
+    def test_improved_inherits_escape(self, trap):
+        from repro.core import ImprovedScheduler
+
+        assert ImprovedScheduler().schedule(trap).makespan == pytest.approx(15.0)
+
+
+class TestLookahead:
+    def test_lookahead_chain_avoids_greedy_trap(self):
+        # Classic trap: the greedy EFT puts t on a fast-but-remote
+        # processor, hurting its only (critical) child.  One-level
+        # lookahead must see through it at least as well as EFT overall.
+        dag = random_dag(40, seed=3)
+        inst = make_instance(dag, num_procs=4, heterogeneity=1.0, seed=3)
+        ranks = upward_ranks(inst)
+        from repro.schedulers.heft import HEFT
+
+        order = HEFT().priority_order(inst)
+        for flag in (False, True):
+            engine = PlacementEngine(lookahead=flag, duplication=False)
+            s = Schedule(inst.machine)
+            for t in order:
+                engine.place(s, inst, t, ranks)
+            validate(s, inst)
+
+    def test_lookahead_without_ranks_defaults(self, topcuoglu_instance):
+        engine = PlacementEngine(lookahead=True, duplication=False)
+        s = Schedule(topcuoglu_instance.machine)
+        from repro.schedulers.heft import HEFT
+
+        for t in HEFT().priority_order(topcuoglu_instance):
+            engine.place(s, topcuoglu_instance, t)  # ranks omitted
+        validate(s, topcuoglu_instance)

@@ -1,0 +1,73 @@
+"""Tests for the refinement post-pass."""
+
+import pytest
+
+from repro.core.refinement import refine_schedule
+from repro.dag.generators import random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.schedulers.baselines import RoundRobinScheduler
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_increases_makespan(self, seed):
+        dag = random_dag(60, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = HEFT().schedule(inst)
+        before = s.makespan
+        refine_schedule(s, inst, max_rounds=3)
+        validate(s, inst)
+        assert s.makespan <= before + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_improves_bad_schedules(self, seed):
+        # Round-robin leaves big holes; refinement should close some.
+        dag = random_dag(60, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = RoundRobinScheduler().schedule(inst)
+        before = s.makespan
+        moves = refine_schedule(s, inst, max_rounds=5)
+        validate(s, inst)
+        assert moves > 0
+        assert s.makespan < before - 1e-9
+
+
+class TestSemantics:
+    def test_zero_rounds_noop(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        before = s.assignment()
+        assert refine_schedule(s, topcuoglu_instance, max_rounds=0) == 0
+        assert s.assignment() == before
+
+    def test_fixed_point(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        refine_schedule(s, topcuoglu_instance, max_rounds=10)
+        # A second call finds nothing new.
+        assert refine_schedule(s, topcuoglu_instance, max_rounds=10) == 0
+
+    def test_keeps_feasibility_with_duplicates(self):
+        from repro.core.duplication import DuplicationScheduler
+        from repro.dag.generators import out_tree_dag
+
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=40.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+        s = DuplicationScheduler().schedule(inst)
+        if s.num_duplicates() == 0:
+            pytest.skip("no duplicates produced on this seed")
+        before_dups = s.num_duplicates()
+        refine_schedule(s, inst, max_rounds=2)
+        validate(s, inst)
+        assert s.num_duplicates() == before_dups  # duplicates pinned
+
+    def test_single_task(self):
+        from repro.dag.graph import TaskDAG
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        dag.add_task(Task("x", cost=3.0))
+        inst = homogeneous_instance(dag, num_procs=2)
+        s = HEFT().schedule(inst)
+        assert refine_schedule(s, inst) == 0

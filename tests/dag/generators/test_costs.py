@@ -1,0 +1,84 @@
+"""Tests for the cost-annotation helpers (scale_ccr, randomize_costs)."""
+
+import pytest
+
+from repro.dag.generators import randomize_costs, scale_ccr
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def dag() -> TaskDAG:
+    return TaskDAG.from_edges(
+        [("a", "b", 4.0), ("b", "c", 2.0)], costs={"a": 1.0, "b": 2.0, "c": 3.0}
+    )
+
+
+class TestScaleCcr:
+    @pytest.mark.parametrize("target", [0.1, 1.0, 3.7, 10.0])
+    def test_exact(self, dag, target):
+        out = scale_ccr(dag, target)
+        assert out.ccr() == pytest.approx(target)
+
+    def test_relative_edge_sizes_preserved(self, dag):
+        out = scale_ccr(dag, 5.0)
+        assert out.data("a", "b") / out.data("b", "c") == pytest.approx(2.0)
+
+    def test_original_untouched(self, dag):
+        scale_ccr(dag, 5.0)
+        assert dag.data("a", "b") == 4.0
+
+    def test_zero_target(self, dag):
+        out = scale_ccr(dag, 0.0)
+        assert out.total_data() == 0.0
+
+    def test_zero_data_graph_gets_uniform(self):
+        d = TaskDAG.from_edges([("a", "b", 0.0), ("b", "c", 0.0)],
+                               costs={"a": 1.0, "b": 1.0, "c": 1.0})
+        out = scale_ccr(d, 2.0)
+        assert out.ccr() == pytest.approx(2.0)
+        assert out.data("a", "b") == out.data("b", "c")
+
+    def test_negative_rejected(self, dag):
+        with pytest.raises(ConfigurationError):
+            scale_ccr(dag, -1.0)
+
+    def test_edgeless_nonzero_rejected(self):
+        d = TaskDAG()
+        d.add_task(Task("x", cost=1.0))
+        with pytest.raises(ConfigurationError):
+            scale_ccr(d, 1.0)
+
+    def test_zero_cost_graph_rejected(self):
+        d = TaskDAG.from_edges([("a", "b", 1.0)], costs={"a": 0.0, "b": 0.0})
+        with pytest.raises(ConfigurationError):
+            scale_ccr(d, 1.0)
+
+
+class TestRandomizeCosts:
+    def test_bounds(self, dag):
+        out = randomize_costs(dag, avg_cost=10.0, seed=1)
+        for t in out.tasks():
+            assert 0 < out.cost(t) <= 20.0
+        for u, v in out.edges():
+            assert 0 <= out.data(u, v) <= 20.0
+
+    def test_deterministic(self, dag):
+        a = randomize_costs(dag, seed=3)
+        b = randomize_costs(dag, seed=3)
+        assert [a.cost(t) for t in a.tasks()] == [b.cost(t) for t in b.tasks()]
+
+    def test_structure_preserved(self, dag):
+        out = randomize_costs(dag, seed=4)
+        assert set(out.edges()) == set(dag.edges())
+
+    def test_avg_data_control(self, dag):
+        out = randomize_costs(dag, avg_cost=10.0, avg_data=0.0, seed=5)
+        assert out.total_data() == 0.0
+
+    def test_bad_params(self, dag):
+        with pytest.raises(ConfigurationError):
+            randomize_costs(dag, avg_cost=0.0)
+        with pytest.raises(ConfigurationError):
+            randomize_costs(dag, avg_cost=1.0, avg_data=-1.0)

@@ -1,0 +1,92 @@
+"""Tests for the parametric random-DAG generator."""
+
+import pytest
+
+from repro.dag.analysis import graph_levels, parallelism_profile
+from repro.dag.generators import random_dag
+from repro.exceptions import ConfigurationError
+
+
+class TestBasicProperties:
+    def test_task_count_exact(self):
+        for n in (1, 7, 50, 173):
+            assert random_dag(n, seed=0).num_tasks == n
+
+    def test_acyclic_and_valid(self):
+        dag = random_dag(120, seed=1)
+        dag.validate()  # raises on any structural problem
+
+    def test_deterministic_per_seed(self):
+        a = random_dag(60, seed=5)
+        b = random_dag(60, seed=5)
+        assert list(a.tasks()) == list(b.tasks())
+        assert list(a.edges()) == list(b.edges())
+        assert [a.cost(t) for t in a.tasks()] == [b.cost(t) for t in b.tasks()]
+
+    def test_seeds_differ(self):
+        a = random_dag(60, seed=5)
+        b = random_dag(60, seed=6)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_connectivity_only_first_level_entries(self):
+        dag = random_dag(80, seed=2)
+        levels = graph_levels(dag)
+        for t in dag.entry_tasks():
+            assert levels[t] == 0
+
+    def test_costs_positive(self):
+        dag = random_dag(50, seed=3, avg_cost=10.0)
+        assert all(dag.cost(t) > 0 for t in dag.tasks())
+        assert all(dag.cost(t) <= 20.0 for t in dag.tasks())
+
+
+class TestCcrControl:
+    @pytest.mark.parametrize("ccr", [0.1, 1.0, 5.0, 10.0])
+    def test_ccr_exact(self, ccr):
+        dag = random_dag(60, ccr=ccr, seed=4)
+        assert dag.ccr() == pytest.approx(ccr, rel=1e-9)
+
+    def test_ccr_zero(self):
+        dag = random_dag(60, ccr=0.0, seed=4)
+        assert dag.total_data() == 0.0
+
+    def test_single_task_no_edges(self):
+        dag = random_dag(1, seed=0)
+        assert dag.num_edges == 0
+
+
+class TestShapeControl:
+    def test_fat_graphs_wider(self):
+        thin = random_dag(100, shape=0.3, seed=7)
+        fat = random_dag(100, shape=3.0, seed=7)
+        assert max(parallelism_profile(fat)) > max(parallelism_profile(thin))
+
+    def test_thin_graphs_deeper(self):
+        thin = random_dag(100, shape=0.3, seed=8)
+        fat = random_dag(100, shape=3.0, seed=8)
+        assert len(parallelism_profile(thin)) > len(parallelism_profile(fat))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": 0},
+            {"num_tasks": 10, "shape": 0.0},
+            {"num_tasks": 10, "shape": -1.0},
+            {"num_tasks": 10, "out_degree": 0},
+            {"num_tasks": 10, "ccr": -0.5},
+            {"num_tasks": 10, "avg_cost": 0.0},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            random_dag(**kwargs, seed=0)
+
+    def test_out_degree_bound_holds_for_extra_edges(self):
+        # Every task has at most out_degree optional children plus the
+        # mandatory-connectivity edges *incoming* to the next level; a
+        # task's out-degree can exceed out_degree only through those
+        # mandatory edges, which each child contributes at most once.
+        dag = random_dag(100, out_degree=2, seed=9)
+        dag.validate()

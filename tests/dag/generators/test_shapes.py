@@ -1,0 +1,199 @@
+"""Tests for fork-join, trees, series-parallel, layered and workflow
+generators."""
+
+import pytest
+
+from repro.dag.analysis import graph_levels
+from repro.dag.generators import (
+    fork_join_dag,
+    in_tree_dag,
+    layered_dag,
+    mapreduce_dag,
+    montage_dag,
+    out_tree_dag,
+    pipeline_dag,
+    series_parallel_dag,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestForkJoin:
+    def test_task_count(self):
+        dag = fork_join_dag(width=4, stages=2, chain_length=3)
+        # per stage: fork + join + width*chain
+        assert dag.num_tasks == 2 * (2 + 4 * 3)
+
+    def test_single_entry_exit(self):
+        dag = fork_join_dag(width=3, stages=2)
+        assert dag.entry_tasks() == [("fork", 0)]
+        assert dag.exit_tasks() == [("join", 1)]
+
+    def test_stages_serialise(self):
+        dag = fork_join_dag(width=2, stages=3)
+        assert dag.has_edge(("join", 0), ("fork", 1))
+
+    def test_jitter_seeded(self):
+        a = fork_join_dag(4, jitter=0.5, seed=1)
+        b = fork_join_dag(4, jitter=0.5, seed=1)
+        assert [a.cost(t) for t in a.tasks()] == [b.cost(t) for t in b.tasks()]
+
+    def test_no_jitter_uniform_costs(self):
+        dag = fork_join_dag(4, cost_scale=7.0)
+        assert {dag.cost(t) for t in dag.tasks()} == {7.0}
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            fork_join_dag(0)
+        with pytest.raises(ConfigurationError):
+            fork_join_dag(2, jitter=1.0)
+
+
+class TestTrees:
+    def test_out_tree_count(self):
+        assert out_tree_dag(2, 3).num_tasks == 15
+        assert out_tree_dag(3, 2).num_tasks == 13
+
+    def test_out_tree_root_entry(self):
+        dag = out_tree_dag(2, 3)
+        assert dag.entry_tasks() == [(0, 0)]
+        assert len(dag.exit_tasks()) == 8
+
+    def test_in_tree_root_exit(self):
+        dag = in_tree_dag(2, 3)
+        assert dag.exit_tasks() == [(0, 0)]
+        assert len(dag.entry_tasks()) == 8
+
+    def test_in_tree_is_out_tree_reversed(self):
+        out_t = out_tree_dag(2, 2)
+        in_t = in_tree_dag(2, 2)
+        assert set(in_t.edges()) == {(v, u) for u, v in out_t.edges()}
+
+    def test_depth_zero(self):
+        assert out_tree_dag(3, 0).num_tasks == 1
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            out_tree_dag(0, 2)
+        with pytest.raises(ConfigurationError):
+            in_tree_dag(2, -1)
+
+
+class TestSeriesParallel:
+    def test_roughly_requested_size(self):
+        dag = series_parallel_dag(50, seed=1)
+        assert 40 <= dag.num_tasks <= 70
+
+    def test_valid_and_deterministic(self):
+        a = series_parallel_dag(30, seed=2)
+        b = series_parallel_dag(30, seed=2)
+        a.validate()
+        assert set(a.edges()) == set(b.edges())
+
+    def test_ccr_exact(self):
+        dag = series_parallel_dag(40, ccr=2.5, seed=3)
+        assert dag.ccr() == pytest.approx(2.5)
+
+    def test_series_only(self):
+        dag = series_parallel_dag(20, parallel_bias=0.0, seed=4)
+        # Pure series composition: a chain, every degree <= 1.
+        assert all(dag.out_degree(t) <= 1 for t in dag.tasks())
+
+    def test_single_task(self):
+        assert series_parallel_dag(1, seed=0).num_tasks == 1
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            series_parallel_dag(0)
+        with pytest.raises(ConfigurationError):
+            series_parallel_dag(10, parallel_bias=1.5)
+
+
+class TestLayered:
+    def test_shape(self):
+        dag = layered_dag(5, 6, seed=1)
+        assert dag.num_tasks == 30
+        levels = graph_levels(dag)
+        assert max(levels.values()) == 4
+
+    def test_entries_only_in_layer_zero(self):
+        dag = layered_dag(4, 5, edge_probability=0.1, seed=2)
+        for t in dag.entry_tasks():
+            assert t < 5  # ids of layer 0
+
+    def test_edges_adjacent_layers_only(self):
+        dag = layered_dag(4, 5, seed=3)
+        for u, v in dag.edges():
+            assert v // 5 - u // 5 == 1
+
+    def test_probability_extremes(self):
+        full = layered_dag(3, 4, edge_probability=1.0, seed=4)
+        assert full.num_edges == 2 * 16
+        sparse = layered_dag(3, 4, edge_probability=0.0, seed=4)
+        assert sparse.num_edges == 2 * 4  # mandatory parents only
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            layered_dag(0, 5)
+        with pytest.raises(ConfigurationError):
+            layered_dag(3, 5, edge_probability=1.5)
+
+
+class TestMontage:
+    def test_structure(self):
+        dag = montage_dag(8, seed=0)
+        dag.validate()
+        # entries are exactly the projections
+        assert set(dag.entry_tasks()) == {("project", i) for i in range(8)}
+        assert dag.exit_tasks() == ["jpeg"]
+
+    def test_task_count(self):
+        imgs = 8
+        dag = montage_dag(imgs, seed=0)
+        assert dag.num_tasks == imgs + (imgs - 1) + 1 + 1 + imgs + 1 + 1 + 1
+
+    def test_projection_expensive(self):
+        dag = montage_dag(6, cost_scale=10.0, seed=0)
+        assert dag.cost(("project", 0)) > dag.cost(("difffit", 0))
+
+    def test_rejects_single_image(self):
+        with pytest.raises(ConfigurationError):
+            montage_dag(1)
+
+
+class TestMapReduce:
+    def test_shuffle_complete_bipartite(self):
+        dag = mapreduce_dag(4, 3, seed=0)
+        for i in range(4):
+            for j in range(3):
+                assert dag.has_edge(("map", i), ("reduce", j))
+
+    def test_single_entry_exit(self):
+        dag = mapreduce_dag(4, 3, seed=0)
+        assert dag.entry_tasks() == ["split"]
+        assert dag.exit_tasks() == ["collect"]
+
+    def test_counts(self):
+        dag = mapreduce_dag(5, 2, seed=0)
+        assert dag.num_tasks == 5 + 2 + 2
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            mapreduce_dag(0, 3)
+
+
+class TestPipeline:
+    def test_uncoupled_chains(self):
+        dag = pipeline_dag(3, 4)
+        assert dag.num_tasks == 12
+        assert dag.num_edges == 3 * 3
+        assert len(dag.entry_tasks()) == 3
+
+    def test_coupled_adds_halo(self):
+        plain = pipeline_dag(3, 4)
+        coupled = pipeline_dag(3, 4, coupled=True)
+        assert coupled.num_edges > plain.num_edges
+        assert coupled.has_edge((0, 0), (1, 1))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_dag(0, 3)

@@ -1,0 +1,154 @@
+"""Tests for the application-graph generators (Gaussian, FFT, Laplace,
+Cholesky)."""
+
+import pytest
+
+from repro.dag.analysis import critical_path_length, graph_levels
+from repro.dag.generators import (
+    cholesky_dag,
+    fft_dag,
+    gaussian_elimination_dag,
+    laplace_dag,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGaussian:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8, 12])
+    def test_task_count_formula(self, m):
+        dag = gaussian_elimination_dag(m)
+        assert dag.num_tasks == (m * m + m - 2) // 2
+
+    def test_single_entry_single_exit(self):
+        dag = gaussian_elimination_dag(6)
+        assert dag.entry_tasks() == [("piv", 0)]
+        assert dag.exit_tasks() == [("upd", 4, 5)]
+
+    def test_pivot_chain_dependencies(self):
+        dag = gaussian_elimination_dag(5)
+        for k in range(1, 4):
+            assert dag.has_edge(("upd", k - 1, k), ("piv", k))
+
+    def test_update_column_flow(self):
+        dag = gaussian_elimination_dag(5)
+        assert dag.has_edge(("upd", 0, 3), ("upd", 1, 3))
+
+    def test_costs_shrink_with_step(self):
+        dag = gaussian_elimination_dag(6)
+        assert dag.cost(("piv", 0)) > dag.cost(("piv", 4))
+
+    def test_validates(self):
+        gaussian_elimination_dag(10).validate()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_elimination_dag(1)
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_elimination_dag(5, cost_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            gaussian_elimination_dag(5, data_scale=-1.0)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("p,expected", [(2, 2 * 2 - 1 + 2 * 1), (4, 7 + 4 * 2), (8, 15 + 8 * 3)])
+    def test_task_count_formula(self, p, expected):
+        assert fft_dag(p).num_tasks == expected
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 1, 3, 6, 12):
+            with pytest.raises(ConfigurationError):
+                fft_dag(bad)
+
+    def test_single_entry(self):
+        dag = fft_dag(8)
+        assert dag.entry_tasks() == [("call", 0, 0)]
+
+    def test_exits_are_final_butterflies(self):
+        dag = fft_dag(8)
+        exits = dag.exit_tasks()
+        assert len(exits) == 8
+        assert all(t[0] == "bfly" and t[1] == 3 for t in exits)
+
+    def test_butterfly_has_two_parents(self):
+        dag = fft_dag(8)
+        for i in range(8):
+            assert dag.in_degree(("bfly", 2, i)) == 2
+
+    def test_depth(self):
+        dag = fft_dag(16)
+        # depth = tree (4) + butterflies (4) => max level index 8
+        assert max(graph_levels(dag).values()) == 8
+
+    def test_validates(self):
+        fft_dag(32).validate()
+
+
+class TestLaplace:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_task_count(self, n):
+        assert laplace_dag(n).num_tasks == n * n
+
+    def test_single_entry_exit(self):
+        dag = laplace_dag(4)
+        assert dag.entry_tasks() == [(0, 0)]
+        assert dag.exit_tasks() == [(3, 3)]
+
+    def test_wavefront_levels(self):
+        dag = laplace_dag(4)
+        levels = graph_levels(dag)
+        for (i, j), lv in levels.items():
+            assert lv == i + j
+
+    def test_cp_length(self):
+        n = 5
+        dag = laplace_dag(n, cost_scale=10.0, data_scale=0.0)
+        # CP = 2n-1 tasks of cost 10.
+        assert critical_path_length(dag) == pytest.approx(10.0 * (2 * n - 1))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            laplace_dag(0)
+
+
+class TestCholesky:
+    def test_task_kinds_and_counts(self):
+        t = 4
+        dag = cholesky_dag(t)
+        kinds = {}
+        for task in dag.task_objects():
+            kinds[task.attrs["kind"]] = kinds.get(task.attrs["kind"], 0) + 1
+        assert kinds["POTRF"] == t
+        assert kinds["TRSM"] == t * (t - 1) // 2
+        assert kinds["SYRK"] == t * (t - 1) // 2
+        assert kinds["GEMM"] == sum(
+            (t - 1 - k) * (t - 2 - k) // 2 for k in range(t)
+        )
+
+    def test_single_tile_is_one_task(self):
+        assert cholesky_dag(1).num_tasks == 1
+
+    def test_entry_is_first_potrf(self):
+        dag = cholesky_dag(4)
+        assert dag.entry_tasks() == [("POTRF", 0)]
+
+    def test_exit_is_last_potrf(self):
+        dag = cholesky_dag(4)
+        assert dag.exit_tasks() == [("POTRF", 3)]
+
+    def test_trsm_depends_on_potrf(self):
+        dag = cholesky_dag(3)
+        assert dag.has_edge(("POTRF", 0), ("TRSM", 0, 1))
+
+    def test_gemm_cost_double(self):
+        dag = cholesky_dag(4, cost_scale=6.0)
+        assert dag.cost(("GEMM", 0, 1, 2)) == pytest.approx(12.0)
+        assert dag.cost(("POTRF", 0)) == pytest.approx(2.0)
+
+    def test_validates(self):
+        cholesky_dag(6).validate()
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ConfigurationError):
+            cholesky_dag(0)

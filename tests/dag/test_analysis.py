@@ -1,0 +1,132 @@
+"""Tests for repro.dag.analysis."""
+
+import pytest
+
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    graph_levels,
+    ideal_lower_bound,
+    map_costs,
+    parallelism_profile,
+    static_levels,
+    top_levels,
+)
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+
+
+@pytest.fixture
+def dag(diamond_dag) -> TaskDAG:
+    return diamond_dag  # a(2) -> b(4)[3], a -> c(3)[1], b -> d(2)[2], c -> d[2]
+
+
+class TestTopLevels:
+    def test_entry_is_zero(self, dag):
+        assert top_levels(dag)["a"] == 0.0
+
+    def test_with_comm(self, dag):
+        tl = top_levels(dag)
+        assert tl["b"] == pytest.approx(2 + 3)
+        assert tl["c"] == pytest.approx(2 + 1)
+        # d: max(tl_b + 4 + 2, tl_c + 3 + 2) = max(11, 8) = 11
+        assert tl["d"] == pytest.approx(11)
+
+    def test_without_comm(self, dag):
+        tl = top_levels(dag, include_comm=False)
+        assert tl["d"] == pytest.approx(6)  # a + b
+
+
+class TestBottomLevels:
+    def test_exit_is_own_cost(self, dag):
+        assert bottom_levels(dag)["d"] == 2.0
+
+    def test_with_comm(self, dag):
+        bl = bottom_levels(dag)
+        assert bl["b"] == pytest.approx(4 + 2 + 2)
+        assert bl["c"] == pytest.approx(3 + 2 + 2)
+        assert bl["a"] == pytest.approx(2 + 3 + 8)  # via b
+
+    def test_static_levels_ignore_comm(self, dag):
+        sl = static_levels(dag)
+        assert sl["a"] == pytest.approx(2 + 4 + 2)
+
+
+class TestCriticalPath:
+    def test_length_with_comm(self, dag):
+        assert critical_path_length(dag) == pytest.approx(13)
+
+    def test_length_without_comm(self, dag):
+        assert critical_path_length(dag, include_comm=False) == pytest.approx(8)
+
+    def test_path_nodes(self, dag):
+        assert critical_path(dag) == ["a", "b", "d"]
+
+    def test_path_is_a_real_path(self, dag):
+        path = critical_path(dag)
+        for u, v in zip(path, path[1:]):
+            assert dag.has_edge(u, v)
+
+    def test_empty_graph(self):
+        d = TaskDAG()
+        assert critical_path(d) == []
+        assert critical_path_length(d) == 0.0
+
+    def test_single_task(self):
+        d = TaskDAG()
+        d.add_task(Task("x", cost=5.0))
+        assert critical_path(d) == ["x"]
+        assert critical_path_length(d) == 5.0
+
+    def test_path_length_consistency(self, dag):
+        path = critical_path(dag)
+        length = sum(dag.cost(t) for t in path) + sum(
+            dag.data(u, v) for u, v in zip(path, path[1:])
+        )
+        assert length == pytest.approx(critical_path_length(dag))
+
+
+class TestLevelsAndProfile:
+    def test_graph_levels(self, dag):
+        lv = graph_levels(dag)
+        assert lv == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_parallelism_profile(self, dag):
+        assert parallelism_profile(dag) == [1, 2, 1]
+
+    def test_profile_sums_to_task_count(self, dag):
+        assert sum(parallelism_profile(dag)) == dag.num_tasks
+
+    def test_empty_profile(self):
+        assert parallelism_profile(TaskDAG()) == []
+
+
+class TestIdealLowerBound:
+    def test_cp_dominates_when_few_procs_irrelevant(self, dag):
+        # CP (no comm) = 8; work/q = 11/4 = 2.75
+        assert ideal_lower_bound(dag, 4) == pytest.approx(8)
+
+    def test_work_dominates_single_proc(self, dag):
+        assert ideal_lower_bound(dag, 1) == pytest.approx(11)
+
+    def test_rejects_zero_procs(self, dag):
+        with pytest.raises(ValueError):
+            ideal_lower_bound(dag, 0)
+
+    def test_empty(self):
+        assert ideal_lower_bound(TaskDAG(), 4) == 0.0
+
+
+class TestMapCosts:
+    def test_doubling(self, dag):
+        doubled = map_costs(dag, lambda t, c: 2 * c)
+        assert doubled.cost("a") == 4.0
+        assert dag.cost("a") == 2.0  # original untouched
+        assert doubled.data("a", "b") == dag.data("a", "b")
+
+    def test_scaling_scales_cp(self, dag):
+        doubled = map_costs(dag, lambda t, c: 2 * c)
+        assert critical_path_length(doubled, include_comm=False) == pytest.approx(
+            2 * critical_path_length(dag, include_comm=False)
+        )

@@ -1,0 +1,127 @@
+"""Tests for multi-DAG composition and fairness metrics."""
+
+import pytest
+
+from repro.dag.compose import (
+    disjoint_union,
+    per_dag_spans,
+    sequential_chain,
+    unfairness,
+)
+from repro.dag.generators import random_dag
+from repro.dag.graph import TaskDAG
+from repro.exceptions import GraphError
+from repro.instance import homogeneous_instance
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+
+
+@pytest.fixture
+def two_apps(diamond_dag, chain_dag):
+    return {"app1": diamond_dag, "app2": chain_dag}
+
+
+class TestDisjointUnion:
+    def test_counts(self, two_apps):
+        union = disjoint_union(two_apps)
+        assert union.num_tasks == 8
+        assert union.num_edges == 4 + 3
+        union.validate()
+
+    def test_namespacing(self, two_apps):
+        union = disjoint_union(two_apps)
+        assert union.has_task(("app1", "a"))
+        assert union.has_task(("app2", 0))
+
+    def test_no_cross_edges(self, two_apps):
+        union = disjoint_union(two_apps)
+        for u, v in union.edges():
+            assert u[0] == v[0]
+
+    def test_sequence_input_auto_tags(self, diamond_dag):
+        union = disjoint_union([diamond_dag, diamond_dag.copy()])
+        assert union.num_tasks == 8  # duplicate names uniquified
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            disjoint_union([])
+
+    def test_costs_preserved(self, two_apps):
+        union = disjoint_union(two_apps)
+        assert union.cost(("app1", "b")) == 4.0
+
+
+class TestSequentialChain:
+    def test_gating_edges(self, two_apps):
+        chain = sequential_chain(two_apps)
+        # app1's exit d gates app2's entry 0.
+        assert chain.has_edge(("app1", "d"), ("app2", 0))
+        chain.validate()
+
+    def test_single_entry_preserved(self, two_apps):
+        chain = sequential_chain(two_apps)
+        assert chain.entry_tasks() == [("app1", "a")]
+
+    def test_gating_edges_carry_no_data(self, two_apps):
+        chain = sequential_chain(two_apps)
+        assert chain.data(("app1", "d"), ("app2", 0)) == 0.0
+
+
+class TestSpansAndFairness:
+    def test_per_dag_spans(self, two_apps):
+        union = disjoint_union(two_apps)
+        inst = homogeneous_instance(union, num_procs=3)
+        schedule = HEFT().schedule(inst)
+        validate(schedule, inst)
+        spans = per_dag_spans(schedule, union)
+        assert set(spans) == {"app1", "app2"}
+        assert max(spans.values()) == pytest.approx(schedule.makespan)
+
+    def test_spans_reject_unnamespaced(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2)
+        schedule = HEFT().schedule(inst)
+        with pytest.raises(GraphError):
+            per_dag_spans(schedule, diamond_dag)
+
+    def test_unfairness_zero_for_equal_slowdowns(self, two_apps):
+        union = disjoint_union(two_apps)
+        inst = homogeneous_instance(union, num_procs=3)
+        schedule = HEFT().schedule(inst)
+        spans = per_dag_spans(schedule, union)
+        # Using the shared spans as "solo" spans makes slowdown 1.0 for
+        # all apps: unfairness must be 0.
+        assert unfairness(schedule, union, spans) == pytest.approx(0.0)
+
+    def test_unfairness_positive_when_one_app_starved(self, two_apps):
+        union = disjoint_union(two_apps)
+        inst = homogeneous_instance(union, num_procs=3)
+        schedule = HEFT().schedule(inst)
+        spans = per_dag_spans(schedule, union)
+        solo = dict(spans)
+        solo["app1"] = spans["app1"] / 3.0  # pretend app1 alone was 3x faster
+        assert unfairness(schedule, union, solo) > 0.0
+
+    def test_unfairness_missing_solo(self, two_apps):
+        union = disjoint_union(two_apps)
+        inst = homogeneous_instance(union, num_procs=3)
+        schedule = HEFT().schedule(inst)
+        with pytest.raises(GraphError):
+            unfairness(schedule, union, {"app1": 1.0})
+
+    def test_composite_schedulable_by_all(self, two_apps):
+        union = disjoint_union(two_apps)
+        inst = homogeneous_instance(union, num_procs=2)
+        from repro.core import ImprovedScheduler
+
+        for alg in (HEFT(), ImprovedScheduler()):
+            validate(alg.schedule(inst), inst)
+
+    def test_large_union(self):
+        apps = {f"w{i}": random_dag(20, seed=i) for i in range(4)}
+        union = disjoint_union(apps)
+        assert union.num_tasks == 80
+        inst = homogeneous_instance(union, num_procs=4)
+        schedule = HEFT().schedule(inst)
+        validate(schedule, inst)
+        spans = per_dag_spans(schedule, union)
+        assert len(spans) == 4

@@ -1,0 +1,234 @@
+"""Tests for repro.dag.graph.TaskDAG."""
+
+import pytest
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import (
+    CostError,
+    CycleError,
+    DuplicateTaskError,
+    GraphError,
+    UnknownTaskError,
+)
+
+
+@pytest.fixture
+def dag() -> TaskDAG:
+    d = TaskDAG("t")
+    for tid, cost in (("a", 2.0), ("b", 4.0), ("c", 3.0)):
+        d.add_task(Task(tid, cost=cost))
+    d.add_edge("a", "b", data=5.0)
+    d.add_edge("b", "c", data=1.0)
+    return d
+
+
+class TestConstruction:
+    def test_add_task_object(self):
+        d = TaskDAG()
+        t = d.add_task(Task("x", cost=7.0))
+        assert t.cost == 7.0 and d.has_task("x")
+
+    def test_add_task_bare_id(self):
+        d = TaskDAG()
+        t = d.add_task("x", cost=3.0)
+        assert t.cost == 3.0
+
+    def test_add_task_default_cost(self):
+        d = TaskDAG()
+        assert d.add_task("x").cost == 1.0
+
+    def test_cost_both_ways_rejected(self):
+        d = TaskDAG()
+        with pytest.raises(ValueError):
+            d.add_task(Task("x", cost=1.0), cost=2.0)
+
+    def test_duplicate_task_rejected(self, dag):
+        with pytest.raises(DuplicateTaskError):
+            dag.add_task("a")
+
+    def test_edge_to_unknown_rejected(self, dag):
+        with pytest.raises(UnknownTaskError):
+            dag.add_edge("a", "zzz")
+        with pytest.raises(UnknownTaskError):
+            dag.add_edge("zzz", "a")
+
+    def test_self_loop_rejected(self, dag):
+        with pytest.raises(CycleError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected(self, dag):
+        with pytest.raises(CycleError):
+            dag.add_edge("c", "a")
+
+    def test_duplicate_edge_rejected(self, dag):
+        with pytest.raises(GraphError):
+            dag.add_edge("a", "b")
+
+    def test_negative_data_rejected(self, dag):
+        with pytest.raises(CostError):
+            dag.add_edge("a", "c", data=-1.0)
+
+    def test_nan_data_rejected(self, dag):
+        with pytest.raises(CostError):
+            dag.add_edge("a", "c", data=float("nan"))
+
+
+class TestQueries:
+    def test_counts(self, dag):
+        assert dag.num_tasks == 3 and dag.num_edges == 2
+        assert len(dag) == 3
+
+    def test_contains(self, dag):
+        assert "a" in dag and "zzz" not in dag
+
+    def test_cost_and_data(self, dag):
+        assert dag.cost("b") == 4.0
+        assert dag.data("a", "b") == 5.0
+
+    def test_data_missing_edge(self, dag):
+        with pytest.raises(GraphError):
+            dag.data("a", "c")
+
+    def test_unknown_task_lookup(self, dag):
+        with pytest.raises(UnknownTaskError):
+            dag.task("zzz")
+        with pytest.raises(UnknownTaskError):
+            dag.predecessors("zzz")
+
+    def test_neighbours(self, dag):
+        assert dag.predecessors("b") == ["a"]
+        assert dag.successors("b") == ["c"]
+        assert dag.in_degree("b") == 1 and dag.out_degree("b") == 1
+
+    def test_entry_exit(self, dag):
+        assert dag.entry_tasks() == ["a"]
+        assert dag.exit_tasks() == ["c"]
+
+    def test_totals(self, dag):
+        assert dag.total_cost() == pytest.approx(9.0)
+        assert dag.total_data() == pytest.approx(6.0)
+        assert dag.ccr() == pytest.approx(6.0 / 9.0)
+
+    def test_ccr_zero_cost_graph(self):
+        d = TaskDAG()
+        d.add_task(Task("x", cost=0.0))
+        assert d.ccr() == 0.0
+
+
+class TestTopologicalOrder:
+    def test_parents_first(self, dag):
+        order = dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_deterministic_across_calls(self, dag):
+        assert dag.topological_order() == dag.topological_order()
+
+    def test_cache_invalidated_on_mutation(self, dag):
+        dag.topological_order()
+        dag.add_task("z")
+        assert "z" in dag.topological_order()
+
+    def test_insertion_order_independent(self):
+        d1 = TaskDAG()
+        d2 = TaskDAG()
+        for tid in ("x", "y", "z"):
+            d1.add_task(tid)
+        for tid in ("z", "y", "x"):
+            d2.add_task(tid)
+        for d in (d1, d2):
+            d.add_edge("x", "z")
+        assert d1.topological_order() == d2.topological_order()
+
+
+class TestMutation:
+    def test_set_cost(self, dag):
+        dag.set_cost("a", 10.0)
+        assert dag.cost("a") == 10.0
+
+    def test_set_data(self, dag):
+        dag.set_data("a", "b", 9.0)
+        assert dag.data("a", "b") == 9.0
+
+    def test_set_data_missing_edge(self, dag):
+        with pytest.raises(GraphError):
+            dag.set_data("a", "c", 1.0)
+
+    def test_set_data_negative(self, dag):
+        with pytest.raises(CostError):
+            dag.set_data("a", "b", -1.0)
+
+    def test_remove_task(self, dag):
+        dag.remove_task("b")
+        assert not dag.has_task("b")
+        assert dag.num_edges == 0
+
+    def test_remove_unknown(self, dag):
+        with pytest.raises(UnknownTaskError):
+            dag.remove_task("zzz")
+
+
+class TestFromEdges:
+    def test_basic(self):
+        d = TaskDAG.from_edges([("a", "b", 2.0), ("b", "c")], costs={"a": 5.0})
+        assert d.num_tasks == 3
+        assert d.cost("a") == 5.0
+        assert d.cost("b") == 1.0
+        assert d.data("a", "b") == 2.0
+        assert d.data("b", "c") == 0.0
+
+    def test_isolated_task_via_costs(self):
+        d = TaskDAG.from_edges([("a", "b")], costs={"lonely": 3.0})
+        assert d.has_task("lonely") and d.out_degree("lonely") == 0
+
+    def test_cycle_detected(self):
+        with pytest.raises(CycleError):
+            TaskDAG.from_edges([("a", "b"), ("b", "a")])
+
+
+class TestTransformations:
+    def test_copy_independent(self, dag):
+        clone = dag.copy()
+        clone.add_task("new")
+        assert not dag.has_task("new")
+        assert clone.cost("a") == dag.cost("a")
+
+    def test_relabel(self, dag):
+        new = dag.relabel({"a": "A"})
+        assert new.has_task("A") and not new.has_task("a")
+        assert new.data("A", "b") == 5.0
+        # Original untouched.
+        assert dag.has_task("a")
+
+    def test_relabel_collision_rejected(self, dag):
+        with pytest.raises(GraphError):
+            dag.relabel({"a": "b"})
+
+    def test_virtual_endpoints_multi(self):
+        d = TaskDAG.from_edges([("a", "c"), ("b", "c"), ("c", "d"), ("c", "e")])
+        v = d.with_virtual_endpoints()
+        assert len(v.entry_tasks()) == 1
+        assert len(v.exit_tasks()) == 1
+        assert v.cost(v.entry_tasks()[0]) == 0.0
+
+    def test_virtual_endpoints_noop_when_single(self, dag):
+        v = dag.with_virtual_endpoints()
+        assert v.num_tasks == dag.num_tasks
+
+    def test_to_networkx_is_copy(self, dag):
+        g = dag.to_networkx()
+        g.remove_node("a")
+        assert dag.has_task("a")
+
+    def test_validate_ok(self, dag):
+        dag.validate()
+
+
+class TestIterators:
+    def test_tasks_and_objects_aligned(self, dag):
+        ids = list(dag.tasks())
+        objs = list(dag.task_objects())
+        assert [t.id for t in objs] == ids
+
+    def test_edges(self, dag):
+        assert set(dag.edges()) == {("a", "b"), ("b", "c")}

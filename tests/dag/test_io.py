@@ -1,0 +1,182 @@
+"""Tests for repro.dag.io (STG / JSON / DOT)."""
+
+import pytest
+
+from repro.dag import io as dio
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import ParseError
+
+
+@pytest.fixture
+def int_dag() -> TaskDAG:
+    d = TaskDAG("io-test")
+    for i, c in ((0, 0.0), (1, 3.0), (2, 4.0), (3, 0.0)):
+        d.add_task(Task(i, cost=c))
+    d.add_edge(0, 1, data=0.0)
+    d.add_edge(0, 2, data=0.0)
+    d.add_edge(1, 3, data=2.5)
+    d.add_edge(2, 3, data=1.0)
+    return d
+
+
+STG_CLASSIC = """
+# classic format: no communication costs
+4
+0 0 0
+1 3 1 0
+2 4 1 0
+3 0 2 1 2
+"""
+
+
+class TestParseStg:
+    def test_classic(self):
+        d = dio.parse_stg(STG_CLASSIC)
+        assert d.num_tasks == 4
+        assert d.cost(1) == 3.0
+        assert set(d.predecessors(3)) == {1, 2}
+        assert d.data(1, 3) == 0.0
+
+    def test_extended_data_tokens(self):
+        text = "2\n0 1 0\n1 2 1 0:7.5\n"
+        d = dio.parse_stg(text)
+        assert d.data(0, 1) == 7.5
+
+    def test_dummy_count_convention(self):
+        # Declared count may exclude the two dummy endpoints.
+        text = "2\n0 0 0\n1 1 1 0\n2 1 1 0\n3 0 2 1 2\n"
+        d = dio.parse_stg(text)
+        assert d.num_tasks == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            dio.parse_stg("")
+
+    def test_bad_count(self):
+        with pytest.raises(ParseError):
+            dio.parse_stg("x\n")
+
+    def test_pred_count_mismatch(self):
+        with pytest.raises(ParseError) as e:
+            dio.parse_stg("2\n0 1 0\n1 1 2 0\n")
+        assert "predecessors" in str(e.value)
+
+    def test_unknown_pred(self):
+        with pytest.raises(ParseError):
+            dio.parse_stg("2\n0 1 0\n1 1 1 9\n")
+
+    def test_duplicate_task(self):
+        with pytest.raises(ParseError):
+            dio.parse_stg("2\n0 1 0\n0 1 0\n")
+
+    def test_count_mismatch(self):
+        with pytest.raises(ParseError):
+            dio.parse_stg("9\n0 1 0\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as e:
+            dio.parse_stg("2\n0 1 0\n1 1 1 bad:x\n")
+        assert e.value.line == 3
+
+
+class TestStgRoundTrip:
+    def test_round_trip(self, int_dag):
+        text = dio.dump_stg(int_dag)
+        back = dio.parse_stg(text)
+        assert back.num_tasks == int_dag.num_tasks
+        assert set(back.edges()) == set(int_dag.edges())
+        for t in int_dag.tasks():
+            assert back.cost(t) == pytest.approx(int_dag.cost(t))
+        for u, v in int_dag.edges():
+            assert back.data(u, v) == pytest.approx(int_dag.data(u, v))
+
+    def test_file_round_trip(self, int_dag, tmp_path):
+        p = tmp_path / "g.stg"
+        dio.save_stg(int_dag, p)
+        back = dio.load_stg(p)
+        assert back.num_tasks == int_dag.num_tasks
+        assert back.name == "g"
+
+    def test_non_integer_ids_rejected(self):
+        d = TaskDAG()
+        d.add_task("a")
+        with pytest.raises(ParseError):
+            dio.dump_stg(d)
+
+
+class TestJson:
+    def test_round_trip(self, int_dag):
+        back = dio.from_json(dio.to_json(int_dag))
+        assert back.name == int_dag.name
+        assert set(back.edges()) == set(int_dag.edges())
+        for u, v in int_dag.edges():
+            assert back.data(u, v) == pytest.approx(int_dag.data(u, v))
+
+    def test_attrs_preserved(self):
+        d = TaskDAG("attrs")
+        d.add_task(Task("x", cost=1.0, attrs={"kind": "pivot"}))
+        back = dio.from_json(dio.to_json(d))
+        assert back.task("x").attrs["kind"] == "pivot"
+
+    def test_file_round_trip(self, int_dag, tmp_path):
+        p = tmp_path / "g.json"
+        dio.save_json(int_dag, p)
+        assert dio.load_json(p).num_tasks == int_dag.num_tasks
+
+    def test_invalid_json(self):
+        with pytest.raises(ParseError):
+            dio.from_json("{nope")
+
+    def test_wrong_shape(self):
+        with pytest.raises(ParseError):
+            dio.from_json('["list", "not", "object"]')
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, int_dag):
+        dot = dio.to_dot(int_dag)
+        assert dot.startswith("digraph")
+        assert '"1" -> "3"' in dot
+        assert "2.5" in dot  # the edge label
+
+    def test_quoting(self):
+        d = TaskDAG('we"ird')
+        d.add_task(Task('a"b'))
+        dot = dio.to_dot(d)
+        assert "\\\"" in dot
+
+    def test_round_trip_structure(self, int_dag):
+        back = dio.from_dot(dio.to_dot(int_dag))
+        assert back.num_tasks == int_dag.num_tasks
+        assert back.num_edges == int_dag.num_edges
+        # Ids stringify; map them for comparisons.
+        assert back.cost("1") == pytest.approx(int_dag.cost(1))
+        assert back.data("1", "3") == pytest.approx(int_dag.data(1, 3))
+
+    def test_round_trip_name_and_quotes(self):
+        d = TaskDAG('we"ird')
+        d.add_task(Task('a"b', cost=2.0))
+        back = dio.from_dot(dio.to_dot(d))
+        assert back.name == 'we"ird'
+        assert back.has_task('a"b')
+        assert back.cost('a"b') == 2.0
+
+    def test_load_dot(self, int_dag, tmp_path):
+        path = tmp_path / "g.dot"
+        path.write_text(dio.to_dot(int_dag))
+        back = dio.load_dot(path)
+        assert back.num_tasks == int_dag.num_tasks
+
+    def test_unparseable_statement(self):
+        with pytest.raises(ParseError):
+            dio.from_dot('digraph "x" {\n  garbage here\n}')
+
+    def test_bad_cost_label(self):
+        with pytest.raises(ParseError):
+            dio.from_dot('digraph "x" {\n  "a" [label="a\\nNaNope"];\n}')
+
+    def test_edge_without_label(self):
+        back = dio.from_dot('digraph "x" {\n  "a" -> "b";\n}')
+        assert back.data("a", "b") == 0.0
+        assert back.cost("a") == 1.0  # implicit node

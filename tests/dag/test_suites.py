@@ -1,0 +1,70 @@
+"""Tests for the named benchmark suites."""
+
+import pytest
+
+from repro.dag.suites import SUITES, application_suite, mixed_suite, random_suite
+
+
+class TestApplicationSuite:
+    def test_all_kernels_present(self):
+        suite = application_suite()
+        assert {"gauss", "fft", "laplace", "cholesky", "montage"} <= set(suite)
+
+    def test_all_valid(self):
+        for name, dag in application_suite().items():
+            dag.validate()
+            assert dag.num_tasks > 0, name
+
+    def test_scale_grows(self):
+        small = application_suite(scale=1)
+        big = application_suite(scale=2)
+        for name in small:
+            assert big[name].num_tasks > small[name].num_tasks, name
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            application_suite(scale=0)
+
+    def test_deterministic(self):
+        a = application_suite()
+        b = application_suite()
+        for name in a:
+            assert list(a[name].edges()) == list(b[name].edges())
+
+
+class TestRandomSuite:
+    def test_count_and_size(self):
+        suite = random_suite(count=5, num_tasks=30, seed=1)
+        assert len(suite) == 5
+        assert all(d.num_tasks == 30 for d in suite)
+
+    def test_deterministic(self):
+        a = random_suite(count=3, seed=2)
+        b = random_suite(count=3, seed=2)
+        for x, y in zip(a, b):
+            assert list(x.edges()) == list(y.edges())
+
+    def test_instances_differ(self):
+        suite = random_suite(count=3, seed=3)
+        assert set(suite[0].edges()) != set(suite[1].edges())
+
+    def test_ccr_respected(self):
+        for dag in random_suite(count=2, ccr=4.0, seed=4):
+            assert dag.ccr() == pytest.approx(4.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            random_suite(count=-1)
+
+
+class TestMixedSuiteAndRegistry:
+    def test_mixed_contains_random_and_apps(self):
+        suite = mixed_suite(seed=0)
+        assert "random-small" in suite and "gauss" in suite
+        for dag in suite.values():
+            dag.validate()
+
+    def test_registry_names(self):
+        assert set(SUITES) == {"application", "random", "mixed"}
+        for factory in SUITES.values():
+            assert callable(factory)

@@ -1,0 +1,64 @@
+"""Tests for repro.dag.task."""
+
+import math
+
+import pytest
+
+from repro.dag.task import Task
+from repro.exceptions import CostError
+
+
+class TestTaskConstruction:
+    def test_defaults(self):
+        t = Task("x")
+        assert t.cost == 1.0
+        assert t.name == "x"
+        assert dict(t.attrs) == {}
+
+    def test_explicit_name(self):
+        assert Task("x", name="the-x").name == "the-x"
+
+    def test_integer_cost_coerced_to_float(self):
+        t = Task("x", cost=3)
+        assert isinstance(t.cost, float) and t.cost == 3.0
+
+    def test_zero_cost_allowed(self):
+        assert Task("virtual", cost=0.0).cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CostError):
+            Task("x", cost=-1.0)
+
+    def test_nan_cost_rejected(self):
+        with pytest.raises(CostError):
+            Task("x", cost=float("nan"))
+
+    def test_inf_cost_rejected(self):
+        with pytest.raises(CostError):
+            Task("x", cost=math.inf)
+
+    def test_tuple_id_allowed(self):
+        t = Task(("upd", 1, 2), cost=5.0)
+        assert t.id == ("upd", 1, 2)
+
+    def test_frozen(self):
+        t = Task("x")
+        with pytest.raises(AttributeError):
+            t.cost = 2.0  # type: ignore[misc]
+
+    def test_attrs_stored(self):
+        t = Task("x", attrs={"kind": "pivot"})
+        assert t.attrs["kind"] == "pivot"
+
+
+class TestWithCost:
+    def test_returns_new_task(self):
+        t = Task("x", cost=1.0, attrs={"k": 1})
+        u = t.with_cost(9.0)
+        assert u.cost == 9.0 and t.cost == 1.0
+        assert u.id == t.id and u.name == t.name
+        assert dict(u.attrs) == {"k": 1}
+
+    def test_with_cost_validates(self):
+        with pytest.raises(CostError):
+            Task("x").with_cost(-3.0)

@@ -1,0 +1,124 @@
+"""Tests for graph transformations (merge, prune, extract, summarize)."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.dag.graph import TaskDAG
+from repro.dag.transform import extract_subgraph, merge_tasks, summarize, zero_small_edges
+from repro.exceptions import CycleError, GraphError, UnknownTaskError
+
+
+@pytest.fixture
+def dag(diamond_dag) -> TaskDAG:
+    return diamond_dag  # a -> {b, c} -> d
+
+
+class TestMergeTasks:
+    def test_cost_aggregated(self, dag):
+        merged = merge_tasks(dag, ["b", "c"], "bc")
+        assert merged.cost("bc") == pytest.approx(7.0)
+        assert merged.num_tasks == 3
+
+    def test_edges_aggregated(self, dag):
+        merged = merge_tasks(dag, ["b", "c"], "bc")
+        # a -> bc aggregates the two fan-out edges (3 + 1).
+        assert merged.data("a", "bc") == pytest.approx(4.0)
+        # bc -> d aggregates the two fan-in edges (2 + 2).
+        assert merged.data("bc", "d") == pytest.approx(4.0)
+
+    def test_internal_edges_vanish(self, dag):
+        merged = merge_tasks(dag, ["a", "b"], "ab")
+        assert merged.num_edges == 3  # ab->c? no: a->c becomes ab->c; b->d becomes ab->d; c->d
+        assert merged.has_edge("ab", "c")
+        assert merged.has_edge("ab", "d")
+        assert merged.has_edge("c", "d")
+
+    def test_acyclic_result_validates(self, dag):
+        merged = merge_tasks(dag, ["b", "c"], "bc")
+        merged.validate()
+
+    def test_cycle_detected(self):
+        # a -> b -> c, a -> c: merging {a, c} would need c -> b -> a.
+        d = TaskDAG.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        with pytest.raises(CycleError):
+            merge_tasks(d, ["a", "c"], "ac")
+
+    def test_whole_graph_merge(self, dag):
+        merged = merge_tasks(dag, ["a", "b", "c", "d"], "all")
+        assert merged.num_tasks == 1
+        assert merged.num_edges == 0
+        assert merged.cost("all") == pytest.approx(11.0)
+
+    def test_unknown_member(self, dag):
+        with pytest.raises(UnknownTaskError):
+            merge_tasks(dag, ["zzz"], "z")
+
+    def test_empty_group(self, dag):
+        with pytest.raises(GraphError):
+            merge_tasks(dag, [], "z")
+
+    def test_id_collision(self, dag):
+        with pytest.raises(GraphError):
+            merge_tasks(dag, ["b", "c"], "a")
+
+    def test_reuse_of_member_id_allowed(self, dag):
+        merged = merge_tasks(dag, ["b", "c"], "b")
+        assert merged.has_task("b")
+        assert merged.cost("b") == pytest.approx(7.0)
+
+    def test_original_untouched(self, dag):
+        merge_tasks(dag, ["b", "c"], "bc")
+        assert dag.num_tasks == 4
+
+
+class TestZeroSmallEdges:
+    def test_thresholding(self, dag):
+        out = zero_small_edges(dag, threshold=2.5)
+        assert out.data("a", "c") == 0.0   # was 1
+        assert out.data("b", "d") == 0.0   # was 2
+        assert out.data("a", "b") == 3.0   # kept
+
+    def test_structure_preserved(self, dag):
+        out = zero_small_edges(dag, threshold=100.0)
+        assert set(out.edges()) == set(dag.edges())
+        assert out.total_data() == 0.0
+
+    def test_negative_threshold(self, dag):
+        with pytest.raises(GraphError):
+            zero_small_edges(dag, -1.0)
+
+
+class TestExtractSubgraph:
+    def test_induced_edges(self, dag):
+        sub = extract_subgraph(dag, ["a", "b", "d"])
+        assert sub.num_tasks == 3
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "d")
+        assert not sub.has_task("c")
+
+    def test_costs_preserved(self, dag):
+        sub = extract_subgraph(dag, ["b"])
+        assert sub.cost("b") == 4.0
+
+    def test_unknown_rejected(self, dag):
+        with pytest.raises(UnknownTaskError):
+            extract_subgraph(dag, ["nope"])
+
+    def test_valid_dag(self):
+        big = random_dag(50, seed=1)
+        keep = list(big.tasks())[:20]
+        sub = extract_subgraph(big, keep)
+        sub.validate()
+
+
+class TestSummarize:
+    def test_contains_stats(self, dag):
+        text = summarize(dag)
+        assert "4 tasks" in text
+        assert "CCR" in text
+        assert "critical path" in text
+        assert "entries 1, exits 1" in text
+
+    def test_merge_reduces_depth_statistics(self):
+        big = random_dag(60, seed=2)
+        text = summarize(big)
+        assert "60 tasks" in text

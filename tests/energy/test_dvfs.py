@@ -1,0 +1,92 @@
+"""Tests for DVFS slack reclamation."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.energy import PowerModel, reclaim_slack, schedule_energy
+from repro.exceptions import ConfigurationError
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.analysis import task_slacks
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+
+MODEL = PowerModel(static=0.1, dynamic=1.0)
+
+
+@pytest.fixture
+def padded_schedule(diamond_dag):
+    """A schedule where b owns 2 units of slack (see analysis tests)."""
+    inst = homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+    s = Schedule(inst.machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 0, 2.0, 4.0)
+    s.add("c", 1, 3.0, 3.0)
+    s.add("d", 0, 8.0, 2.0)
+    return s, inst
+
+
+class TestReclaimSlack:
+    def test_slack_owner_slowed(self, padded_schedule):
+        s, inst = padded_schedule
+        res = reclaim_slack(s, inst, MODEL, levels=(0.8, 1.0))
+        # b has slack 2; at f=0.8 its stretch is 4/0.8-4 = 1 <= 2.
+        assert res.frequencies["b"] == pytest.approx(0.8)
+        assert res.slowed_tasks == 1
+
+    def test_zero_slack_tasks_nominal(self, padded_schedule):
+        s, inst = padded_schedule
+        res = reclaim_slack(s, inst, MODEL)
+        for t in ("a", "c", "d"):
+            assert res.frequencies[t] == 1.0
+
+    def test_energy_never_increases(self, padded_schedule):
+        s, inst = padded_schedule
+        res = reclaim_slack(s, inst, MODEL)
+        assert res.energy_scaled <= res.energy_nominal + 1e-12
+        assert 0.0 <= res.savings_fraction < 1.0
+
+    def test_stretch_fits_slack(self, padded_schedule):
+        s, inst = padded_schedule
+        res = reclaim_slack(s, inst, MODEL, levels=(0.5, 0.6, 0.7, 0.8, 0.9, 1.0))
+        slack = task_slacks(s, inst)
+        for t, f in res.frequencies.items():
+            d = s.entry(t).duration
+            assert d / f - d <= slack[t] + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedules(self, seed):
+        dag = random_dag(50, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = HEFT().schedule(inst)
+        validate(s, inst)
+        res = reclaim_slack(s, inst, MODEL)
+        assert res.energy_scaled <= res.energy_nominal + 1e-9
+        # Realistic schedules always contain some slack to reclaim.
+        assert res.slowed_tasks > 0
+        assert schedule_energy(s, MODEL, res.frequencies) == pytest.approx(
+            res.energy_scaled
+        )
+
+    def test_levels_validation(self, padded_schedule):
+        s, inst = padded_schedule
+        with pytest.raises(ConfigurationError):
+            reclaim_slack(s, inst, MODEL, levels=())
+        with pytest.raises(ConfigurationError):
+            reclaim_slack(s, inst, MODEL, levels=(0.5, 0.8))  # missing 1.0
+        with pytest.raises(ConfigurationError):
+            reclaim_slack(s, inst, MODEL, levels=(0.0, 1.0))
+
+    def test_duplicated_tasks_stay_nominal(self):
+        from repro.core import DuplicationScheduler
+        from repro.dag.generators import out_tree_dag
+
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=40.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+        s = DuplicationScheduler().schedule(inst)
+        if s.num_duplicates() == 0:
+            pytest.skip("no duplicates on this seed")
+        res = reclaim_slack(s, inst, MODEL)
+        duplicated = {c.task for c in s.all_placements() if c.duplicate}
+        for t in duplicated:
+            assert res.frequencies[t] == 1.0

@@ -1,0 +1,92 @@
+"""Tests for the power model and schedule energy accounting."""
+
+import pytest
+
+from repro.energy.power import PowerModel, schedule_energy
+from repro.exceptions import ConfigurationError
+from repro.instance import homogeneous_instance
+from repro.schedule.schedule import Schedule
+from repro.schedulers.heft import HEFT
+
+
+class TestPowerModel:
+    def test_busy_power_cubic(self):
+        m = PowerModel(static=0.0, dynamic=1.0)
+        assert m.busy_power(1.0) == pytest.approx(1.0)
+        assert m.busy_power(0.5) == pytest.approx(0.125)
+
+    def test_busy_energy_quadratic_in_f(self):
+        # energy = dynamic * f^2 * d (+ static * d/f)
+        m = PowerModel(static=0.0, dynamic=2.0)
+        assert m.busy_energy(10.0, 1.0) == pytest.approx(20.0)
+        assert m.busy_energy(10.0, 0.5) == pytest.approx(5.0)
+
+    def test_static_inflates_at_low_f(self):
+        # With only static power, slowing down wastes energy.
+        m = PowerModel(static=1.0, dynamic=0.0)
+        assert m.busy_energy(10.0, 0.5) > m.busy_energy(10.0, 1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(static=-1.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel().busy_power(0.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel().busy_power(1.5)
+        with pytest.raises(ConfigurationError):
+            PowerModel().busy_energy(-1.0, 1.0)
+
+
+class TestScheduleEnergy:
+    @pytest.fixture
+    def schedule_and_instance(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+        s = Schedule(inst.machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("b", 0, 2.0, 4.0)
+        s.add("c", 1, 3.0, 3.0)
+        s.add("d", 0, 8.0, 2.0)
+        return s, inst
+
+    def test_nominal_energy(self, schedule_and_instance):
+        s, _ = schedule_and_instance
+        m = PowerModel(static=0.5, dynamic=1.0)
+        # dynamic: total busy 11; static: 0.5 * makespan 10 * 2 procs.
+        assert schedule_energy(s, m) == pytest.approx(11.0 + 10.0)
+
+    def test_scaling_reduces_dynamic(self, schedule_and_instance):
+        s, _ = schedule_and_instance
+        m = PowerModel(static=0.0, dynamic=1.0)
+        nominal = schedule_energy(s, m)
+        scaled = schedule_energy(s, m, {"b": 0.5})
+        # b contributes 4 nominal -> 4 * 0.25 = 1 scaled.
+        assert scaled == pytest.approx(nominal - 4.0 + 1.0)
+
+    def test_bad_frequency_rejected(self, schedule_and_instance):
+        s, _ = schedule_and_instance
+        with pytest.raises(ConfigurationError):
+            schedule_energy(s, PowerModel(), {"b": 0.0})
+
+    def test_duplicates_run_nominal(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+        s = Schedule(inst.machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("a", 1, 0.0, 2.0, duplicate=True)
+        s.add("b", 0, 2.0, 4.0)
+        s.add("c", 1, 2.0, 3.0)
+        s.add("d", 0, 8.0, 2.0)
+        m = PowerModel(static=0.0, dynamic=1.0)
+        # Requesting a slowdown for "a" must not affect its duplicate.
+        base = schedule_energy(s, m)
+        slowed = schedule_energy(s, m, {"a": 0.5})
+        assert base - slowed == pytest.approx(2.0 - 2.0 * 0.25)
+
+    def test_empty_schedule(self):
+        from repro.machine.cluster import Machine
+
+        s = Schedule(Machine.homogeneous(2))
+        assert schedule_energy(s, PowerModel()) == 0.0
+
+    def test_heft_schedule_energy_positive(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        assert schedule_energy(s, PowerModel()) > 0

@@ -1,0 +1,93 @@
+"""Integration: every scheduler x every generator family x machine
+shapes, with full feasibility validation and simulator cross-checks."""
+
+import pytest
+
+from repro.dag.generators import (
+    cholesky_dag,
+    fft_dag,
+    fork_join_dag,
+    gaussian_elimination_dag,
+    in_tree_dag,
+    laplace_dag,
+    layered_dag,
+    mapreduce_dag,
+    montage_dag,
+    out_tree_dag,
+    pipeline_dag,
+    random_dag,
+    series_parallel_dag,
+)
+from repro.instance import Instance, homogeneous_instance, make_instance
+from repro.machine import etc_from_speeds, mesh_machine, ring_machine, star_machine
+from repro.schedule.metrics import slr
+from repro.schedule.validation import validate
+from repro.schedulers.registry import get_scheduler
+from repro.sim import execute
+
+SCHEDULERS = [
+    "HEFT", "CPOP", "HCPT", "PETS", "DLS", "ETF", "MCP", "HLFET",
+    "TDS", "Random", "RoundRobin", "IMP", "LA-HEFT", "DUP-HEFT",
+]
+
+GENERATORS = {
+    "random": lambda: random_dag(45, seed=7),
+    "layered": lambda: layered_dag(5, 6, seed=7),
+    "gauss": lambda: gaussian_elimination_dag(6),
+    "fft": lambda: fft_dag(8),
+    "laplace": lambda: laplace_dag(4),
+    "cholesky": lambda: cholesky_dag(4),
+    "forkjoin": lambda: fork_join_dag(4, stages=2),
+    "intree": lambda: in_tree_dag(2, 3),
+    "outtree": lambda: out_tree_dag(2, 3),
+    "sp": lambda: series_parallel_dag(30, seed=7),
+    "montage": lambda: montage_dag(5, seed=7),
+    "mapreduce": lambda: mapreduce_dag(4, 2, seed=7),
+    "pipeline": lambda: pipeline_dag(3, 4, coupled=True),
+}
+
+
+@pytest.mark.parametrize("gen_name", sorted(GENERATORS))
+@pytest.mark.parametrize("sched_name", SCHEDULERS)
+def test_schedule_feasible_and_replayable(gen_name, sched_name):
+    dag = GENERATORS[gen_name]()
+    instance = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=13)
+    schedule = get_scheduler(sched_name).schedule(instance)
+    validate(schedule, instance)
+    assert len(schedule) == dag.num_tasks
+    # Simulator agrees (left-shift can only be earlier).
+    replay = execute(schedule, instance)
+    assert replay.makespan <= schedule.makespan + 1e-6
+    # Quality corridor: every heuristic lands within 20x of the CP bound.
+    assert slr(schedule, instance) < 20.0
+
+
+@pytest.mark.parametrize("sched_name", ["HEFT", "IMP", "DLS", "MCP", "TDS"])
+def test_topology_machines(sched_name):
+    dag = random_dag(35, seed=21)
+    for machine in (
+        star_machine(5, latency=0.2, bandwidth=2.0),
+        ring_machine(5, latency=0.2, bandwidth=2.0),
+        mesh_machine(2, 3, latency=0.2, bandwidth=2.0),
+    ):
+        instance = Instance(dag=dag, machine=machine, etc=etc_from_speeds(dag, machine))
+        schedule = get_scheduler(sched_name).schedule(instance)
+        validate(schedule, instance)
+
+
+@pytest.mark.parametrize("sched_name", SCHEDULERS)
+def test_homogeneous_machines(sched_name):
+    dag = random_dag(40, seed=22)
+    instance = homogeneous_instance(dag, num_procs=6)
+    schedule = get_scheduler(sched_name).schedule(instance)
+    validate(schedule, instance)
+
+
+@pytest.mark.parametrize("consistency", ["consistent", "inconsistent", "partially-consistent"])
+def test_etc_consistency_classes(consistency):
+    dag = random_dag(40, seed=23)
+    instance = make_instance(
+        dag, num_procs=4, heterogeneity=1.0, consistency=consistency, seed=23
+    )
+    for name in ("HEFT", "IMP", "CPOP"):
+        validate(get_scheduler(name).schedule(instance), instance)

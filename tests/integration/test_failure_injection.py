@@ -1,0 +1,140 @@
+"""Failure injection: every layer must reject corrupted inputs loudly.
+
+These tests deliberately construct broken schedulers, tampered
+schedules and inconsistent instances, and assert that validation (not
+silent mis-measurement) is what the user sees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.exceptions import (
+    ConfigurationError,
+    ScheduleError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.instance import Instance, make_instance
+from repro.machine.cluster import Machine
+from repro.machine.etc import ETCMatrix
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate, violations
+from repro.schedulers.base import Scheduler, eft_placement
+
+
+@pytest.fixture
+def instance():
+    return make_instance(random_dag(20, seed=1), num_procs=3, seed=1)
+
+
+class TestBrokenSchedulers:
+    def test_scheduler_skipping_tasks_caught(self, instance):
+        class Lazy(Scheduler):
+            name = "lazy"
+
+            def schedule(self, inst):
+                s = Schedule(inst.machine)
+                for t in list(inst.dag.topological_order())[: inst.num_tasks // 2]:
+                    p = eft_placement(s, inst, t)
+                    s.add(t, p.proc, p.start, p.end - p.start)
+                return s
+
+        s = Lazy().schedule(instance)
+        with pytest.raises(ValidationError) as e:
+            validate(s, instance)
+        assert any("not scheduled" in v for v in e.value.violations)
+
+    def test_scheduler_ignoring_comm_caught(self, instance):
+        class NoComm(Scheduler):
+            name = "nocomm"
+
+            def schedule(self, inst):
+                # Places every task as if communication were free:
+                # starts at parents' max end, no transfer time.
+                s = Schedule(inst.machine)
+                end = {}
+                procs = inst.machine.proc_ids()
+                for i, t in enumerate(inst.dag.topological_order()):
+                    ready = max((end[p] for p in inst.dag.predecessors(t)), default=0.0)
+                    proc = procs[i % len(procs)]
+                    start = s.timeline(proc).find_slot(ready, inst.exec_time(t, proc))
+                    s.add(t, proc, start, inst.exec_time(t, proc))
+                    end[t] = start + inst.exec_time(t, proc)
+                return s
+
+        s = NoComm().schedule(instance)
+        found = violations(s, instance)
+        assert any("before data" in v for v in found)
+
+    def test_scheduler_wrong_durations_caught(self, instance):
+        class Halver(Scheduler):
+            name = "halver"
+
+            def schedule(self, inst):
+                s = Schedule(inst.machine)
+                for t in inst.dag.topological_order():
+                    p = eft_placement(s, inst, t)
+                    s.add(t, p.proc, p.start, (p.end - p.start) / 2)  # lies
+                return s
+
+        s = Halver().schedule(instance)
+        found = violations(s, instance)
+        assert any("ETC says" in v for v in found)
+
+
+class TestTamperedSchedules:
+    def test_overlap_rejected_at_construction(self, instance):
+        s = Schedule(instance.machine)
+        s.add("x", 0, 0.0, 5.0)
+        with pytest.raises(ScheduleError):
+            s.add("y", 0, 3.0, 5.0)
+
+    def test_moved_task_breaks_children(self, instance):
+        from repro.schedulers.heft import HEFT
+
+        s = HEFT().schedule(instance)
+        # Move some non-exit task later without telling its children.
+        dag = instance.dag
+        victim = next(t for t in dag.tasks() if dag.out_degree(t) > 0)
+        old = s.entry(victim)
+        s.remove(victim)
+        s.add(victim, old.proc, s.makespan + 100.0, old.duration)
+        found = violations(s, instance)
+        assert found  # children now start before the data exists
+
+
+class TestInconsistentInstances:
+    def test_etc_missing_task(self):
+        dag = random_dag(5, seed=2)
+        machine = Machine.homogeneous(2)
+        etc = ETCMatrix(list(dag.tasks())[:-1], machine.proc_ids(), np.ones((4, 2)))
+        with pytest.raises(ConfigurationError):
+            Instance(dag, machine, etc)
+
+    def test_priority_order_violation_detected(self, instance):
+        from repro.schedulers.base import ListScheduler
+
+        class Shuffled(ListScheduler):
+            name = "shuffled"
+
+            def priority_order(self, inst):
+                order = inst.dag.topological_order()
+                return list(reversed(order))
+
+        with pytest.raises(SchedulingError):
+            Shuffled().schedule(instance)
+
+    def test_simulator_rejects_incomplete_schedule(self, instance):
+        from repro.sim import execute
+        from repro.sim.engine import SimulationError
+
+        s = Schedule(instance.machine)
+        # Place only a mid-graph task whose parents are absent: the
+        # simulator must flag the problem rather than hang or succeed.
+        dependent = next(
+            t for t in instance.dag.tasks() if instance.dag.in_degree(t) > 0
+        )
+        s.add(dependent, 0, 0.0, instance.exec_time(dependent, 0))
+        with pytest.raises((SimulationError, ScheduleError, KeyError)):
+            execute(s, instance)

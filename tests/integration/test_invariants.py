@@ -1,0 +1,111 @@
+"""Cross-cutting metamorphic invariants of the whole stack."""
+
+import pytest
+
+from repro.dag.analysis import map_costs
+from repro.dag.generators import random_dag, scale_ccr
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.metrics import efficiency, slr, speedup
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.core import ImprovedScheduler
+
+
+class TestScalingInvariance:
+    """Makespan scales linearly with uniform cost scaling (homogeneous
+    machine, where ETC == nominal costs)."""
+
+    @pytest.mark.parametrize("factor", [2.0, 10.0])
+    def test_uniform_scaling(self, factor):
+        dag = random_dag(40, seed=1)
+        scaled = map_costs(dag, lambda t, c: factor * c)
+        for u, v in dag.edges():
+            scaled.set_data(u, v, factor * dag.data(u, v))
+        base = HEFT().schedule(homogeneous_instance(dag, num_procs=4))
+        big = HEFT().schedule(homogeneous_instance(scaled, num_procs=4))
+        assert big.makespan == pytest.approx(factor * base.makespan)
+
+    def test_slr_scale_invariant(self):
+        dag = random_dag(40, seed=2)
+        scaled = map_costs(dag, lambda t, c: 3.0 * c)
+        for u, v in dag.edges():
+            scaled.set_data(u, v, 3.0 * dag.data(u, v))
+        i1 = homogeneous_instance(dag, num_procs=4)
+        i2 = homogeneous_instance(scaled, num_procs=4)
+        assert slr(HEFT().schedule(i1), i1) == pytest.approx(
+            slr(HEFT().schedule(i2), i2)
+        )
+
+
+class TestResourceMonotonicity:
+    def test_more_processors_never_hurt_much(self):
+        # Heuristics are not monotone in general, but the corridor must
+        # hold: q=8 average is no worse than 1.1x the q=2 average.
+        import numpy as np
+
+        ratios = []
+        for seed in range(6):
+            dag = random_dag(60, seed=seed)
+            small = homogeneous_instance(dag, num_procs=2)
+            large = homogeneous_instance(dag, num_procs=8)
+            ratios.append(
+                HEFT().schedule(large).makespan / HEFT().schedule(small).makespan
+            )
+        assert float(np.mean(ratios)) <= 1.1
+
+    def test_speedup_and_efficiency_consistent(self):
+        dag = random_dag(50, seed=3)
+        inst = make_instance(dag, num_procs=5, seed=3)
+        s = HEFT().schedule(inst)
+        assert efficiency(s, inst) == pytest.approx(speedup(s, inst) / 5)
+
+
+class TestCommunicationMonotonicity:
+    def test_zero_ccr_schedules_fastest(self):
+        # Removing all communication can only help list schedulers.
+        dag = random_dag(50, ccr=2.0, seed=4)
+        free = scale_ccr(dag, 0.0)
+        inst_comm = homogeneous_instance(dag, num_procs=4)
+        inst_free = homogeneous_instance(free, num_procs=4)
+        assert (
+            HEFT().schedule(inst_free).makespan
+            <= HEFT().schedule(inst_comm).makespan + 1e-9
+        )
+
+    def test_slr_grows_with_ccr(self):
+        import numpy as np
+
+        means = []
+        for ccr in (0.1, 5.0):
+            slrs = []
+            for seed in range(5):
+                dag = random_dag(60, ccr=ccr, seed=seed)
+                inst = make_instance(dag, num_procs=4, seed=seed)
+                slrs.append(slr(HEFT().schedule(inst), inst))
+            means.append(float(np.mean(slrs)))
+        assert means[1] > means[0]
+
+
+class TestBoundsEverywhere:
+    @pytest.mark.parametrize("alg", [HEFT, ImprovedScheduler])
+    def test_makespan_at_least_cp_bound(self, alg):
+        for seed in range(4):
+            dag = random_dag(40, seed=seed)
+            inst = make_instance(dag, num_procs=4, heterogeneity=0.8, seed=seed)
+            s = alg().schedule(inst)
+            validate(s, inst)
+            assert s.makespan >= inst.cp_min_length - 1e-9
+
+    def test_makespan_beats_serial_on_average(self):
+        # HEFT has no per-instance serial-time guarantee (high-CCR
+        # counterexamples exist), but at CCR=1 on 4 processors it must
+        # beat serial execution on average by a wide margin.
+        import numpy as np
+
+        ratios = []
+        for seed in range(6):
+            dag = random_dag(40, seed=seed)
+            inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+            s = HEFT().schedule(inst)
+            ratios.append(s.makespan / inst.sequential_time)
+        assert float(np.mean(ratios)) < 0.8

@@ -1,0 +1,74 @@
+"""Performance guard rails.
+
+Not micro-benchmarks (those live in benchmarks/) — these are generous
+ceilings that catch accidental complexity regressions (an O(n) slipping
+into an inner loop) while staying robust on slow CI machines.
+"""
+
+import time
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+from repro.schedule.timeline import Timeline
+from repro.schedulers.heft import HEFT
+from repro.core import ImprovedScheduler
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+class TestSchedulerScaling:
+    def test_heft_800_tasks_fast(self):
+        dag = random_dag(800, seed=1)
+        inst = make_instance(dag, num_procs=8, seed=1)
+        elapsed = _timed(lambda: HEFT().schedule(inst))
+        assert elapsed < 10.0  # measured ~0.05s; x200 headroom
+
+    def test_imp_300_tasks_reasonable(self):
+        dag = random_dag(300, seed=2)
+        inst = make_instance(dag, num_procs=8, seed=2)
+        elapsed = _timed(lambda: ImprovedScheduler().schedule(inst))
+        assert elapsed < 60.0  # measured ~0.5s; wide headroom
+
+    def test_heft_near_linear_in_tasks(self):
+        # Doubling n should not blow time up by more than ~8x (allowing
+        # the e ~ n*out_degree growth plus noise); a quadratic
+        # regression would show ~4x+ consistently and trip this at the
+        # larger sizes.
+        times = []
+        for n in (200, 400, 800):
+            dag = random_dag(n, seed=3)
+            inst = make_instance(dag, num_procs=8, seed=3)
+            HEFT().schedule(inst)  # warm caches
+            times.append(_timed(lambda: HEFT().schedule(inst)))
+        assert times[2] / max(times[0], 1e-9) < 30.0
+
+
+class TestTimelineScaling:
+    def test_many_appends_fast(self):
+        tl = Timeline()
+
+        def run():
+            for i in range(5000):
+                start = tl.find_slot(0.0, 1.0)
+                tl.add(start, 1.0, i)
+
+        assert _timed(run) < 5.0
+
+    def test_gap_search_not_quadratic_from_ready(self):
+        # With a late ready time, find_slot must bisect to the region,
+        # not scan all slots.
+        tl = Timeline()
+        for i in range(20000):
+            tl.add(float(2 * i), 1.0, i)
+
+        def run():
+            for _ in range(2000):
+                tl.find_slot(39_000.0, 0.5)
+
+        assert _timed(run) < 2.0

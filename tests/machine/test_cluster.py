@@ -1,0 +1,72 @@
+"""Tests for repro.machine.cluster.Machine."""
+
+import pytest
+
+from repro.exceptions import MachineError, UnknownProcessorError
+from repro.machine.cluster import Machine
+from repro.machine.comm import UniformCommunication
+from repro.machine.processor import Processor
+
+
+class TestConstruction:
+    def test_homogeneous(self):
+        m = Machine.homogeneous(4, latency=1.0, bandwidth=2.0)
+        assert m.num_procs == 4
+        assert m.proc_ids() == [0, 1, 2, 3]
+        assert m.is_homogeneous_speeds()
+
+    def test_from_speeds(self):
+        m = Machine.from_speeds([1.0, 2.0, 4.0])
+        assert m.speed(2) == 4.0
+        assert not m.is_homogeneous_speeds()
+
+    def test_empty_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([])
+        with pytest.raises(MachineError):
+            Machine.from_speeds([])
+        with pytest.raises(MachineError):
+            Machine.homogeneous(0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([Processor(0), Processor(0)])
+
+    def test_default_comm_is_zero(self):
+        m = Machine([Processor(0), Processor(1)])
+        assert m.comm_time(100.0, 0, 1) == 0.0
+
+
+class TestQueries:
+    @pytest.fixture
+    def machine(self) -> Machine:
+        return Machine(
+            [Processor(0, speed=1.0), Processor(1, speed=2.0)],
+            UniformCommunication(latency=1.0, bandwidth=2.0),
+        )
+
+    def test_contains(self, machine):
+        assert 0 in machine and 9 not in machine
+
+    def test_processor_lookup(self, machine):
+        assert machine.processor(1).speed == 2.0
+        with pytest.raises(UnknownProcessorError):
+            machine.processor(9)
+
+    def test_comm_time(self, machine):
+        assert machine.comm_time(4.0, 0, 1) == pytest.approx(3.0)
+        assert machine.comm_time(4.0, 1, 1) == 0.0
+
+    def test_comm_unknown_proc(self, machine):
+        with pytest.raises(UnknownProcessorError):
+            machine.comm_time(1.0, 0, 9)
+        with pytest.raises(UnknownProcessorError):
+            machine.comm_time(1.0, 9, 0)
+
+    def test_avg_comm(self, machine):
+        assert machine.avg_comm_time(4.0) == pytest.approx(3.0)
+
+    def test_proc_ids_copy(self, machine):
+        ids = machine.proc_ids()
+        ids.append(99)
+        assert machine.proc_ids() == [0, 1]

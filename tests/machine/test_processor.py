@@ -1,0 +1,32 @@
+"""Tests for repro.machine.processor."""
+
+import pytest
+
+from repro.exceptions import MachineError
+from repro.machine.processor import Processor
+
+
+class TestProcessor:
+    def test_defaults(self):
+        p = Processor(0)
+        assert p.speed == 1.0
+        assert p.name == "P0"
+
+    def test_custom_name(self):
+        assert Processor(0, name="gpu0").name == "gpu0"
+
+    def test_exec_time(self):
+        assert Processor(0, speed=2.0).exec_time(10.0) == pytest.approx(5.0)
+
+    def test_speed_coerced_to_float(self):
+        assert isinstance(Processor(0, speed=2).speed, float)
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_speed(self, speed):
+        with pytest.raises(MachineError):
+            Processor(0, speed=speed)
+
+    def test_frozen(self):
+        p = Processor(0)
+        with pytest.raises(AttributeError):
+            p.speed = 2.0  # type: ignore[misc]

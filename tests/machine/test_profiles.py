@@ -1,0 +1,113 @@
+"""Tests for the named machine profiles."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.exceptions import MachineError
+from repro.machine.profiles import accelerated_node, compute_grid, workstation_cluster
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.core import ImprovedScheduler
+from repro.instance import Instance
+from repro.machine.etc import etc_from_speeds
+
+
+class TestWorkstationCluster:
+    def test_shape(self):
+        m = workstation_cluster(num_nodes=6, seed=1)
+        assert m.num_procs == 6
+
+    def test_speeds_from_tiers(self):
+        m = workstation_cluster(num_nodes=20, generations=3, seed=2)
+        tiers = {1.0, 1.5, 2.25}
+        assert {m.speed(p) for p in m.proc_ids()} <= tiers
+
+    def test_deterministic(self):
+        a = workstation_cluster(num_nodes=5, seed=3)
+        b = workstation_cluster(num_nodes=5, seed=3)
+        assert [a.speed(p) for p in a.proc_ids()] == [b.speed(p) for p in b.proc_ids()]
+
+    def test_schedulable(self):
+        dag = random_dag(30, seed=4)
+        m = workstation_cluster(num_nodes=4, seed=4)
+        inst = Instance(dag, m, etc_from_speeds(dag, m))
+        validate(HEFT().schedule(inst), inst)
+
+    def test_bad_params(self):
+        with pytest.raises(MachineError):
+            workstation_cluster(num_nodes=0)
+        with pytest.raises(MachineError):
+            workstation_cluster(generations=0)
+
+
+class TestAcceleratedNode:
+    @pytest.fixture
+    def instance(self):
+        dag = random_dag(40, seed=5)
+        return accelerated_node(dag, num_cpus=3, num_accels=2, seed=5)
+
+    def test_processor_count(self, instance):
+        assert instance.num_procs == 5
+
+    def test_etc_inconsistent(self, instance):
+        # Some tasks faster on accelerators, some slower: the matrix
+        # must not be consistent.
+        assert not instance.etc.is_consistent()
+
+    def test_accelerable_tasks_exist(self, instance):
+        accel_proc = instance.machine.proc_ids()[-1]
+        cpu_proc = instance.machine.proc_ids()[0]
+        faster = sum(
+            instance.exec_time(t, accel_proc) < instance.exec_time(t, cpu_proc)
+            for t in instance.dag.tasks()
+        )
+        slower = sum(
+            instance.exec_time(t, accel_proc) > instance.exec_time(t, cpu_proc)
+            for t in instance.dag.tasks()
+        )
+        assert faster > 0 and slower > 0
+
+    def test_cpu_links_faster_than_pcie(self, instance):
+        m = instance.machine
+        assert m.comm_time(10.0, 0, 1) < m.comm_time(10.0, 0, 4)
+
+    def test_schedulers_exploit_accelerators(self, instance):
+        s = ImprovedScheduler().schedule(instance)
+        validate(s, instance)
+        accel_ids = set(instance.machine.proc_ids()[3:])
+        used = {p.proc for p in s.all_placements()}
+        assert used & accel_ids  # the accelerators attract work
+
+    def test_bad_params(self):
+        dag = random_dag(10, seed=6)
+        with pytest.raises(MachineError):
+            accelerated_node(dag, num_cpus=0)
+        with pytest.raises(MachineError):
+            accelerated_node(dag, accel_fraction=1.5)
+
+
+class TestComputeGrid:
+    def test_shape(self):
+        m = compute_grid(clusters=3, nodes_per_cluster=4, seed=7)
+        assert m.num_procs == 12
+
+    def test_intra_cheaper_than_inter(self):
+        m = compute_grid(clusters=2, nodes_per_cluster=2, seed=8)
+        intra = m.comm_time(10.0, 0, 1)
+        inter = m.comm_time(10.0, 0, 2)
+        assert intra < inter
+
+    def test_cluster_speeds_uniform_within(self):
+        m = compute_grid(clusters=2, nodes_per_cluster=3, seed=9)
+        assert m.speed(0) == m.speed(1) == m.speed(2)
+        assert m.speed(3) == m.speed(4) == m.speed(5)
+
+    def test_schedulable(self):
+        dag = random_dag(25, seed=10)
+        m = compute_grid(clusters=2, nodes_per_cluster=2, seed=10)
+        inst = Instance(dag, m, etc_from_speeds(dag, m))
+        validate(HEFT().schedule(inst), inst)
+
+    def test_bad_params(self):
+        with pytest.raises(MachineError):
+            compute_grid(clusters=0)

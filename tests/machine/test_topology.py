@@ -1,0 +1,87 @@
+"""Tests for the interconnect-topology builders."""
+
+import pytest
+
+from repro.exceptions import MachineError
+from repro.machine.topology import (
+    bus_machine,
+    fully_connected_machine,
+    mesh_machine,
+    ring_machine,
+    star_machine,
+)
+
+
+class TestFullyConnected:
+    def test_uniform_pairs(self):
+        m = fully_connected_machine(4, latency=1.0, bandwidth=2.0)
+        assert m.comm_time(4.0, 0, 3) == pytest.approx(3.0)
+        assert m.comm_time(4.0, 2, 1) == pytest.approx(3.0)
+
+    def test_speeds(self):
+        m = fully_connected_machine(3, speeds=[1.0, 2.0, 3.0])
+        assert m.speed(2) == 3.0
+
+    def test_speed_arity_checked(self):
+        with pytest.raises(MachineError):
+            fully_connected_machine(3, speeds=[1.0])
+
+
+class TestStar:
+    def test_hub_one_hop(self):
+        m = star_machine(4, latency=1.0, bandwidth=1.0)
+        assert m.comm_time(2.0, 0, 3) == pytest.approx(1.0 + 2.0)
+
+    def test_leaf_to_leaf_two_hops(self):
+        m = star_machine(4, latency=1.0, bandwidth=1.0)
+        assert m.comm_time(2.0, 1, 3) == pytest.approx(2.0 + 2.0)
+
+    def test_single_proc(self):
+        m = star_machine(1)
+        assert m.num_procs == 1
+
+
+class TestRing:
+    def test_shorter_arc_used(self):
+        m = ring_machine(6, latency=1.0, bandwidth=1.0)
+        # 0 -> 3 is 3 hops either way; 0 -> 5 is 1 hop.
+        assert m.comm_time(0.0, 0, 3) == pytest.approx(3.0)
+        assert m.comm_time(0.0, 0, 5) == pytest.approx(1.0)
+
+    def test_two_procs(self):
+        m = ring_machine(2, latency=1.0, bandwidth=1.0)
+        assert m.comm_time(0.0, 0, 1) == pytest.approx(1.0)
+
+
+class TestMesh:
+    def test_manhattan_hops(self):
+        m = mesh_machine(3, 3, latency=1.0, bandwidth=1.0)
+        # corner (0,0)=id0 to corner (2,2)=id8: 4 hops
+        assert m.comm_time(0.0, 0, 8) == pytest.approx(4.0)
+        # (0,0) to (0,1)=id1: 1 hop
+        assert m.comm_time(0.0, 0, 1) == pytest.approx(1.0)
+
+    def test_row_major_ids(self):
+        m = mesh_machine(2, 3)
+        assert m.num_procs == 6
+
+    def test_bad_dims(self):
+        with pytest.raises(MachineError):
+            mesh_machine(0, 3)
+
+
+class TestBus:
+    def test_single_hop_everywhere(self):
+        m = bus_machine(5, latency=2.0, bandwidth=4.0)
+        assert m.comm_time(8.0, 0, 4) == pytest.approx(4.0)
+
+    def test_local_free_all_topologies(self):
+        for m in (
+            fully_connected_machine(3, latency=1.0),
+            bus_machine(3, latency=1.0),
+            star_machine(3, latency=1.0),
+            ring_machine(3, latency=1.0),
+            mesh_machine(2, 2, latency=1.0),
+        ):
+            for p in m.proc_ids():
+                assert m.comm_time(9.0, p, p) == 0.0

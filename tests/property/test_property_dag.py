@@ -1,0 +1,111 @@
+"""Property-based tests for TaskDAG and its analyses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    graph_levels,
+    parallelism_profile,
+    top_levels,
+)
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+
+
+@st.composite
+def random_dags(draw) -> TaskDAG:
+    """Arbitrary small weighted DAGs: edges always point id-upward, so
+    acyclicity holds by construction."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    dag = TaskDAG("prop")
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    for i in range(n):
+        dag.add_task(Task(i, cost=costs[i]))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), unique=True, max_size=30)) if possible else []
+    for u, v in chosen:
+        data = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+        dag.add_edge(u, v, data=data)
+    return dag
+
+
+@given(random_dags())
+@settings(max_examples=150)
+def test_topological_order_is_topological(dag):
+    order = dag.topological_order()
+    assert sorted(order) == sorted(dag.tasks())
+    pos = {t: i for i, t in enumerate(order)}
+    for u, v in dag.edges():
+        assert pos[u] < pos[v]
+
+
+@given(random_dags())
+@settings(max_examples=150)
+def test_levels_monotone_along_edges(dag):
+    tl = top_levels(dag)
+    bl = bottom_levels(dag)
+    for u, v in dag.edges():
+        assert tl[v] >= tl[u] + dag.cost(u) - 1e-9
+        assert bl[u] >= bl[v] + dag.cost(u) - 1e-9 or dag.cost(u) == 0
+
+
+@given(random_dags())
+@settings(max_examples=150)
+def test_cp_length_equals_max_blevel_and_tlevel_plus_cost(dag):
+    cp = critical_path_length(dag)
+    bl = bottom_levels(dag)
+    tl = top_levels(dag)
+    assert cp == max(bl.values())
+    # The tight identity: max over tasks of tlevel + blevel == CP.
+    assert abs(max(tl[t] + bl[t] for t in dag.tasks()) - cp) < 1e-6
+
+
+@given(random_dags())
+@settings(max_examples=150)
+def test_critical_path_is_consistent(dag):
+    path = critical_path(dag)
+    assert path[0] in dag.entry_tasks()
+    assert path[-1] in dag.exit_tasks()
+    for u, v in zip(path, path[1:]):
+        assert dag.has_edge(u, v)
+    length = sum(dag.cost(t) for t in path) + sum(
+        dag.data(u, v) for u, v in zip(path, path[1:])
+    )
+    assert abs(length - critical_path_length(dag)) < 1e-6
+
+
+@given(random_dags())
+@settings(max_examples=150)
+def test_profile_partitions_tasks(dag):
+    profile = parallelism_profile(dag)
+    assert sum(profile) == dag.num_tasks
+    assert all(w >= 1 for w in profile)
+    levels = graph_levels(dag)
+    assert len(profile) == max(levels.values()) + 1
+
+
+@given(random_dags())
+@settings(max_examples=100)
+def test_copy_equivalence(dag):
+    clone = dag.copy()
+    assert list(clone.tasks()) == list(dag.tasks())
+    assert list(clone.edges()) == list(dag.edges())
+    assert critical_path_length(clone) == critical_path_length(dag)
+
+
+@given(random_dags())
+@settings(max_examples=100)
+def test_json_round_trip_preserves_analysis(dag):
+    from repro.dag.io import from_json, to_json
+
+    back = from_json(to_json(dag))
+    assert back.num_tasks == dag.num_tasks
+    assert abs(critical_path_length(back) - critical_path_length(dag)) < 1e-9

@@ -1,0 +1,107 @@
+"""Property-based tests for metrics, ETC generation and serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+from repro.machine.cluster import Machine
+from repro.machine.etc import generate_etc
+from repro.schedule.io import schedule_from_json, schedule_to_json
+from repro.schedule.metrics import (
+    efficiency,
+    load_balance,
+    pairwise_comparison,
+    slr,
+    speedup,
+    total_idle_time,
+)
+from repro.schedule.validation import violations
+from repro.schedulers.heft import HEFT
+from repro.schedulers.registry import get_scheduler
+
+instance_params = st.tuples(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.0, max_value=5.0),
+    st.integers(min_value=0, max_value=5000),
+)
+
+
+def build(params):
+    n, q, ccr, seed = params
+    dag = random_dag(n, ccr=ccr, seed=seed)
+    return make_instance(dag, num_procs=q, heterogeneity=0.6, seed=seed)
+
+
+@given(instance_params)
+@settings(max_examples=80, deadline=None)
+def test_metric_relationships(params):
+    inst = build(params)
+    s = HEFT().schedule(inst)
+    assert slr(s, inst) >= 1.0 - 1e-9
+    assert speedup(s, inst) > 0
+    assert abs(efficiency(s, inst) - speedup(s, inst) / inst.num_procs) < 1e-12
+    assert 0 < load_balance(s) <= 1.0 + 1e-12
+    assert total_idle_time(s) >= -1e-9
+
+
+@given(instance_params)
+@settings(max_examples=60, deadline=None)
+def test_schedule_json_round_trip(params):
+    inst = build(params)
+    s = get_scheduler("DUP-HEFT").schedule(inst)
+    back = schedule_from_json(schedule_to_json(s), inst.machine)
+    assert violations(back, inst) == []
+    assert abs(back.makespan - s.makespan) < 1e-9
+    assert back.num_duplicates() == s.num_duplicates()
+
+
+@given(
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.0, max_value=1.9, exclude_max=True),
+    st.sampled_from(["consistent", "inconsistent", "partially-consistent"]),
+    st.integers(min_value=0, max_value=5000),
+)
+@settings(max_examples=100, deadline=None)
+def test_etc_generation_bounds(n, q, beta, consistency, seed):
+    dag = random_dag(n, seed=seed)
+    machine = Machine.homogeneous(q)
+    etc = generate_etc(dag, machine, heterogeneity=beta, consistency=consistency, seed=seed)
+    arr = etc.as_array()
+    assert arr.shape == (n, q)
+    assert (arr >= 0).all() and np.isfinite(arr).all()
+    # Range protocol: every entry within [w(1-b/2), w(1+b/2)].
+    costs = np.array([dag.cost(t) for t in dag.tasks()])
+    lo = costs * (1 - beta / 2) - 1e-9
+    hi = costs * (1 + beta / 2) + 1e-9
+    assert (arr >= lo[:, None]).all()
+    assert (arr <= hi[:, None]).all()
+    if consistency == "consistent":
+        assert etc.is_consistent()
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=8),
+        min_size=2,
+        max_size=4,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+)
+@settings(max_examples=100)
+def test_pairwise_comparison_properties(rows):
+    results = {f"s{i}": row for i, row in enumerate(rows)}
+    pairs = pairwise_comparison(results)
+    names = list(results)
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            x, y, z = pairs[(a, b)]
+            assert abs(x + y + z - 100.0) < 1e-6
+            rx, ry, rz = pairs[(b, a)]
+            assert abs(x - rz) < 1e-9
+            assert abs(y - ry) < 1e-9

@@ -1,0 +1,76 @@
+"""Property-based tests for the discrete-event simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+from repro.schedulers.registry import get_scheduler
+from repro.sim import MultiplicativeNoise, execute
+
+instance_params = st.tuples(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.0, max_value=6.0),
+    st.integers(min_value=0, max_value=5000),
+)
+
+
+def build(params):
+    n, q, ccr, seed = params
+    dag = random_dag(n, ccr=ccr, seed=seed)
+    return make_instance(dag, num_procs=q, heterogeneity=0.5, seed=seed)
+
+
+@given(instance_params, st.sampled_from(["HEFT", "DUP-HEFT", "TDS", "MCP"]))
+@settings(max_examples=80, deadline=None)
+def test_exact_replay_of_semi_active_schedules(params, name):
+    inst = build(params)
+    schedule = get_scheduler(name).schedule(inst)
+    replay = execute(schedule, inst)
+    # Left-shift semantics: never later, and for our semi-active
+    # schedules the copies replay at exactly their planned times.
+    assert replay.makespan <= schedule.makespan + 1e-6
+    assert len(replay.copies) == len(schedule.all_placements())
+
+
+@given(instance_params, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_noise_preserves_precedence(params, cv):
+    inst = build(params)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    result = execute(schedule, inst, MultiplicativeNoise(cv, seed=1))
+    finish = {}
+    for copy in result.copies:
+        finish.setdefault(copy.task, copy.end)
+        finish[copy.task] = min(finish[copy.task], copy.end)
+    for copy in result.copies:
+        for parent in inst.dag.predecessors(copy.task):
+            assert copy.start >= finish[parent] - 1e-6 or any(
+                c.task == parent and c.end <= copy.start + 1e-6
+                for c in result.copies
+            )
+
+
+@given(instance_params)
+@settings(max_examples=60, deadline=None)
+def test_contention_only_delays(params):
+    inst = build(params)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    free = execute(schedule, inst, link_contention=False)
+    busy = execute(schedule, inst, link_contention=True)
+    assert busy.makespan >= free.makespan - 1e-9
+    # Per-copy: contention can only push starts later.
+    free_starts = {(c.task, c.proc): c.start for c in free.copies}
+    for c in busy.copies:
+        assert c.start >= free_starts[(c.task, c.proc)] - 1e-9
+
+
+@given(instance_params)
+@settings(max_examples=40, deadline=None)
+def test_zero_cv_noise_is_identity(params):
+    inst = build(params)
+    schedule = get_scheduler("HEFT").schedule(inst)
+    a = execute(schedule, inst)
+    b = execute(schedule, inst, MultiplicativeNoise(0.0, seed=3))
+    assert abs(a.makespan - b.makespan) < 1e-12

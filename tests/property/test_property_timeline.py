@@ -1,0 +1,89 @@
+"""Property-based tests for the Timeline (core scheduling data structure)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.timeline import EPS, Timeline
+
+# Task requests: (ready, duration) pairs with sane magnitudes.
+requests = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(requests)
+@settings(max_examples=200)
+def test_find_then_add_never_conflicts(reqs):
+    """find_slot's answer is always a legal placement."""
+    tl = Timeline()
+    for i, (ready, dur) in enumerate(reqs):
+        start = tl.find_slot(ready, dur)
+        assert start >= ready - EPS
+        tl.add(start, dur, i)  # would raise on overlap
+
+
+@given(requests)
+@settings(max_examples=200)
+def test_slots_stay_sorted_and_disjoint(reqs):
+    tl = Timeline()
+    for i, (ready, dur) in enumerate(reqs):
+        tl.add(tl.find_slot(ready, dur), dur, i)
+    slots = tl.slots()
+    for a, b in zip(slots, slots[1:]):
+        assert a.start <= b.start
+        if a.duration > EPS and b.duration > EPS:
+            assert a.end <= b.start + EPS
+
+
+@given(requests)
+@settings(max_examples=200)
+def test_busy_plus_idle_equals_span(reqs):
+    tl = Timeline()
+    for i, (ready, dur) in enumerate(reqs):
+        tl.add(tl.find_slot(ready, dur), dur, i)
+    assert abs(tl.busy_time() + tl.idle_time() - tl.end_time) < 1e-6
+
+
+@given(requests)
+@settings(max_examples=150)
+def test_gaps_are_truly_idle(reqs):
+    tl = Timeline()
+    for i, (ready, dur) in enumerate(reqs):
+        tl.add(tl.find_slot(ready, dur), dur, i)
+    for lo, hi in tl.gaps():
+        assert hi > lo
+        for slot in tl.slots():
+            if slot.duration > EPS:
+                # No busy slot intersects an advertised gap.
+                assert slot.end <= lo + EPS or slot.start >= hi - EPS
+
+
+@given(requests, st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=30))
+@settings(max_examples=200)
+def test_insertion_no_worse_than_append(reqs, ready, dur):
+    tl = Timeline()
+    for i, (r, d) in enumerate(reqs):
+        tl.add(tl.find_slot(r, d), d, i)
+    assert tl.find_slot(ready, dur, insertion=True) <= tl.find_slot(
+        ready, dur, insertion=False
+    ) + EPS
+
+
+@given(requests)
+@settings(max_examples=150)
+def test_remove_restores_capacity(reqs):
+    tl = Timeline()
+    placed = []
+    for i, (ready, dur) in enumerate(reqs):
+        start = tl.find_slot(ready, dur)
+        tl.add(start, dur, i)
+        placed.append((i, start, dur))
+    # Remove everything; timeline must be empty again.
+    for i, start, dur in placed:
+        tl.remove(i, start=start)
+    assert len(tl) == 0 and tl.end_time == 0.0

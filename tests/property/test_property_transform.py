@@ -1,0 +1,99 @@
+"""Property-based tests for graph transforms and composition."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dag.compose import disjoint_union, per_dag_spans, sequential_chain
+from repro.dag.generators import random_dag
+from repro.dag.transform import extract_subgraph, merge_tasks, zero_small_edges
+from repro.exceptions import CycleError
+from repro.instance import homogeneous_instance
+from repro.schedule.validation import violations
+from repro.schedulers.heft import HEFT
+
+dag_params = st.tuples(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=5000),
+)
+
+
+@given(dag_params, st.data())
+@settings(max_examples=80, deadline=None)
+def test_merge_conserves_cost(params, data):
+    n, seed = params
+    dag = random_dag(n, seed=seed)
+    tasks = list(dag.tasks())
+    size = data.draw(st.integers(min_value=1, max_value=len(tasks)))
+    group = data.draw(st.permutations(tasks)).copy()[:size]
+    try:
+        merged = merge_tasks(dag, group, ("merged",))
+    except CycleError:
+        assume(False)  # contraction illegal for this draw; skip
+        return
+    merged.validate()
+    assert abs(merged.total_cost() - dag.total_cost()) < 1e-6
+    assert merged.num_tasks == dag.num_tasks - len(set(group)) + 1
+
+
+@given(dag_params, st.floats(min_value=0.0, max_value=50.0))
+@settings(max_examples=80, deadline=None)
+def test_zero_small_edges_monotone(params, threshold):
+    n, seed = params
+    dag = random_dag(n, seed=seed)
+    out = zero_small_edges(dag, threshold)
+    assert out.total_data() <= dag.total_data() + 1e-9
+    assert set(out.edges()) == set(dag.edges())
+    for u, v in out.edges():
+        d = out.data(u, v)
+        assert d == 0.0 or d >= threshold
+
+
+@given(dag_params, st.data())
+@settings(max_examples=60, deadline=None)
+def test_extract_subgraph_valid(params, data):
+    n, seed = params
+    dag = random_dag(n, seed=seed)
+    tasks = list(dag.tasks())
+    keep = data.draw(st.lists(st.sampled_from(tasks), unique=True, min_size=1))
+    sub = extract_subgraph(dag, keep)
+    sub.validate()
+    assert sub.num_tasks == len(keep)
+    for u, v in sub.edges():
+        assert dag.has_edge(u, v)
+
+
+@given(
+    st.lists(dag_params, min_size=1, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_union_schedulable_and_spans_cover(params_list):
+    dags = {
+        f"app{i}": random_dag(n, seed=seed) for i, (n, seed) in enumerate(params_list)
+    }
+    union = disjoint_union(dags)
+    union.validate()
+    assert union.num_tasks == sum(d.num_tasks for d in dags.values())
+    inst = homogeneous_instance(union, num_procs=3)
+    schedule = HEFT().schedule(inst)
+    assert violations(schedule, inst) == []
+    spans = per_dag_spans(schedule, union)
+    assert set(spans) == set(dags)
+    assert max(spans.values()) <= schedule.makespan + 1e-9
+
+
+@given(st.lists(dag_params, min_size=2, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_chain_serialises_apps(params_list):
+    dags = {
+        f"app{i}": random_dag(n, seed=seed) for i, (n, seed) in enumerate(params_list)
+    }
+    chain = sequential_chain(dags)
+    chain.validate()
+    inst = homogeneous_instance(chain, num_procs=3)
+    schedule = HEFT().schedule(inst)
+    assert violations(schedule, inst) == []
+    spans = per_dag_spans(schedule, chain)
+    # Later apps finish no earlier than earlier ones started gating.
+    tags = sorted(spans)
+    for a, b in zip(tags, tags[1:]):
+        assert spans[b] >= spans[a] - 1e-9

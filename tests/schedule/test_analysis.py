@@ -1,0 +1,117 @@
+"""Tests for post-hoc schedule analysis (dominant path, slack, etc.)."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.analysis import (
+    communication_volume,
+    dominant_path,
+    explain,
+    task_slacks,
+    utilisation,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedulers.heft import HEFT
+
+
+@pytest.fixture
+def instance(diamond_dag):
+    return homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+
+
+@pytest.fixture
+def schedule(instance):
+    s = Schedule(instance.machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 0, 2.0, 4.0)
+    s.add("c", 1, 3.0, 3.0)
+    s.add("d", 0, 8.0, 2.0)   # waits for c's data (6 + 2)
+    return s
+
+
+class TestDominantPath:
+    def test_ends_at_makespan(self, schedule, instance):
+        path = dominant_path(schedule, instance)
+        assert path[-1].end == pytest.approx(schedule.makespan)
+
+    def test_hand_built_chain(self, schedule, instance):
+        # d's start is pinned by c's arrival; c by a's arrival; a starts at 0.
+        path = dominant_path(schedule, instance)
+        assert [p.task for p in path] == ["a", "c", "d"]
+
+    def test_contiguous_in_time(self, schedule, instance):
+        path = dominant_path(schedule, instance)
+        for earlier, later in zip(path, path[1:]):
+            assert later.start >= earlier.end - 1e-9
+
+    def test_empty_schedule(self, instance):
+        assert dominant_path(Schedule(instance.machine), instance) == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_schedules_have_paths(self, seed):
+        dag = random_dag(40, seed=seed)
+        inst = make_instance(dag, num_procs=4, seed=seed)
+        s = HEFT().schedule(inst)
+        path = dominant_path(s, inst)
+        assert len(path) >= 1
+        assert path[-1].end == pytest.approx(s.makespan)
+
+
+class TestSlacks:
+    def test_nonnegative(self, schedule, instance):
+        assert all(v >= 0 for v in task_slacks(schedule, instance).values())
+
+    def test_dominant_tasks_zero_slack(self, schedule, instance):
+        slack = task_slacks(schedule, instance)
+        assert slack["a"] == pytest.approx(0.0)
+        assert slack["c"] == pytest.approx(0.0)
+        assert slack["d"] == pytest.approx(0.0)
+
+    def test_off_path_task_has_slack(self, schedule, instance):
+        # b ends at 6; d (local consumer) starts at 8 -> slack 2.
+        slack = task_slacks(schedule, instance)
+        assert slack["b"] == pytest.approx(2.0)
+
+
+class TestUtilisationAndVolume:
+    def test_utilisation_values(self, schedule, instance):
+        util = utilisation(schedule)
+        assert util[0] == pytest.approx(8.0 / 10.0)
+        assert util[1] == pytest.approx(3.0 / 10.0)
+
+    def test_utilisation_empty(self, instance):
+        util = utilisation(Schedule(instance.machine))
+        assert set(util.values()) == {0.0}
+
+    def test_communication_volume(self, schedule, instance):
+        vol = communication_volume(schedule, instance)
+        # a->c ships 1 unit 0->1; c->d ships 2 units 1->0.
+        assert vol[(0, 1)] == pytest.approx(1.0)
+        assert vol[(1, 0)] == pytest.approx(2.0)
+
+    def test_duplicate_reduces_volume(self, instance):
+        s = Schedule(instance.machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("a", 1, 0.0, 2.0, duplicate=True)  # local copy feeds c
+        s.add("b", 0, 2.0, 4.0)
+        s.add("c", 1, 2.0, 3.0)
+        s.add("d", 0, 7.0, 2.0)
+        vol = communication_volume(s, instance)
+        assert (0, 1) not in vol  # c charged to the local duplicate
+
+
+class TestExplain:
+    def test_mentions_everything(self, schedule, instance):
+        text = explain(schedule, instance)
+        assert "dominant path" in text
+        assert "utilisation" in text
+        assert "zero-slack" in text
+        assert "makespan 10" in text
+
+    def test_truncates_long_paths(self):
+        dag = random_dag(60, shape=0.3, seed=9)
+        inst = make_instance(dag, num_procs=2, seed=9)
+        s = HEFT().schedule(inst)
+        text = explain(s, inst, top=3)
+        assert "more" in text or len(dominant_path(s, inst)) <= 3

@@ -1,0 +1,84 @@
+"""Tests for schedule diffing."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.exceptions import ScheduleError
+from repro.instance import make_instance
+from repro.schedule.diff import diff_report, diff_schedules
+from repro.schedulers.cpop import CPOP
+from repro.schedulers.heft import HEFT
+from repro.core import ImprovedScheduler
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(random_dag(30, seed=5), num_procs=3, seed=5)
+
+
+class TestDiffSchedules:
+    def test_identical(self, instance):
+        a = HEFT().schedule(instance)
+        b = HEFT().schedule(instance)
+        d = diff_schedules(a, b)
+        assert d.identical
+        assert d.moves == []
+
+    def test_different_algorithms_differ(self, instance):
+        a = HEFT().schedule(instance)
+        b = CPOP().schedule(instance)
+        d = diff_schedules(a, b)
+        assert not d.identical
+        assert len(d.moves) > 0
+        assert d.makespan_delta == pytest.approx(b.makespan - a.makespan)
+
+    def test_move_fields(self, instance):
+        a = HEFT().schedule(instance)
+        b = CPOP().schedule(instance)
+        d = diff_schedules(a, b)
+        for m in d.moves:
+            assert m.start_a == a.start_of(m.task)
+            assert m.start_b == b.start_of(m.task)
+            if m.moved_processor:
+                assert a.proc_of(m.task) != b.proc_of(m.task)
+
+    def test_duplicates_counted(self, instance):
+        a = HEFT().schedule(instance)
+        b = ImprovedScheduler().schedule(instance)
+        d = diff_schedules(a, b)
+        assert d.duplicates_a == 0
+        assert d.duplicates_b == b.num_duplicates()
+
+    def test_mismatched_tasks_rejected(self, instance):
+        other = make_instance(random_dag(10, seed=6), num_procs=3, seed=6)
+        a = HEFT().schedule(instance)
+        b = HEFT().schedule(other)
+        with pytest.raises(ScheduleError):
+            diff_schedules(a, b)
+
+    def test_symmetry_of_delta(self, instance):
+        a = HEFT().schedule(instance)
+        b = CPOP().schedule(instance)
+        assert diff_schedules(a, b).makespan_delta == pytest.approx(
+            -diff_schedules(b, a).makespan_delta
+        )
+
+
+class TestDiffReport:
+    def test_identical_message(self, instance):
+        a = HEFT().schedule(instance)
+        assert "identical" in diff_report(a, HEFT().schedule(instance))
+
+    def test_report_contents(self, instance):
+        a = HEFT().schedule(instance)
+        b = CPOP().schedule(instance)
+        text = diff_report(a, b, top=3)
+        assert "delta:" in text
+        assert "placements differing" in text
+
+    def test_truncation(self, instance):
+        a = HEFT().schedule(instance)
+        b = CPOP().schedule(instance)
+        d = diff_schedules(a, b)
+        if len(d.moves) > 2:
+            assert "more" in diff_report(a, b, top=2)

@@ -1,0 +1,118 @@
+"""Tests for schedule serialisation (JSON) and SVG rendering."""
+
+import pytest
+
+from repro.exceptions import ParseError, ScheduleError
+from repro.instance import homogeneous_instance, make_instance
+from repro.dag.generators import gaussian_elimination_dag, random_dag
+from repro.machine.cluster import Machine
+from repro.schedule.io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    schedule_to_svg,
+    save_svg,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.core import DuplicationScheduler
+
+
+class TestJsonRoundTrip:
+    def test_simple(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        back = schedule_from_json(schedule_to_json(s), topcuoglu_instance.machine)
+        validate(back, topcuoglu_instance)
+        assert back.makespan == pytest.approx(s.makespan)
+        assert back.assignment() == s.assignment()
+
+    def test_duplicates_survive(self):
+        from repro.dag.generators import out_tree_dag
+
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=40.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+        s = DuplicationScheduler().schedule(inst)
+        back = schedule_from_json(schedule_to_json(s), inst.machine)
+        assert back.num_duplicates() == s.num_duplicates()
+        validate(back, inst)
+
+    def test_tuple_ids(self):
+        dag = gaussian_elimination_dag(5)
+        inst = make_instance(dag, num_procs=3, seed=2)
+        s = HEFT().schedule(inst)
+        back = schedule_from_json(schedule_to_json(s), inst.machine)
+        assert back.proc_of(("piv", 0)) == s.proc_of(("piv", 0))
+
+    def test_file_round_trip(self, tmp_path, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        path = tmp_path / "sched.json"
+        save_schedule(s, path)
+        back = load_schedule(path, topcuoglu_instance.machine)
+        assert back.makespan == pytest.approx(80.0)
+
+    def test_invalid_json(self):
+        with pytest.raises(ParseError):
+            schedule_from_json("{broken", Machine.homogeneous(2))
+
+    def test_wrong_shape(self):
+        with pytest.raises(ParseError):
+            schedule_from_json('{"no": "placements"}', Machine.homogeneous(2))
+
+    def test_negative_interval_rejected(self):
+        doc = '{"placements": [{"task": "a", "proc": 0, "start": 5, "end": 1}]}'
+        with pytest.raises(ParseError):
+            schedule_from_json(doc, Machine.homogeneous(1))
+
+    def test_overlap_rejected_on_load(self):
+        doc = (
+            '{"placements": ['
+            '{"task": "a", "proc": 0, "start": 0, "end": 5},'
+            '{"task": "b", "proc": 0, "start": 2, "end": 4}]}'
+        )
+        with pytest.raises(ScheduleError):
+            schedule_from_json(doc, Machine.homogeneous(1))
+
+
+class TestSvg:
+    def test_well_formed(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        svg = schedule_to_svg(s)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") == 10  # one box per placement
+
+    def test_duplicates_dimmed(self):
+        from repro.dag.generators import out_tree_dag
+
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=40.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+        s = DuplicationScheduler().schedule(inst)
+        if s.num_duplicates() == 0:
+            pytest.skip("no duplicates on this seed")
+        svg = schedule_to_svg(s)
+        assert 'fill-opacity="0.45"' in svg
+
+    def test_empty_schedule(self):
+        s = Schedule(Machine.homogeneous(2))
+        svg = schedule_to_svg(s)
+        assert svg.startswith("<svg") and "</svg>" in svg
+
+    def test_escaping(self):
+        m = Machine.homogeneous(1)
+        s = Schedule(m, name='x < y & "z"')
+        s.add("<task>", 0, 0.0, 1.0)
+        svg = schedule_to_svg(s)
+        assert "&lt;task&gt;" in svg
+        assert "<task>" not in svg.replace("&lt;task&gt;", "")
+
+    def test_save(self, tmp_path, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        path = tmp_path / "sched.svg"
+        save_svg(s, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_makespan_in_header(self, topcuoglu_instance):
+        s = HEFT().schedule(topcuoglu_instance)
+        assert "makespan 80" in schedule_to_svg(s)

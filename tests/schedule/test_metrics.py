@@ -1,0 +1,129 @@
+"""Tests for schedule metrics (SLR, speedup, efficiency, pairwise)."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.instance import homogeneous_instance
+from repro.schedule.metrics import (
+    efficiency,
+    load_balance,
+    makespan,
+    num_duplicates,
+    pairwise_comparison,
+    slr,
+    speedup,
+    total_idle_time,
+)
+from repro.schedule.schedule import Schedule
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.instance import Instance
+from repro.machine.cluster import Machine
+from repro.machine.etc import etc_from_speeds
+
+
+@pytest.fixture
+def instance(diamond_dag):
+    return homogeneous_instance(diamond_dag, num_procs=2, bandwidth=1.0)
+
+
+@pytest.fixture
+def schedule(instance) -> Schedule:
+    s = Schedule(instance.machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 0, 2.0, 4.0)
+    s.add("c", 1, 3.0, 3.0)
+    s.add("d", 0, 8.0, 2.0)
+    return s
+
+
+class TestBasicMetrics:
+    def test_makespan(self, schedule):
+        assert makespan(schedule) == 10.0
+
+    def test_slr(self, schedule, instance):
+        # cp_min = a+b+d = 8
+        assert slr(schedule, instance) == pytest.approx(10.0 / 8.0)
+
+    def test_speedup(self, schedule, instance):
+        # sequential = total work 11
+        assert speedup(schedule, instance) == pytest.approx(1.1)
+
+    def test_efficiency(self, schedule, instance):
+        assert efficiency(schedule, instance) == pytest.approx(0.55)
+
+    def test_idle_time(self, schedule):
+        # P0: busy 8 over [0,10) -> idle 2; P1: busy 3 over [0,6) -> idle 3.
+        assert total_idle_time(schedule) == pytest.approx(5.0)
+
+    def test_load_balance(self, schedule):
+        # busy: P0=8, P1=3 -> mean 5.5 / max 8
+        assert load_balance(schedule) == pytest.approx(5.5 / 8.0)
+
+    def test_load_balance_empty(self, instance):
+        assert load_balance(Schedule(instance.machine)) == 1.0
+
+    def test_num_duplicates(self, schedule):
+        assert num_duplicates(schedule) == 0
+        schedule.add("a", 1, 0.0, 2.0, duplicate=True)
+        assert num_duplicates(schedule) == 1
+
+
+class TestDegenerateCases:
+    def test_slr_zero_bound_rejected(self):
+        dag = TaskDAG()
+        dag.add_task(Task("v", cost=0.0))
+        machine = Machine.homogeneous(1)
+        inst = Instance(dag, machine, etc_from_speeds(dag, machine))
+        s = Schedule(machine)
+        s.add("v", 0, 0.0, 0.0)
+        with pytest.raises(ScheduleError):
+            slr(s, inst)
+
+    def test_speedup_empty_rejected(self, instance):
+        with pytest.raises(ScheduleError):
+            speedup(Schedule(instance.machine), instance)
+
+
+class TestSlrProperties:
+    def test_slr_at_least_one_for_valid_schedules(self, instance):
+        from repro.schedulers import HEFT
+
+        s = HEFT().schedule(instance)
+        assert slr(s, instance) >= 1.0 - 1e-9
+
+    def test_speedup_bounded_by_procs(self, instance):
+        from repro.schedulers import HEFT
+
+        s = HEFT().schedule(instance)
+        assert speedup(s, instance) <= instance.num_procs + 1e-9
+
+
+class TestPairwise:
+    def test_basic_percentages(self):
+        res = pairwise_comparison({"A": [1.0, 2.0, 3.0], "B": [2.0, 2.0, 2.0]})
+        better, equal, worse = res[("A", "B")]
+        assert (better, equal, worse) == (pytest.approx(100 / 3), pytest.approx(100 / 3), pytest.approx(100 / 3))
+
+    def test_symmetry(self):
+        res = pairwise_comparison({"A": [1.0, 3.0], "B": [2.0, 2.0]})
+        ab = res[("A", "B")]
+        ba = res[("B", "A")]
+        assert ab[0] == ba[2] and ab[2] == ba[0] and ab[1] == ba[1]
+
+    def test_sums_to_100(self):
+        res = pairwise_comparison({"A": [1.0, 2.0, 2.0, 5.0], "B": [2.0, 2.0, 1.0, 4.0]})
+        for triple in res.values():
+            assert sum(triple) == pytest.approx(100.0)
+
+    def test_near_equal_counts_equal(self):
+        res = pairwise_comparison({"A": [1.0], "B": [1.0 + 1e-12]})
+        assert res[("A", "B")][1] == 100.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_comparison({"A": [1.0], "B": [1.0, 2.0]})
+
+    def test_empty_results(self):
+        res = pairwise_comparison({"A": [], "B": []})
+        assert res[("A", "B")] == (0.0, 0.0, 0.0)

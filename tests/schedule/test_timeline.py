@@ -1,0 +1,217 @@
+"""Tests for the per-processor Timeline (insertion-slot search)."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.schedule.timeline import Slot, Timeline
+
+
+class TestSlot:
+    def test_duration(self):
+        assert Slot(1.0, 3.5, "t").duration == 2.5
+
+    def test_invalid(self):
+        with pytest.raises(ScheduleError):
+            Slot(3.0, 1.0, "t")
+        with pytest.raises(ScheduleError):
+            Slot(-1.0, 1.0, "t")
+
+
+class TestAdd:
+    def test_basic(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(2.0, 3.0, "b")
+        assert tl.end_time == 5.0
+        assert len(tl) == 2
+
+    def test_out_of_order_inserts_sorted(self):
+        tl = Timeline()
+        tl.add(5.0, 1.0, "late")
+        tl.add(0.0, 1.0, "early")
+        assert [s.task for s in tl.slots()] == ["early", "late"]
+
+    def test_overlap_rejected(self):
+        tl = Timeline()
+        tl.add(0.0, 4.0, "a")
+        with pytest.raises(ScheduleError):
+            tl.add(2.0, 1.0, "b")
+        with pytest.raises(ScheduleError):
+            tl.add(3.9, 1.0, "b")
+
+    def test_overlap_before_rejected(self):
+        tl = Timeline()
+        tl.add(2.0, 2.0, "a")
+        with pytest.raises(ScheduleError):
+            tl.add(1.0, 2.0, "b")
+
+    def test_touching_allowed(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(2.0, 2.0, "b")  # starts exactly at previous end
+        assert len(tl) == 2
+
+    def test_zero_duration_allowed(self):
+        tl = Timeline()
+        tl.add(1.0, 0.0, "v")
+        assert tl.busy_time() == 0.0
+
+
+class TestFindSlot:
+    def test_empty_returns_ready(self):
+        assert Timeline().find_slot(3.0, 2.0) == 3.0
+
+    def test_append_after_last(self):
+        tl = Timeline()
+        tl.add(0.0, 4.0, "a")
+        assert tl.find_slot(0.0, 2.0) == 4.0
+
+    def test_gap_used(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(6.0, 2.0, "b")
+        assert tl.find_slot(0.0, 3.0) == 2.0
+
+    def test_gap_too_small_skipped(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(6.0, 2.0, "b")
+        assert tl.find_slot(0.0, 5.0) == 8.0
+
+    def test_ready_inside_gap(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(10.0, 2.0, "b")
+        assert tl.find_slot(5.0, 3.0) == 5.0
+
+    def test_ready_truncates_gap(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(10.0, 2.0, "b")
+        # Gap [2, 10) but ready at 8 leaves only 2 units; need 3.
+        assert tl.find_slot(8.0, 3.0) == 12.0
+
+    def test_gap_before_first_slot(self):
+        tl = Timeline()
+        tl.add(5.0, 2.0, "a")
+        assert tl.find_slot(0.0, 4.0) == 0.0
+
+    def test_gap_straddling_ready(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a")
+        tl.add(4.0, 2.0, "b")
+        assert tl.find_slot(2.0, 2.0) == 2.0
+
+    def test_no_insertion_mode(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(6.0, 2.0, "b")
+        assert tl.find_slot(0.0, 1.0, insertion=False) == 8.0
+
+    def test_zero_duration_fits_anywhere(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        assert tl.find_slot(1.0, 0.0) in (1.0, 2.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ScheduleError):
+            Timeline().find_slot(-1.0, 1.0)
+        with pytest.raises(ScheduleError):
+            Timeline().find_slot(0.0, -1.0)
+
+    def test_result_is_feasible(self):
+        # Adding at the found slot never raises.
+        tl = Timeline()
+        tl.add(0.0, 3.0, "a")
+        tl.add(5.0, 1.0, "b")
+        tl.add(9.0, 4.0, "c")
+        for ready, dur in [(0.0, 2.0), (1.0, 1.0), (4.0, 3.0), (2.0, 10.0)]:
+            clone = tl.copy()
+            start = clone.find_slot(ready, dur)
+            assert start >= ready
+            clone.add(start, dur, "x")
+
+
+class TestZeroWidthSlots:
+    """Zero-cost tasks (virtual endpoints) occupy no time and must never
+    block placement — regression tests for the half-open semantics."""
+
+    def test_wide_add_over_empty_slot(self):
+        tl = Timeline()
+        tl.add(0.0, 0.0, "virtual")
+        tl.add(0.0, 5.0, "real")  # must not conflict
+        assert tl.busy_time() == 5.0
+
+    def test_empty_slot_inside_busy_region_rejected_other_way(self):
+        tl = Timeline()
+        tl.add(0.0, 5.0, "real")
+        tl.add(2.0, 0.0, "virtual")  # empty set never conflicts
+        assert len(tl) == 2
+
+    def test_conflict_behind_empty_slot_detected(self):
+        tl = Timeline()
+        tl.add(5.0, 0.0, "virtual")
+        tl.add(5.0, 4.0, "busy")
+        with pytest.raises(ScheduleError):
+            tl.add(5.0, 2.0, "clash")
+
+    def test_conflict_with_wide_predecessor_behind_empty(self):
+        tl = Timeline()
+        tl.add(0.0, 10.0, "wide")
+        tl.add(5.0, 0.0, "virtual")
+        with pytest.raises(ScheduleError):
+            tl.add(6.0, 1.0, "clash")
+
+    def test_find_slot_merges_gap_across_empty_slot(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(5.0, 0.0, "virtual")
+        tl.add(10.0, 2.0, "b")
+        # Gap [2, 10) is continuous despite the marker at 5.
+        assert tl.find_slot(0.0, 4.0) == 2.0
+
+    def test_find_slot_prev_end_skips_empty(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(3.0, 0.0, "virtual")
+        assert tl.find_slot(3.5, 1.0) == 3.5
+
+
+class TestRemoveAndStats:
+    def test_remove(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(2.0, 2.0, "b")
+        tl.remove("a")
+        assert [s.task for s in tl.slots()] == ["b"]
+
+    def test_remove_by_start(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a")
+        tl.add(5.0, 1.0, "a")  # duplicate copy of the same task
+        tl.remove("a", start=5.0)
+        assert [s.start for s in tl.slots()] == [0.0]
+
+    def test_remove_missing(self):
+        with pytest.raises(ScheduleError):
+            Timeline().remove("ghost")
+
+    def test_busy_idle(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        tl.add(5.0, 1.0, "b")
+        assert tl.busy_time() == 3.0
+        assert tl.idle_time() == 3.0
+
+    def test_gaps(self):
+        tl = Timeline()
+        tl.add(1.0, 2.0, "a")
+        tl.add(5.0, 1.0, "b")
+        assert tl.gaps() == [(0.0, 1.0), (3.0, 5.0)]
+
+    def test_copy_independent(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a")
+        clone = tl.copy()
+        clone.add(1.0, 1.0, "b")
+        assert len(tl) == 1 and len(clone) == 2

@@ -1,0 +1,91 @@
+"""Tests for the naive baselines and the TDS duplication scheduler."""
+
+import pytest
+
+from repro.dag.generators import out_tree_dag, random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.baselines import RandomScheduler, RoundRobinScheduler
+from repro.schedulers.duplication_tds import TDS
+
+
+class TestRoundRobin:
+    def test_feasible(self, topcuoglu_instance):
+        s = RoundRobinScheduler().schedule(topcuoglu_instance)
+        validate(s, topcuoglu_instance)
+
+    def test_cycles_processors(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=4, bandwidth=1e9)
+        s = RoundRobinScheduler().schedule(inst)
+        # 4 tasks over 4 procs: every processor used exactly once.
+        assert sorted(s.assignment().values()) == [0, 1, 2, 3]
+
+    def test_reusable_across_instances(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2)
+        sched = RoundRobinScheduler()
+        a = sched.schedule(inst)
+        b = sched.schedule(inst)
+        assert a.assignment() == b.assignment()  # counter resets per run
+
+
+class TestRandomScheduler:
+    def test_feasible_and_deterministic(self, topcuoglu_instance):
+        a = RandomScheduler(seed=9).schedule(topcuoglu_instance)
+        b = RandomScheduler(seed=9).schedule(topcuoglu_instance)
+        validate(a, topcuoglu_instance)
+        assert a.assignment() == b.assignment()
+
+    def test_seeds_differ(self, topcuoglu_instance):
+        a = RandomScheduler(seed=1).schedule(topcuoglu_instance)
+        b = RandomScheduler(seed=2).schedule(topcuoglu_instance)
+        assert a.assignment() != b.assignment()
+
+
+class TestTDS:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_feasible_on_random(self, seed):
+        dag = random_dag(40, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = TDS().schedule(inst)
+        validate(s, inst)
+
+    def test_duplicates_produced_on_trees(self):
+        # An out-tree with expensive communication forces chain duplication.
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=50.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.3, seed=1)
+        s = TDS().schedule(inst)
+        validate(s, inst)
+        assert s.num_duplicates() > 0
+
+    def test_chain_runs_on_one_processor(self):
+        from repro.dag.graph import TaskDAG
+
+        dag = TaskDAG.from_edges(
+            [("a", "b", 100.0), ("b", "c", 100.0)],
+            costs={"a": 1.0, "b": 1.0, "c": 1.0},
+        )
+        inst = homogeneous_instance(dag, num_procs=3, bandwidth=0.01)
+        s = TDS().schedule(inst)
+        validate(s, inst)
+        # A pure chain has one cluster: all on a single processor, so the
+        # enormous communication cost is never paid.
+        procs = {s.proc_of(t) for t in ("a", "b", "c")}
+        assert len(procs) == 1
+        assert s.makespan == pytest.approx(3.0)
+
+    def test_every_exit_covered(self, topcuoglu_instance):
+        s = TDS().schedule(topcuoglu_instance)
+        for t in topcuoglu_instance.dag.exit_tasks():
+            assert t in s
+
+    def test_feasible_more_clusters_than_procs(self):
+        # 8 exits but only 2 processors: clusters must fold.
+        dag = out_tree_dag(2, 3)
+        inst = make_instance(dag, num_procs=2, seed=5)
+        s = TDS().schedule(inst)
+        validate(s, inst)
+
+    def test_deterministic(self, topcuoglu_instance):
+        a = TDS().schedule(topcuoglu_instance)
+        b = TDS().schedule(topcuoglu_instance)
+        assert a.makespan == b.makespan

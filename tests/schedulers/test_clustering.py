@@ -1,0 +1,138 @@
+"""Tests for the clustering schedulers (DSC, linear clustering)."""
+
+import pytest
+
+from repro.dag.generators import out_tree_dag, random_dag
+from repro.dag.graph import TaskDAG
+from repro.exceptions import SchedulingError
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.clustering import DSC, ClusteringScheduler, LinearClustering
+from repro.schedulers.baselines import RandomScheduler
+
+
+@pytest.fixture(params=[DSC, LinearClustering], ids=lambda c: c.__name__)
+def scheduler(request):
+    return request.param()
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random(self, scheduler, seed):
+        dag = random_dag(40, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = scheduler.schedule(inst)
+        validate(s, inst)
+        assert len(s) == 40
+
+    def test_topcuoglu(self, scheduler, topcuoglu_instance):
+        s = scheduler.schedule(topcuoglu_instance)
+        validate(s, topcuoglu_instance)
+
+    def test_homogeneous(self, scheduler, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2)
+        validate(scheduler.schedule(inst), inst)
+
+    def test_single_task(self, scheduler):
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        dag.add_task(Task("x", cost=2.0))
+        inst = homogeneous_instance(dag, num_procs=3)
+        assert scheduler.schedule(inst).makespan == pytest.approx(2.0)
+
+    def test_deterministic(self, scheduler, topcuoglu_instance):
+        a = scheduler.schedule(topcuoglu_instance)
+        b = scheduler.schedule(topcuoglu_instance)
+        assert a.assignment() == b.assignment()
+
+
+class TestClusterStructure:
+    def test_clusters_partition_tasks(self, topcuoglu_instance):
+        for cls in (DSC, LinearClustering):
+            clusters = cls().clusters(topcuoglu_instance)
+            flat = [t for c in clusters for t in c]
+            assert sorted(map(str, flat)) == sorted(
+                map(str, topcuoglu_instance.dag.tasks())
+            )
+
+    def test_linear_clusters_are_chains(self, topcuoglu_instance):
+        dag = topcuoglu_instance.dag
+        for chain in LinearClustering().clusters(topcuoglu_instance):
+            for u, v in zip(chain, chain[1:]):
+                assert dag.has_edge(u, v)
+
+    def test_dsc_chain_stays_together(self):
+        # A pure chain with heavy comm must form one cluster.
+        dag = TaskDAG.from_edges(
+            [(0, 1, 50.0), (1, 2, 50.0)], costs={0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        inst = homogeneous_instance(dag, num_procs=3, bandwidth=0.1)
+        clusters = DSC().clusters(inst)
+        assert len(clusters) == 1
+
+    def test_dsc_independent_tasks_split(self):
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        for i in range(4):
+            dag.add_task(Task(i, cost=5.0))
+        inst = homogeneous_instance(dag, num_procs=4)
+        clusters = DSC().clusters(inst)
+        assert len(clusters) == 4
+
+    def test_mapping_balances_load(self, topcuoglu_instance):
+        sched = DSC()
+        clusters = sched.clusters(topcuoglu_instance)
+        assignment = sched.map_clusters(topcuoglu_instance, clusters)
+        assert set(assignment) == set(topcuoglu_instance.dag.tasks())
+        assert set(assignment.values()) <= set(topcuoglu_instance.machine.proc_ids())
+
+    def test_incomplete_clusters_rejected(self, topcuoglu_instance):
+        class Broken(ClusteringScheduler):
+            name = "broken"
+
+            def clusters(self, instance):
+                return [[1, 2]]
+
+        with pytest.raises(SchedulingError):
+            Broken().schedule(topcuoglu_instance)
+
+    def test_overlapping_clusters_rejected(self, topcuoglu_instance):
+        class Overlap(ClusteringScheduler):
+            name = "overlap"
+
+            def clusters(self, instance):
+                tasks = list(instance.dag.tasks())
+                return [tasks, [tasks[0]]]
+
+        with pytest.raises(SchedulingError):
+            Overlap().schedule(topcuoglu_instance)
+
+
+class TestQuality:
+    def test_beats_random_usually(self, scheduler):
+        wins = 0
+        for seed in range(6):
+            dag = random_dag(50, ccr=5.0, seed=seed)
+            inst = make_instance(dag, num_procs=4, seed=seed)
+            clu = scheduler.schedule(inst).makespan
+            rnd = RandomScheduler(seed=seed).schedule(inst).makespan
+            wins += clu <= rnd
+        assert wins >= 4
+
+    def test_clustering_on_comm_heavy_trees(self, scheduler):
+        # High-communication out-trees: DSC's merge criterion (join a
+        # parent's cluster when it lowers EST) keeps hot edges local and
+        # must beat serial execution.  Linear clustering extracts
+        # root-to-leaf chains whose *heads* still pay the heavy cross-
+        # cluster edge, so it only gets a loose corridor.
+        dag = out_tree_dag(2, 4, cost_scale=2.0, data_scale=40.0)
+        inst = homogeneous_instance(dag, num_procs=4, bandwidth=1.0)
+        s = scheduler.schedule(inst)
+        validate(s, inst)
+        serial = inst.sequential_time
+        if isinstance(scheduler, DSC):
+            assert s.makespan <= serial + 1e-9
+        else:
+            assert s.makespan <= 5 * serial

@@ -1,0 +1,108 @@
+"""Tests for HEFT and CPOP against the published reference schedule."""
+
+import pytest
+
+from repro.instance import homogeneous_instance, make_instance
+from repro.dag.generators import random_dag
+from repro.schedule.validation import validate
+from repro.schedulers.cpop import CPOP
+from repro.schedulers.heft import HEFT
+
+
+class TestHeftReference:
+    def test_published_makespan(self, topcuoglu_instance):
+        schedule = HEFT().schedule(topcuoglu_instance)
+        validate(schedule, topcuoglu_instance)
+        assert schedule.makespan == pytest.approx(80.0)
+
+    def test_priority_order_published(self, topcuoglu_instance):
+        # Decreasing rank_u: 1, 3/4 (tie 80), 2, 5, 6, 9, 7, 8, 10.
+        order = HEFT().priority_order(topcuoglu_instance)
+        assert order[0] == 1
+        assert set(order[1:3]) == {3, 4}
+        assert order[3] == 2
+        assert order[-1] == 10
+
+    def test_first_task_on_fastest_processor(self, topcuoglu_instance):
+        schedule = HEFT().schedule(topcuoglu_instance)
+        # Task 1's ETC row is (14, 16, 9): P2 wins.
+        assert schedule.proc_of(1) == 2
+
+    def test_deterministic(self, topcuoglu_instance):
+        a = HEFT().schedule(topcuoglu_instance)
+        b = HEFT().schedule(topcuoglu_instance)
+        assert a.assignment() == b.assignment()
+        assert a.makespan == b.makespan
+
+
+class TestCpopReference:
+    def test_published_makespan(self, topcuoglu_instance):
+        schedule = CPOP().schedule(topcuoglu_instance)
+        validate(schedule, topcuoglu_instance)
+        assert schedule.makespan == pytest.approx(86.0)
+
+    def test_cp_tasks_colocated(self, topcuoglu_instance):
+        schedule = CPOP().schedule(topcuoglu_instance)
+        procs = {schedule.proc_of(t) for t in (1, 2, 9, 10)}
+        assert len(procs) == 1
+
+    def test_cp_processor_minimises_path_time(self, topcuoglu_instance):
+        schedule = CPOP().schedule(topcuoglu_instance)
+        cp_proc = schedule.proc_of(1)
+        inst = topcuoglu_instance
+        totals = {
+            p: sum(inst.exec_time(t, p) for t in (1, 2, 9, 10))
+            for p in inst.machine.proc_ids()
+        }
+        assert totals[cp_proc] == min(totals.values())
+
+
+class TestVariantsAndEdgeCases:
+    @pytest.mark.parametrize("agg", ["mean", "median", "best", "worst"])
+    def test_rank_variants_feasible(self, topcuoglu_instance, agg):
+        schedule = HEFT(agg=agg).schedule(topcuoglu_instance)
+        validate(schedule, topcuoglu_instance)
+
+    def test_no_insertion_variant(self, topcuoglu_instance):
+        ins = HEFT(insertion=True).schedule(topcuoglu_instance)
+        noins = HEFT(insertion=False).schedule(topcuoglu_instance)
+        validate(noins, topcuoglu_instance)
+        assert ins.makespan <= noins.makespan + 1e-9
+
+    def test_single_task(self):
+        from repro.dag.graph import TaskDAG
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        dag.add_task(Task("only", cost=5.0))
+        inst = homogeneous_instance(dag, num_procs=3)
+        for alg in (HEFT(), CPOP()):
+            s = alg.schedule(inst)
+            validate(s, inst)
+            assert s.makespan == pytest.approx(5.0)
+
+    def test_single_processor(self):
+        dag = random_dag(30, seed=1)
+        inst = make_instance(dag, num_procs=1, seed=1)
+        for alg in (HEFT(), CPOP()):
+            s = alg.schedule(inst)
+            validate(s, inst)
+            # One processor: makespan >= total of that column.
+            total = sum(inst.exec_time(t, 0) for t in dag.tasks())
+            assert s.makespan == pytest.approx(total)
+
+    def test_disconnected_components(self):
+        from repro.dag.graph import TaskDAG
+
+        dag = TaskDAG.from_edges([("a", "b"), ("x", "y")],
+                                 costs={"a": 1, "b": 2, "x": 3, "y": 4})
+        inst = homogeneous_instance(dag, num_procs=2)
+        for alg in (HEFT(), CPOP()):
+            s = alg.schedule(inst)
+            validate(s, inst)
+
+    def test_names(self):
+        assert HEFT().name == "HEFT"
+        assert HEFT(agg="worst").name == "HEFT-worst"
+        assert HEFT(insertion=False).name == "HEFT-noins"
+        assert CPOP().name == "CPOP"

@@ -1,0 +1,62 @@
+"""Tests for the LMT (Levelized Min Time) scheduler."""
+
+import pytest
+
+from repro.dag.analysis import graph_levels
+from repro.dag.generators import random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.lmt import LMT
+
+
+class TestLMT:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feasible(self, seed):
+        dag = random_dag(40, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = LMT().schedule(inst)
+        validate(s, inst)
+
+    def test_topcuoglu(self, topcuoglu_instance):
+        s = LMT().schedule(topcuoglu_instance)
+        validate(s, topcuoglu_instance)
+        assert s.makespan <= 160.0  # sanity corridor vs HEFT's 80
+
+    def test_level_order_respected(self, topcuoglu_instance):
+        # Within the schedule, a level-l task never starts after a
+        # level-(l+1) task *that depends on it* — trivially true via
+        # validate; the LMT-specific claim is the processing order:
+        # all levels are placed level-by-level, so a deeper task's
+        # placement cannot affect a shallower one's.  We check the
+        # weaker observable: same result when scheduling twice.
+        a = LMT().schedule(topcuoglu_instance)
+        b = LMT().schedule(topcuoglu_instance)
+        assert a.assignment() == b.assignment()
+
+    def test_big_tasks_first_within_level(self, topcuoglu_instance):
+        # Level 1 holds tasks 2..6; the largest-average task must get
+        # first pick of the machine (start no later than its level
+        # peers on the same processor).
+        s = LMT().schedule(topcuoglu_instance)
+        levels = graph_levels(topcuoglu_instance.dag)
+        level1 = [t for t, l in levels.items() if l == 1]
+        biggest = max(level1, key=lambda t: topcuoglu_instance.avg_exec_time(t))
+        same_proc_peers = [
+            t for t in level1
+            if s.proc_of(t) == s.proc_of(biggest) and t != biggest
+        ]
+        for peer in same_proc_peers:
+            assert s.start_of(biggest) <= s.start_of(peer) + 1e-9
+
+    def test_homogeneous(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2)
+        validate(LMT().schedule(inst), inst)
+
+    def test_single_task(self):
+        from repro.dag.graph import TaskDAG
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        dag.add_task(Task("x", cost=4.0))
+        inst = homogeneous_instance(dag, num_procs=2)
+        assert LMT().schedule(inst).makespan == pytest.approx(4.0)

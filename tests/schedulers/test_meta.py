@@ -1,0 +1,113 @@
+"""Tests for the metaheuristic schedulers (SA, GA) and their decoder."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.exceptions import ConfigurationError
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.schedulers.meta import (
+    GeneticScheduler,
+    SimulatedAnnealingScheduler,
+    decode_assignment,
+)
+from repro.schedulers.meta.decoder import rank_order
+
+
+class TestDecoder:
+    def test_decode_heft_assignment_feasible(self, topcuoglu_instance):
+        heft = HEFT().schedule(topcuoglu_instance)
+        decoded = decode_assignment(topcuoglu_instance, heft.assignment())
+        validate(decoded, topcuoglu_instance)
+        # Decoding HEFT's own assignment in rank order reproduces its
+        # makespan (same order, same placement policy, fixed procs).
+        assert decoded.makespan == pytest.approx(heft.makespan)
+
+    def test_decode_all_on_one_proc(self, topcuoglu_instance):
+        assignment = {t: 0 for t in topcuoglu_instance.dag.tasks()}
+        s = decode_assignment(topcuoglu_instance, assignment)
+        validate(s, topcuoglu_instance)
+        total = sum(topcuoglu_instance.exec_time(t, 0) for t in assignment)
+        assert s.makespan == pytest.approx(total)
+
+    def test_rank_order_topological(self, topcuoglu_instance):
+        order = rank_order(topcuoglu_instance)
+        pos = {t: i for i, t in enumerate(order)}
+        for u, v in topcuoglu_instance.dag.edges():
+            assert pos[u] < pos[v]
+
+
+@pytest.fixture(
+    params=[
+        lambda seed: SimulatedAnnealingScheduler(iterations=200, seed=seed),
+        lambda seed: GeneticScheduler(population=12, generations=8, seed=seed),
+    ],
+    ids=["SA", "GA"],
+)
+def make_meta(request):
+    return request.param
+
+
+class TestMetaheuristics:
+    def test_feasible(self, make_meta, topcuoglu_instance):
+        s = make_meta(0).schedule(topcuoglu_instance)
+        validate(s, topcuoglu_instance)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_never_worse_than_heft(self, make_meta, seed):
+        dag = random_dag(30, seed=seed)
+        inst = make_instance(dag, num_procs=3, heterogeneity=0.75, seed=seed)
+        meta = make_meta(seed).schedule(inst)
+        heft = HEFT().schedule(inst)
+        validate(meta, inst)
+        assert meta.makespan <= heft.makespan + 1e-9
+
+    def test_deterministic_per_seed(self, make_meta, topcuoglu_instance):
+        a = make_meta(7).schedule(topcuoglu_instance).makespan
+        b = make_meta(7).schedule(topcuoglu_instance).makespan
+        assert a == b
+
+    def test_single_processor_short_circuits(self, make_meta):
+        dag = random_dag(15, seed=4)
+        inst = make_instance(dag, num_procs=1, seed=4)
+        s = make_meta(0).schedule(inst)
+        validate(s, inst)
+
+    def test_improves_sometimes(self, make_meta):
+        # Across several comm-heavy instances the search should find at
+        # least one strict improvement over HEFT.
+        improved = 0
+        for seed in range(4):
+            dag = random_dag(30, ccr=5.0, seed=seed)
+            inst = make_instance(dag, num_procs=3, heterogeneity=1.0, seed=seed)
+            meta = make_meta(seed).schedule(inst).makespan
+            heft = HEFT().schedule(inst).makespan
+            improved += meta < heft - 1e-9
+        assert improved >= 1
+
+
+class TestParameterValidation:
+    def test_sa_params(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingScheduler(iterations=-1)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingScheduler(cooling=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingScheduler(initial_temp_fraction=0.0)
+
+    def test_ga_params(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(population=1)
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(tournament=0)
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(mutation_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(elitism=24, population=24)
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(generations=-1)
+
+    def test_ga_zero_generations_returns_heft(self, topcuoglu_instance):
+        s = GeneticScheduler(generations=0).schedule(topcuoglu_instance)
+        assert s.makespan == pytest.approx(80.0)

@@ -1,0 +1,83 @@
+"""Tests for the branch-and-bound optimal scheduler (the test oracle)."""
+
+import itertools
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.exceptions import SchedulingError
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.schedulers.optimal import BranchAndBoundScheduler
+
+
+class TestGuardRails:
+    def test_refuses_large_instances(self):
+        dag = random_dag(30, seed=0)
+        inst = make_instance(dag, num_procs=2, seed=0)
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(max_tasks=12).schedule(inst)
+
+
+class TestKnownOptima:
+    def test_chain_optimum_is_fastest_processor(self):
+        # A chain cannot be parallelised: optimum = chain on best proc.
+        dag = TaskDAG.from_edges(
+            [(0, 1, 5.0), (1, 2, 5.0)], costs={0: 4.0, 1: 4.0, 2: 4.0}
+        )
+        from repro.instance import speed_scaled_instance
+
+        inst = speed_scaled_instance(dag, speeds=[1.0, 2.0], bandwidth=1.0)
+        best = BranchAndBoundScheduler().schedule(inst)
+        validate(best, inst)
+        assert best.makespan == pytest.approx(6.0)  # 3 * 4 / 2
+
+    def test_independent_tasks_spread(self):
+        # Two independent equal tasks on two processors: optimum = 1 task each.
+        dag = TaskDAG()
+        dag.add_task(Task("x", cost=4.0))
+        dag.add_task(Task("y", cost=4.0))
+        inst = homogeneous_instance(dag, num_procs=2)
+        best = BranchAndBoundScheduler().schedule(inst)
+        assert best.makespan == pytest.approx(4.0)
+
+    def test_comm_vs_parallelism_tradeoff(self):
+        # Fork of two children with huge comm: optimum keeps everything local.
+        dag = TaskDAG.from_edges(
+            [("a", "b", 100.0), ("a", "c", 100.0)],
+            costs={"a": 1.0, "b": 2.0, "c": 2.0},
+        )
+        inst = homogeneous_instance(dag, num_procs=2, bandwidth=0.1)
+        best = BranchAndBoundScheduler().schedule(inst)
+        assert best.makespan == pytest.approx(5.0)
+
+    def test_comm_cheap_parallelises(self):
+        dag = TaskDAG.from_edges(
+            [("a", "b", 0.0), ("a", "c", 0.0)],
+            costs={"a": 1.0, "b": 2.0, "c": 2.0},
+        )
+        inst = homogeneous_instance(dag, num_procs=2)
+        best = BranchAndBoundScheduler().schedule(inst)
+        assert best.makespan == pytest.approx(3.0)
+
+
+class TestDominatesHeuristics:
+    @pytest.mark.parametrize("seed,q", list(itertools.product(range(6), (2, 3))))
+    def test_never_worse_than_heft(self, seed, q):
+        dag = random_dag(6, seed=seed)
+        inst = make_instance(dag, num_procs=q, heterogeneity=0.8, seed=seed)
+        opt = BranchAndBoundScheduler().schedule(inst)
+        validate(opt, inst)
+        heft = HEFT().schedule(inst)
+        assert opt.makespan <= heft.makespan + 1e-9
+
+    def test_matches_exhaustive_bound(self):
+        # Cross-check against instance.cp_min_length: optimum is at least
+        # the critical-path lower bound.
+        dag = random_dag(7, seed=11)
+        inst = make_instance(dag, num_procs=2, seed=11)
+        opt = BranchAndBoundScheduler().schedule(inst)
+        assert opt.makespan >= inst.cp_min_length - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the PEFT scheduler and its optimistic cost table."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.validation import validate
+from repro.schedulers.peft import PEFT
+
+
+class TestOptimisticCostTable:
+    def test_exit_rows_zero(self, topcuoglu_instance):
+        oct_table = PEFT().optimistic_cost_table(topcuoglu_instance)
+        for p in topcuoglu_instance.machine.proc_ids():
+            assert oct_table[10][p] == 0.0
+
+    def test_nonnegative_everywhere(self, topcuoglu_instance):
+        oct_table = PEFT().optimistic_cost_table(topcuoglu_instance)
+        for row in oct_table.values():
+            assert all(v >= 0.0 for v in row.values())
+
+    def test_chain_recursion(self):
+        # Chain a -> b with homogeneous costs: OCT(a, p) must equal
+        # w(b) (+ comm only if b's best processor differs, which it
+        # doesn't under homogeneity because w=p is free of comm).
+        from repro.dag.graph import TaskDAG
+
+        dag = TaskDAG.from_edges([("a", "b", 6.0)], costs={"a": 2.0, "b": 3.0})
+        inst = homogeneous_instance(dag, num_procs=2, bandwidth=1.0)
+        oct_table = PEFT().optimistic_cost_table(inst)
+        for p in (0, 1):
+            assert oct_table["a"][p] == pytest.approx(3.0)  # run b on p itself
+        assert oct_table["b"][0] == 0.0
+
+    def test_parent_at_least_child_best(self, topcuoglu_instance):
+        # OCT(t, p) >= min over w of OCT(c, w) + w(c, w) for each child c.
+        oct_table = PEFT().optimistic_cost_table(topcuoglu_instance)
+        inst = topcuoglu_instance
+        for t in inst.dag.tasks():
+            for c in inst.dag.successors(t):
+                floor = min(
+                    oct_table[c][w] + inst.exec_time(c, w)
+                    for w in inst.machine.proc_ids()
+                )
+                for p in inst.machine.proc_ids():
+                    assert oct_table[t][p] >= floor - 1e-9
+
+
+class TestPeftScheduling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible(self, seed):
+        dag = random_dag(40, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = PEFT().schedule(inst)
+        validate(s, inst)
+        assert len(s) == 40
+
+    def test_topcuoglu_sanity(self, topcuoglu_instance):
+        s = PEFT().schedule(topcuoglu_instance)
+        validate(s, topcuoglu_instance)
+        assert s.makespan <= 120.0  # within 1.5x of HEFT's 80
+
+    def test_deterministic(self, topcuoglu_instance):
+        a = PEFT().schedule(topcuoglu_instance)
+        b = PEFT().schedule(topcuoglu_instance)
+        assert a.assignment() == b.assignment()
+
+    def test_homogeneous(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=2)
+        validate(PEFT().schedule(inst), inst)
+
+    def test_single_task(self):
+        from repro.dag.graph import TaskDAG
+        from repro.dag.task import Task
+
+        dag = TaskDAG()
+        dag.add_task(Task("x", cost=3.0))
+        inst = homogeneous_instance(dag, num_procs=2)
+        assert PEFT().schedule(inst).makespan == pytest.approx(3.0)
+
+    def test_competitive_with_heft(self):
+        # Across a small suite PEFT must stay within 15% of HEFT on
+        # average (they trade wins instance by instance).
+        import numpy as np
+        from repro.schedulers.heft import HEFT
+
+        ratios = []
+        for seed in range(6):
+            dag = random_dag(60, seed=seed)
+            inst = make_instance(dag, num_procs=4, heterogeneity=0.75, seed=seed)
+            ratios.append(
+                PEFT().schedule(inst).makespan / HEFT().schedule(inst).makespan
+            )
+        assert float(np.mean(ratios)) < 1.15

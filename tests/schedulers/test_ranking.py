@@ -1,0 +1,130 @@
+"""Tests for machine-aware ranking functions, anchored on the published
+Topcuoglu (TPDS 2002) reference values."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.instance import homogeneous_instance
+from repro.schedulers.ranking import (
+    alap_times,
+    critical_path_tasks,
+    downward_ranks,
+    est_times,
+    machine_static_levels,
+    upward_ranks,
+)
+
+#: Published upward ranks of the TPDS-2002 example (mean aggregation).
+TOPCUOGLU_RANKS = {
+    1: 108.000, 2: 77.000, 3: 80.000, 4: 80.000, 5: 69.000,
+    6: 63.333, 7: 42.667, 8: 35.667, 9: 44.333, 10: 14.667,
+}
+
+
+class TestUpwardRanks:
+    def test_published_values(self, topcuoglu_instance):
+        ranks = upward_ranks(topcuoglu_instance)
+        for t, expected in TOPCUOGLU_RANKS.items():
+            assert ranks[t] == pytest.approx(expected, abs=5e-4), f"task {t}"
+
+    def test_monotone_along_edges(self, topcuoglu_instance):
+        ranks = upward_ranks(topcuoglu_instance)
+        dag = topcuoglu_instance.dag
+        for u, v in dag.edges():
+            assert ranks[u] > ranks[v]
+
+    def test_exit_rank_is_weight(self, topcuoglu_instance):
+        ranks = upward_ranks(topcuoglu_instance)
+        assert ranks[10] == pytest.approx(topcuoglu_instance.avg_exec_time(10))
+
+    def test_aggregation_variants_differ(self, topcuoglu_instance):
+        mean = upward_ranks(topcuoglu_instance, "mean")
+        best = upward_ranks(topcuoglu_instance, "best")
+        worst = upward_ranks(topcuoglu_instance, "worst")
+        assert best[1] < mean[1] < worst[1]
+
+    def test_variants_coincide_on_homogeneous(self, diamond_dag):
+        inst = homogeneous_instance(diamond_dag, num_procs=3)
+        for agg in ("median", "best", "worst"):
+            assert upward_ranks(inst, agg) == upward_ranks(inst, "mean")
+
+    def test_unknown_aggregation(self, topcuoglu_instance):
+        with pytest.raises(ConfigurationError):
+            upward_ranks(topcuoglu_instance, "mode")  # type: ignore[arg-type]
+
+
+class TestDownwardRanks:
+    def test_entry_is_zero(self, topcuoglu_instance):
+        assert downward_ranks(topcuoglu_instance)[1] == 0.0
+
+    def test_known_value(self, topcuoglu_instance):
+        down = downward_ranks(topcuoglu_instance)
+        # task 2 via task 1: w(1)=13 + c(1,2)=18
+        assert down[2] == pytest.approx(13.0 + 18.0)
+
+    def test_monotone_along_edges(self, topcuoglu_instance):
+        down = downward_ranks(topcuoglu_instance)
+        for u, v in topcuoglu_instance.dag.edges():
+            assert down[v] > down[u]
+
+
+class TestCriticalPath:
+    def test_topcuoglu_cp(self, topcuoglu_instance):
+        # The published critical path is 1 -> 2 -> 9 -> 10.
+        assert critical_path_tasks(topcuoglu_instance) == [1, 2, 9, 10]
+
+    def test_cp_value_constant_along_path(self, topcuoglu_instance):
+        up = upward_ranks(topcuoglu_instance)
+        down = downward_ranks(topcuoglu_instance)
+        cp = critical_path_tasks(topcuoglu_instance)
+        values = {round(up[t] + down[t], 6) for t in cp}
+        assert len(values) == 1
+
+    def test_path_connected(self, topcuoglu_instance):
+        cp = critical_path_tasks(topcuoglu_instance)
+        dag = topcuoglu_instance.dag
+        for u, v in zip(cp, cp[1:]):
+            assert dag.has_edge(u, v)
+
+    def test_starts_at_entry_ends_at_exit(self, topcuoglu_instance):
+        cp = critical_path_tasks(topcuoglu_instance)
+        dag = topcuoglu_instance.dag
+        assert cp[0] in dag.entry_tasks()
+        assert cp[-1] in dag.exit_tasks()
+
+
+class TestAlapAndEst:
+    def test_est_entry_zero(self, topcuoglu_instance):
+        assert est_times(topcuoglu_instance)[1] == 0.0
+
+    def test_slack_nonnegative(self, topcuoglu_instance):
+        est = est_times(topcuoglu_instance)
+        alap = alap_times(topcuoglu_instance)
+        for t in topcuoglu_instance.dag.tasks():
+            assert alap[t] >= est[t] - 1e-9
+
+    def test_critical_path_zero_slack(self, topcuoglu_instance):
+        est = est_times(topcuoglu_instance)
+        alap = alap_times(topcuoglu_instance)
+        for t in critical_path_tasks(topcuoglu_instance):
+            assert alap[t] - est[t] == pytest.approx(0.0, abs=1e-9)
+
+    def test_alap_horizon(self, topcuoglu_instance):
+        alap = alap_times(topcuoglu_instance)
+        up = upward_ranks(topcuoglu_instance)
+        horizon = max(up.values())
+        # Exit task ALAP + its weight == horizon.
+        assert alap[10] + topcuoglu_instance.avg_exec_time(10) == pytest.approx(horizon)
+
+
+class TestStaticLevels:
+    def test_no_comm_terms(self, topcuoglu_instance):
+        sl = machine_static_levels(topcuoglu_instance, agg="mean")
+        up = upward_ranks(topcuoglu_instance)
+        # Static level must be <= upward rank (comm dropped).
+        for t in topcuoglu_instance.dag.tasks():
+            assert sl[t] <= up[t] + 1e-9
+
+    def test_exit_equals_weight(self, topcuoglu_instance):
+        sl = machine_static_levels(topcuoglu_instance, agg="mean")
+        assert sl[10] == pytest.approx(topcuoglu_instance.avg_exec_time(10))

@@ -1,0 +1,54 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import (
+    all_scheduler_names,
+    get_scheduler,
+    get_schedulers,
+    register_scheduler,
+)
+
+EXPECTED = {
+    "HEFT", "HEFT-median", "HEFT-best", "HEFT-worst", "CPOP", "HCPT",
+    "PETS", "DLS", "ETF", "MCP", "HLFET", "TDS", "Random", "RoundRobin",
+    "OPT-BB", "IMP", "LA-HEFT", "DUP-HEFT", "DSC", "LC", "SA", "GA", "LMT", "PEFT",
+}
+
+
+class TestRegistry:
+    def test_all_builtins_present(self):
+        assert EXPECTED <= set(all_scheduler_names())
+
+    def test_get_returns_scheduler(self):
+        for name in EXPECTED:
+            s = get_scheduler(name)
+            assert isinstance(s, Scheduler)
+
+    def test_fresh_instance_each_call(self):
+        assert get_scheduler("HEFT") is not get_scheduler("HEFT")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError) as e:
+            get_scheduler("NOPE")
+        assert "known" in str(e.value)
+
+    def test_get_many(self):
+        scheds = get_schedulers(["HEFT", "CPOP"])
+        assert [s.name for s in scheds] == ["HEFT", "CPOP"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scheduler("HEFT", lambda: None)  # type: ignore[arg-type]
+
+    def test_names_sorted(self):
+        names = all_scheduler_names()
+        assert names == sorted(names)
+
+    def test_registry_names_match_scheduler_names(self):
+        # The display name of each default-constructed scheduler should
+        # match its registry key (keeps experiment tables readable).
+        for name in EXPECTED:
+            assert get_scheduler(name).name == name

@@ -1,0 +1,78 @@
+"""Tests for the link-contention simulation mode."""
+
+import pytest
+
+from repro.dag.graph import TaskDAG
+from repro.dag.generators import random_dag
+from repro.instance import homogeneous_instance, make_instance
+from repro.schedule.schedule import Schedule
+from repro.schedulers.heft import HEFT
+from repro.sim import execute
+
+
+class TestContentionSemantics:
+    def test_serialises_same_link(self):
+        # Two transfers over the same directed link must queue.
+        dag = TaskDAG.from_edges(
+            [("a", "x", 10.0), ("b", "y", 10.0)],
+            costs={"a": 1.0, "b": 1.0, "x": 1.0, "y": 1.0},
+        )
+        inst = homogeneous_instance(dag, num_procs=2, bandwidth=1.0)
+        s = Schedule(inst.machine)
+        s.add("a", 0, 0.0, 1.0)
+        s.add("b", 0, 1.0, 1.0)
+        s.add("x", 1, 11.0, 1.0)   # a ends 1 + 10 transfer
+        s.add("y", 1, 12.0, 1.0)   # b ends 2 + 10 transfer
+        free = execute(s, inst, link_contention=False)
+        busy = execute(s, inst, link_contention=True)
+        # Contention-free: y's data lands at 12; with contention the
+        # 0->1 link is busy until 11, so b's transfer lands at 21.
+        assert free.makespan == pytest.approx(13.0)
+        y = next(c for c in busy.copies if c.task == "y")
+        assert y.start == pytest.approx(21.0)
+
+    def test_distinct_links_parallel(self):
+        # Transfers to different destinations do not queue on each other.
+        dag = TaskDAG.from_edges(
+            [("a", "x", 10.0), ("a", "y", 10.0)],
+            costs={"a": 1.0, "x": 1.0, "y": 1.0},
+        )
+        inst = homogeneous_instance(dag, num_procs=3, bandwidth=1.0)
+        s = Schedule(inst.machine)
+        s.add("a", 0, 0.0, 1.0)
+        s.add("x", 1, 11.0, 1.0)
+        s.add("y", 2, 11.0, 1.0)
+        busy = execute(s, inst, link_contention=True)
+        assert busy.makespan == pytest.approx(12.0)
+
+    def test_local_transfers_never_queue(self):
+        dag = TaskDAG.from_edges([("a", "b", 10.0)], costs={"a": 1.0, "b": 1.0})
+        inst = homogeneous_instance(dag, num_procs=2, bandwidth=1.0)
+        s = Schedule(inst.machine)
+        s.add("a", 0, 0.0, 1.0)
+        s.add("b", 0, 1.0, 1.0)
+        busy = execute(s, inst, link_contention=True)
+        assert busy.makespan == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_contention_never_faster(self, seed):
+        dag = random_dag(40, ccr=3.0, seed=seed)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=seed)
+        s = HEFT().schedule(inst)
+        free = execute(s, inst, link_contention=False)
+        busy = execute(s, inst, link_contention=True)
+        assert busy.makespan >= free.makespan - 1e-9
+
+    def test_low_ccr_nearly_exact(self):
+        dag = random_dag(40, ccr=0.01, seed=5)
+        inst = make_instance(dag, num_procs=4, seed=5)
+        s = HEFT().schedule(inst)
+        busy = execute(s, inst, link_contention=True)
+        assert busy.makespan <= s.makespan * 1.05
+
+    def test_all_tasks_still_complete(self):
+        dag = random_dag(50, ccr=8.0, seed=6)
+        inst = make_instance(dag, num_procs=4, seed=6)
+        s = HEFT().schedule(inst)
+        busy = execute(s, inst, link_contention=True)
+        assert len(busy.copies) == 50

@@ -1,0 +1,85 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, SimulationError
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_ties_fifo(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(4.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 4.0
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.push(4.0, "x")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(1.0, "late")
+
+    def test_now_scheduling_allowed(self):
+        q = EventQueue()
+        q.push(4.0, "x")
+        q.pop()
+        ev = q.push(4.0, "same-time")
+        assert ev.time == 4.0
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_len(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert len(q) == 2
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(1.0, "k", payload={"x": 1})
+        assert q.pop().payload == {"x": 1}
+
+    def test_drain(self):
+        q = EventQueue()
+        seen = []
+        q.push(2.0, "a")
+        q.push(1.0, "b")
+        n = q.drain(lambda ev: seen.append(ev.kind))
+        assert n == 2 and seen == ["b", "a"]
+
+    def test_drain_handler_can_push(self):
+        q = EventQueue()
+        q.push(1.0, "seed")
+        count = [0]
+
+        def handler(ev: Event) -> None:
+            count[0] += 1
+            if ev.kind == "seed":
+                q.push(ev.time + 1.0, "child")
+
+        q.drain(handler)
+        assert count[0] == 2
+
+    def test_drain_max_events(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(float(i), "e")
+        assert q.drain(lambda ev: None, max_events=3) == 3
+        assert len(q) == 2

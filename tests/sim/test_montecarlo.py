@@ -1,0 +1,63 @@
+"""Tests for Monte-Carlo makespan distributions."""
+
+import pytest
+
+from repro.dag.generators import random_dag
+from repro.exceptions import ConfigurationError
+from repro.instance import make_instance
+from repro.schedulers.heft import HEFT
+from repro.sim.montecarlo import makespan_distribution
+
+
+@pytest.fixture(scope="module")
+def plan():
+    dag = random_dag(40, seed=1)
+    inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+    return HEFT().schedule(inst), inst
+
+
+class TestMakespanDistribution:
+    def test_zero_cv_degenerate(self, plan):
+        schedule, inst = plan
+        dist = makespan_distribution(schedule, inst, cv=0.0, samples=5, seed=0)
+        assert dist.std == pytest.approx(0.0)
+        assert dist.mean <= schedule.makespan + 1e-9  # left-shift replay
+
+    def test_noise_spreads(self, plan):
+        schedule, inst = plan
+        dist = makespan_distribution(schedule, inst, cv=0.4, samples=40, seed=1)
+        assert dist.std > 0
+        assert dist.p95 >= dist.percentile(50.0)
+        assert dist.tail_ratio >= 1.0
+
+    def test_reproducible_and_extendable(self, plan):
+        schedule, inst = plan
+        a = makespan_distribution(schedule, inst, cv=0.3, samples=10, seed=2)
+        b = makespan_distribution(schedule, inst, cv=0.3, samples=10, seed=2)
+        assert a.samples == b.samples
+        more = makespan_distribution(schedule, inst, cv=0.3, samples=20, seed=2)
+        assert more.samples[:10] == a.samples
+
+    def test_degradation_grows_with_cv(self, plan):
+        schedule, inst = plan
+        low = makespan_distribution(schedule, inst, cv=0.1, samples=30, seed=3)
+        high = makespan_distribution(schedule, inst, cv=0.8, samples=30, seed=3)
+        assert high.degradation > low.degradation
+
+    def test_contention_flag(self, plan):
+        schedule, inst = plan
+        plain = makespan_distribution(schedule, inst, cv=0.0, samples=3, seed=4)
+        busy = makespan_distribution(
+            schedule, inst, cv=0.0, samples=3, seed=4, link_contention=True
+        )
+        assert busy.mean >= plain.mean - 1e-9
+
+    def test_validation(self, plan):
+        schedule, inst = plan
+        with pytest.raises(ConfigurationError):
+            makespan_distribution(schedule, inst, samples=0)
+        with pytest.raises(ConfigurationError):
+            makespan_distribution(schedule, inst, cv=-1.0)
+        dist = makespan_distribution(schedule, inst, samples=2, seed=5)
+        with pytest.raises(ConfigurationError):
+            dist.percentile(150.0)

@@ -1,0 +1,87 @@
+"""Tests for the runtime-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.noise import MultiplicativeNoise, NoNoise, PerProcessorDrift
+
+
+class TestNoNoise:
+    def test_identity(self):
+        n = NoNoise()
+        assert n.duration("t", 0, 7.5) == 7.5
+        assert n.comm_factor() == 1.0
+
+
+class TestMultiplicativeNoise:
+    def test_zero_cv_identity(self):
+        n = MultiplicativeNoise(0.0, seed=1)
+        assert n.duration("t", 0, 5.0) == 5.0
+
+    def test_consistent_within_run(self):
+        n = MultiplicativeNoise(0.4, seed=2)
+        a = n.duration("t", 0, 5.0)
+        b = n.duration("t", 0, 5.0)
+        assert a == b
+
+    def test_distinct_pairs_distinct_factors(self):
+        n = MultiplicativeNoise(0.4, seed=3)
+        assert n.duration("t", 0, 5.0) != n.duration("t", 1, 5.0)
+
+    def test_deterministic_per_seed(self):
+        a = MultiplicativeNoise(0.4, seed=4).duration("t", 0, 5.0)
+        b = MultiplicativeNoise(0.4, seed=4).duration("t", 0, 5.0)
+        assert a == b
+
+    def test_mean_preserving(self):
+        n = MultiplicativeNoise(0.3, seed=5)
+        samples = [n.duration(i, 0, 1.0) for i in range(4000)]
+        assert float(np.mean(samples)) == pytest.approx(1.0, abs=0.03)
+
+    def test_cv_roughly_matches(self):
+        n = MultiplicativeNoise(0.5, seed=6)
+        samples = np.array([n.duration(i, 0, 1.0) for i in range(6000)])
+        assert samples.std() / samples.mean() == pytest.approx(0.5, abs=0.08)
+
+    def test_positive_always(self):
+        n = MultiplicativeNoise(1.0, seed=7)
+        assert all(n.duration(i, 0, 1.0) > 0 for i in range(100))
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeNoise(-0.1)
+
+    def test_comm_factor_default_one(self):
+        assert MultiplicativeNoise(0.3, seed=8).comm_factor() == 1.0
+
+    def test_comm_cv(self):
+        n = MultiplicativeNoise(0.3, seed=9, comm_cv=0.5)
+        assert n.comm_factor() > 0
+        assert n.comm_factor() == n.comm_factor()  # stable within run
+
+    def test_negative_comm_cv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeNoise(0.3, comm_cv=-1.0)
+
+
+class TestPerProcessorDrift:
+    def test_per_proc_constant(self):
+        n = PerProcessorDrift(0.3, seed=1)
+        assert n.duration("a", 0, 10.0) / 10.0 == n.duration("b", 0, 4.0) / 4.0
+
+    def test_within_bounds(self):
+        n = PerProcessorDrift(0.3, seed=2)
+        for p in range(20):
+            f = n.duration("t", p, 1.0)
+            assert 0.7 - 1e-9 <= f <= 1.3 + 1e-9
+
+    def test_zero_drift_identity(self):
+        n = PerProcessorDrift(0.0, seed=3)
+        assert n.duration("t", 0, 6.0) == 6.0
+
+    def test_invalid_drift(self):
+        with pytest.raises(ConfigurationError):
+            PerProcessorDrift(1.0)
+        with pytest.raises(ConfigurationError):
+            PerProcessorDrift(-0.1)

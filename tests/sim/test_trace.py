@@ -1,0 +1,71 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.instance import make_instance
+from repro.dag.generators import random_dag
+from repro.schedulers.heft import HEFT
+from repro.sim import execute, save_chrome_trace, to_chrome_trace
+
+
+@pytest.fixture
+def result_and_schedule(topcuoglu_instance):
+    schedule = HEFT().schedule(topcuoglu_instance)
+    return execute(schedule, topcuoglu_instance), schedule
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self, result_and_schedule):
+        result, _ = result_and_schedule
+        doc = json.loads(to_chrome_trace(result))
+        assert "traceEvents" in doc
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(complete) == 10
+
+    def test_thread_per_processor(self, result_and_schedule):
+        result, _ = result_and_schedule
+        doc = json.loads(to_chrome_trace(result))
+        threads = [e for e in doc["traceEvents"]
+                   if e.get("ph") == "M" and e["name"] == "thread_name"]
+        used_procs = {str(c.proc) for c in result.copies}
+        assert len(threads) == len(used_procs)
+
+    def test_timestamps_scale(self, result_and_schedule):
+        result, schedule = result_and_schedule
+        doc = json.loads(to_chrome_trace(result))
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        latest = max(e["ts"] + e["dur"] for e in complete)
+        assert latest == pytest.approx(schedule.makespan * 1000.0)
+
+    def test_duplicate_category(self):
+        from repro.core import DuplicationScheduler
+        from repro.dag.generators import out_tree_dag
+
+        dag = out_tree_dag(2, 4, cost_scale=5.0, data_scale=40.0)
+        inst = make_instance(dag, num_procs=4, heterogeneity=0.5, seed=1)
+        schedule = DuplicationScheduler().schedule(inst)
+        if schedule.num_duplicates() == 0:
+            pytest.skip("no duplicates on this seed")
+        doc = json.loads(to_chrome_trace(execute(schedule, inst)))
+        cats = {e.get("cat") for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert "duplicate" in cats
+
+    def test_save(self, result_and_schedule, tmp_path):
+        result, _ = result_and_schedule
+        path = tmp_path / "trace.json"
+        save_chrome_trace(result, path, process_name="demo")
+        doc = json.loads(path.read_text())
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "process_name"]
+        assert names == ["demo"]
+
+    def test_noisy_trace_args_carry_plan(self, topcuoglu_instance):
+        from repro.sim import MultiplicativeNoise
+
+        schedule = HEFT().schedule(topcuoglu_instance)
+        result = execute(schedule, topcuoglu_instance, MultiplicativeNoise(0.4, seed=1))
+        doc = json.loads(to_chrome_trace(result))
+        ev = next(e for e in doc["traceEvents"] if e.get("ph") == "X")
+        assert "planned_start" in ev["args"]

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dag import io as dio
+from repro.dag.generators import random_dag
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            build_parser().parse_args(["--version"])
+        assert e.value.code == 0
+
+
+class TestList:
+    def test_lists_experiments_and_schedulers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E15" in out
+        assert "HEFT" in out and "IMP" in out
+
+
+class TestSchedule:
+    def test_schedule_json_dag(self, tmp_path, capsys):
+        dag = random_dag(20, seed=1)
+        path = tmp_path / "g.json"
+        dio.save_json(dag, path)
+        rc = main(["schedule", "--dag", str(path), "--alg", "HEFT", "--procs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "SLR" in out
+
+    def test_schedule_stg_dag(self, tmp_path, capsys):
+        dag = random_dag(15, seed=2)
+        path = tmp_path / "g.stg"
+        dio.save_stg(dag, path)
+        rc = main(["schedule", "--dag", str(path), "--alg", "IMP", "--gantt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schedule" in out  # gantt header
+
+    def test_unknown_algorithm_fails(self, tmp_path):
+        dag = random_dag(10, seed=3)
+        path = tmp_path / "g.json"
+        dio.save_json(dag, path)
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["schedule", "--dag", str(path), "--alg", "NOPE"])
+
+
+class TestSimulateRenderExplain:
+    @pytest.fixture
+    def dag_path(self, tmp_path):
+        dag = random_dag(20, seed=9)
+        path = tmp_path / "g.json"
+        dio.save_json(dag, path)
+        return str(path)
+
+    def test_simulate_exact(self, dag_path, capsys):
+        assert main(["simulate", "--dag", dag_path, "--alg", "HEFT"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "1.0000" in out
+
+    def test_simulate_noise_and_contention(self, dag_path, capsys):
+        rc = main(["simulate", "--dag", dag_path, "--alg", "HEFT",
+                   "--noise", "0.3", "--contention"])
+        assert rc == 0
+        assert "simulated makespan" in capsys.readouterr().out
+
+    def test_render(self, dag_path, tmp_path, capsys):
+        out_path = tmp_path / "s.svg"
+        assert main(["render", "--dag", dag_path, "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("<svg")
+
+    def test_explain(self, dag_path, capsys):
+        assert main(["explain", "--dag", dag_path, "--alg", "HEFT"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant path" in out and "utilisation" in out
+
+    def test_compare_unknown_suite(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["compare", "--suite", "nope"])
+
+    def test_sensitivity(self, capsys):
+        rc = main(["sensitivity", "--alg", "HEFT", "--tasks", "25",
+                   "--procs", "3", "--reps", "1", "--step", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out and "dominant parameter" in out
+
+    def test_report_single(self, tmp_path, capsys):
+        out_path = tmp_path / "r.md"
+        assert main(["report", "--out", str(out_path), "--id", "E13"]) == 0
+        assert "E13" in out_path.read_text()
+
+
+class TestDemoAndExperiment:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "HEFT" in out and "IMP" in out
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "E13"]) == 0
+        out = capsys.readouterr().out
+        assert "optimality gap" in out
+
+    def test_unknown_experiment(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["experiment", "E99"])

@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exc):
+            obj = getattr(exc, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not exc.ReproError:
+                if obj.__module__ == "repro.exceptions":
+                    assert issubclass(obj, exc.ReproError), name
+
+    def test_keyerror_compat(self):
+        # Lookup-style errors double as KeyError for dict-like APIs.
+        assert issubclass(exc.UnknownTaskError, KeyError)
+        assert issubclass(exc.UnknownProcessorError, KeyError)
+
+    def test_cycle_is_graph_error(self):
+        assert issubclass(exc.CycleError, exc.GraphError)
+
+    def test_validation_is_schedule_error(self):
+        assert issubclass(exc.ValidationError, exc.ScheduleError)
+
+    def test_validation_error_carries_violations(self):
+        e = exc.ValidationError(["v1", "v2"])
+        assert e.violations == ["v1", "v2"]
+        assert "v1" in str(e)
+
+    def test_validation_error_truncates_long_lists(self):
+        e = exc.ValidationError([f"v{i}" for i in range(20)])
+        assert "+15 more" in str(e)
+
+    def test_parse_error_line_numbers(self):
+        e = exc.ParseError("bad token", line=7)
+        assert "line 7" in str(e)
+        assert e.line == 7
+
+    def test_catch_all_pattern(self):
+        # The advertised usage: one except clause for library errors.
+        from repro.dag.graph import TaskDAG
+
+        with pytest.raises(exc.ReproError):
+            TaskDAG().add_edge("a", "b")
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_example(self):
+        # The module docstring's example must actually work.
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_key_subpackages_importable(self):
+        import repro.bench
+        import repro.core
+        import repro.dag.generators
+        import repro.dag.suites
+        import repro.energy
+        import repro.machine.profiles
+        import repro.schedule.analysis
+        import repro.sim.montecarlo  # noqa: F401

@@ -1,0 +1,118 @@
+"""Tests for whole-instance serialisation (and the tuple-id fix in the
+DAG JSON format it depends on)."""
+
+import pytest
+
+from repro.dag import io as dag_io
+from repro.dag.generators import gaussian_elimination_dag, random_dag
+from repro.exceptions import ParseError
+from repro.instance import Instance, make_instance
+from repro.instance_io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    machine_from_dict,
+    machine_to_dict,
+    save_instance,
+)
+from repro.machine import (
+    Machine,
+    ZeroCommunication,
+    etc_from_speeds,
+    star_machine,
+)
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+
+
+class TestDagJsonTupleIds:
+    def test_tuple_ids_round_trip(self):
+        dag = gaussian_elimination_dag(5)
+        back = dag_io.from_json(dag_io.to_json(dag))
+        assert back.has_task(("piv", 0))
+        assert back.data(("piv", 0), ("upd", 0, 1)) == dag.data(("piv", 0), ("upd", 0, 1))
+        # The old behaviour degraded tuples to JSON arrays; the round
+        # trip must preserve hashable tuple identity.
+        assert set(back.tasks()) == set(dag.tasks())
+
+
+class TestMachineDict:
+    def test_uniform_round_trip(self):
+        m = Machine.homogeneous(3, latency=1.5, bandwidth=4.0, name="m3")
+        back = machine_from_dict(machine_to_dict(m))
+        assert back.name == "m3"
+        assert back.num_procs == 3
+        assert back.comm_time(8.0, 0, 2) == pytest.approx(m.comm_time(8.0, 0, 2))
+
+    def test_zero_round_trip(self):
+        from repro.machine.processor import Processor
+
+        m = Machine([Processor(0), Processor(1)], ZeroCommunication())
+        back = machine_from_dict(machine_to_dict(m))
+        assert back.comm_time(100.0, 0, 1) == 0.0
+
+    def test_link_topology_round_trip(self):
+        m = star_machine(4, latency=1.0, bandwidth=2.0)
+        back = machine_from_dict(machine_to_dict(m))
+        for src in m.proc_ids():
+            for dst in m.proc_ids():
+                assert back.comm_time(6.0, src, dst) == pytest.approx(
+                    m.comm_time(6.0, src, dst)
+                )
+
+    def test_speeds_preserved(self):
+        m = Machine.from_speeds([1.0, 2.5])
+        back = machine_from_dict(machine_to_dict(m))
+        assert back.speed(1) == 2.5
+
+    def test_missing_key(self):
+        with pytest.raises(ParseError):
+            machine_from_dict({"processors": []})
+
+
+class TestInstanceRoundTrip:
+    @pytest.mark.parametrize("make", [
+        lambda: make_instance(random_dag(25, seed=1), num_procs=3, seed=1),
+        lambda: make_instance(gaussian_elimination_dag(5), num_procs=4,
+                              heterogeneity=1.0, seed=2),
+    ])
+    def test_json_round_trip(self, make):
+        inst = make()
+        back = instance_from_json(instance_to_json(inst))
+        assert back.num_tasks == inst.num_tasks
+        assert back.num_procs == inst.num_procs
+        for t in inst.dag.tasks():
+            for p in inst.machine.proc_ids():
+                assert back.exec_time(t, p) == pytest.approx(inst.exec_time(t, p))
+        assert back.cp_min_length == pytest.approx(inst.cp_min_length)
+
+    def test_schedules_identical_after_round_trip(self):
+        inst = make_instance(random_dag(30, seed=3), num_procs=3, seed=3)
+        back = instance_from_json(instance_to_json(inst))
+        a = HEFT().schedule(inst)
+        b = HEFT().schedule(back)
+        validate(b, back)
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.assignment() == b.assignment()
+
+    def test_file_round_trip(self, tmp_path):
+        inst = make_instance(random_dag(15, seed=4), num_procs=2, seed=4)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.num_tasks == 15
+
+    def test_star_machine_instance(self):
+        dag = random_dag(20, seed=5)
+        m = star_machine(4, latency=0.5, bandwidth=2.0)
+        inst = Instance(dag, m, etc_from_speeds(dag, m))
+        back = instance_from_json(instance_to_json(inst))
+        assert back.comm_time(*list(dag.edges())[0], 1, 2) == pytest.approx(
+            inst.comm_time(*list(dag.edges())[0], 1, 2)
+        )
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ParseError):
+            instance_from_json('{"format": "other"}')
+        with pytest.raises(ParseError):
+            instance_from_json("{nope")

@@ -1,0 +1,39 @@
+"""Tests for JSON-safe id encoding."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.utils.encoding import decode_id, encode_id
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("value", ["a", 0, 3.5, True, None])
+    def test_primitives_pass_through(self, value):
+        assert encode_id(value) == value
+        assert decode_id(encode_id(value)) == value
+
+    def test_tuple_tagged(self):
+        enc = encode_id(("piv", 0))
+        assert enc == {"__tuple__": ["piv", 0]}
+        assert decode_id(enc) == ("piv", 0)
+
+    def test_nested_tuples(self):
+        value = (("a", 1), ("b", (2, 3)))
+        assert decode_id(encode_id(value)) == value
+
+    def test_json_round_trip(self):
+        value = ("upd", 2, 5)
+        text = json.dumps(encode_id(value))
+        assert decode_id(json.loads(text)) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ParseError):
+            encode_id(object())
+        with pytest.raises(ParseError):
+            encode_id(frozenset({1}))
+
+    def test_decode_leaves_plain_dicts(self):
+        # Only the tagged form is interpreted.
+        assert decode_id({"x": 1}) == {"x": 1}

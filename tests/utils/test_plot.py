@@ -1,0 +1,50 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.utils.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        out = ascii_plot([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, width=20, height=6)
+        lines = out.splitlines()
+        assert any("legend" in line for line in lines)
+        assert "*" in out  # first glyph
+
+    def test_title(self):
+        out = ascii_plot([1, 2], {"s": [1.0, 2.0]}, title="My Fig")
+        assert out.splitlines()[0] == "My Fig"
+
+    def test_extremes_on_axis_labels(self):
+        out = ascii_plot([0, 10], {"s": [5.0, 15.0]})
+        assert "15" in out and "5" in out
+
+    def test_two_series_two_glyphs(self):
+        out = ascii_plot([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "*" in out and "o" in out
+        assert "* a" in out and "o b" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot([1, 2, 3], {"s": [2.0, 2.0, 2.0]})
+        assert "legend" in out
+
+    def test_single_point_degrades_gracefully(self):
+        out = ascii_plot([1], {"s": [1.0]})
+        assert "not enough data" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1.0]})
+
+    def test_too_small_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1.0, 2.0]}, width=2, height=2)
+
+    def test_sweep_result_plot(self):
+        from repro.bench.runner import SweepResult
+
+        res = SweepResult(x_name="x", x_values=[1, 2, 3], metric="slr")
+        res.series = {"HEFT": [1.1, 1.2, 1.3]}
+        out = res.plot(title="sweep")
+        assert "legend" in out and "sweep" in out

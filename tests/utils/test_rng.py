@@ -1,0 +1,73 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = as_generator(123).integers(0, 1_000_000, size=10)
+        b = as_generator(123).integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq)
+        assert isinstance(a, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_numpy_integer_accepted(self):
+        g = as_generator(np.int64(5))
+        h = as_generator(5)
+        assert g.integers(0, 100) == h.integers(0, 100)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 7)) == 7
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_children(42, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_children(42, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        kids = spawn_children(42, 3)
+        draws = [g.integers(0, 10**9) for g in kids]
+        assert len(set(draws)) == 3
+
+    def test_prefix_stability(self):
+        # Requesting more children must not change the earlier streams.
+        few = [g.integers(0, 10**9) for g in spawn_children(9, 2)]
+        many = [g.integers(0, 10**9) for g in spawn_children(9, 5)]
+        assert few == many[:2]
+
+    def test_from_generator(self):
+        g = np.random.default_rng(3)
+        kids = spawn_children(g, 3)
+        assert len(kids) == 3
+        assert all(isinstance(k, np.random.Generator) for k in kids)

@@ -1,0 +1,121 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    confidence_interval95,
+    describe,
+    geometric_mean,
+    mean,
+    median,
+    stdev,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_iterable(self):
+        assert mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_even(self):
+        assert median([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestStdev:
+    def test_known(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_is_zero(self):
+        assert stdev([3.0]) == 0.0
+
+    def test_constant_is_zero(self):
+        assert stdev([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stdev([])
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_invariant_under_scaling(self):
+        base = [1.1, 1.5, 2.0]
+        assert geometric_mean([3 * x for x in base]) == pytest.approx(
+            3 * geometric_mean(base)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        lo, hi = confidence_interval95([1, 2, 3, 4, 5])
+        assert lo <= 3.0 <= hi
+
+    def test_single_degenerates(self):
+        assert confidence_interval95([7.0]) == (7.0, 7.0)
+
+    def test_width_shrinks_with_samples(self):
+        small = confidence_interval95([1, 2, 3, 4])
+        big = confidence_interval95([1, 2, 3, 4] * 25)
+        assert (big[1] - big[0]) < (small[1] - small[0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval95([])
+
+
+class TestDescribe:
+    def test_fields(self):
+        s = describe([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.median == 2.0
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_single(self):
+        s = describe([4.0])
+        assert s.n == 1 and s.stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            mean([[1.0, 2.0]])  # type: ignore[list-item]
+
+    def test_str_mentions_fields(self):
+        assert "mean=" in str(describe([1.0, 2.0]))

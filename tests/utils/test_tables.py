@@ -1,0 +1,57 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_structure(self):
+        out = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[1:]
+        widths = {len(r) for r in rows}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        out = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        lines = out.splitlines()
+        assert "x" in lines[0] and "s1" in lines[0] and "s2" in lines[0]
+        assert len(lines) == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [0.1]})
+
+    def test_series_order_preserved(self):
+        out = format_series("x", [1], {"zzz": [1.0], "aaa": [2.0]})
+        header = out.splitlines()[0]
+        assert header.index("zzz") < header.index("aaa")
+
+    def test_title(self):
+        out = format_series("x", [1], {"s": [1.0]}, title="Fig 3")
+        assert out.startswith("Fig 3")
