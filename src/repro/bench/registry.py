@@ -74,11 +74,11 @@ def run_experiment(id: str, quick: bool = True) -> str:
 # ----------------------------------------------------------------------
 # E1 - E5: random-DAG parameter sweeps
 # ----------------------------------------------------------------------
-def e1_data(quick: bool = True) -> SweepResult:
+def e1_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "tasks", W.sizes(quick),
-        lambda n, rng: W.random_instance(rng, num_tasks=n),
-        reps=W.reps(quick), metric="slr", seed=101,
+        W.SweepFactory("random", "num_tasks"),
+        reps=W.reps(quick), metric="slr", seed=101, workers=workers,
     )
 
 
@@ -87,11 +87,11 @@ def e1(quick: bool = True) -> str:
     return e1_data(quick).table("E1: average SLR vs DAG size (q=8, CCR=1, beta=0.5)")
 
 
-def e2_data(quick: bool = True) -> SweepResult:
+def e2_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "ccr", W.ccrs(quick),
-        lambda c, rng: W.random_instance(rng, ccr=c),
-        reps=W.reps(quick), metric="slr", seed=102,
+        W.SweepFactory("random", "ccr"),
+        reps=W.reps(quick), metric="slr", seed=102, workers=workers,
     )
 
 
@@ -100,11 +100,11 @@ def e2(quick: bool = True) -> str:
     return e2_data(quick).table("E2: average SLR vs CCR (n=100, q=8, beta=0.5)")
 
 
-def e3_data(quick: bool = True) -> SweepResult:
+def e3_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "procs", W.proc_counts(quick),
-        lambda q, rng: W.random_instance(rng, num_procs=q),
-        reps=W.reps(quick), metric="speedup", seed=103,
+        W.SweepFactory("random", "num_procs"),
+        reps=W.reps(quick), metric="speedup", seed=103, workers=workers,
     )
 
 
@@ -113,11 +113,11 @@ def e3(quick: bool = True) -> str:
     return e3_data(quick).table("E3: average speedup vs processor count (n=100, CCR=1)")
 
 
-def e4_data(quick: bool = True) -> SweepResult:
+def e4_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "beta", W.heterogeneities(quick),
-        lambda b, rng: W.random_instance(rng, heterogeneity=b),
-        reps=W.reps(quick), metric="slr", seed=104,
+        W.SweepFactory("random", "heterogeneity"),
+        reps=W.reps(quick), metric="slr", seed=104, workers=workers,
     )
 
 
@@ -126,11 +126,11 @@ def e4(quick: bool = True) -> str:
     return e4_data(quick).table("E4: average SLR vs heterogeneity (n=100, q=8, CCR=1)")
 
 
-def e5_data(quick: bool = True) -> SweepResult:
+def e5_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "alpha", W.shapes(quick),
-        lambda a, rng: W.random_instance(rng, shape=a),
-        reps=W.reps(quick), metric="slr", seed=105,
+        W.SweepFactory("random", "shape"),
+        reps=W.reps(quick), metric="slr", seed=105, workers=workers,
     )
 
 
@@ -142,11 +142,11 @@ def e5(quick: bool = True) -> str:
 # ----------------------------------------------------------------------
 # E6 - E8: application graphs
 # ----------------------------------------------------------------------
-def e6_data(quick: bool = True) -> SweepResult:
+def e6_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "matrix", W.matrix_sizes(quick),
-        lambda m, rng: W.gaussian_instance(rng, matrix_size=m),
-        reps=W.reps(quick), metric="slr", seed=106,
+        W.SweepFactory("gaussian", "matrix_size"),
+        reps=W.reps(quick), metric="slr", seed=106, workers=workers,
     )
 
 
@@ -155,11 +155,11 @@ def e6(quick: bool = True) -> str:
     return e6_data(quick).table("E6: Gaussian elimination, average SLR vs matrix size (q=8)")
 
 
-def e7_data(quick: bool = True, metric: str = "slr") -> SweepResult:
+def e7_data(quick: bool = True, metric: str = "slr", workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "points", W.fft_points(quick),
-        lambda p, rng: W.fft_instance(rng, points=p),
-        reps=W.reps(quick), metric=metric, seed=107,
+        W.SweepFactory("fft", "points"),
+        reps=W.reps(quick), metric=metric, seed=107, workers=workers,
     )
 
 
@@ -172,11 +172,11 @@ def e7(quick: bool = True) -> str:
     )
 
 
-def e8_data(quick: bool = True) -> SweepResult:
+def e8_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED, "grid", W.grid_sizes(quick),
-        lambda g, rng: W.laplace_instance(rng, grid_size=g),
-        reps=W.reps(quick), metric="slr", seed=108,
+        W.SweepFactory("laplace", "grid_size"),
+        reps=W.reps(quick), metric="slr", seed=108, workers=workers,
     )
 
 
@@ -255,11 +255,11 @@ def e10(quick: bool = True) -> str:
 # ----------------------------------------------------------------------
 # E11: homogeneous systems
 # ----------------------------------------------------------------------
-def e11_data(quick: bool = True) -> SweepResult:
+def e11_data(quick: bool = True, workers: int = 1) -> SweepResult:
     return run_sweep(
         W.COMPARED_HOMOGENEOUS, "tasks", W.sizes(quick),
-        lambda n, rng: W.homogeneous_random_instance(rng, num_tasks=n),
-        reps=W.reps(quick), metric="slr", seed=111,
+        W.SweepFactory("homogeneous", "num_tasks"),
+        reps=W.reps(quick), metric="slr", seed=111, workers=workers,
     )
 
 

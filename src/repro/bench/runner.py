@@ -3,11 +3,20 @@
 The runner is metric-agnostic and deterministic: every repetition of
 every x-point derives its own RNG stream from the master seed, so
 results are independent of execution order and stable across runs.
+
+With ``workers > 1`` replications fan out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Because each
+replication owns a pre-spawned child RNG stream (``SeedSequence``
+spawning, done once up front) and results are reassembled in replication
+order, the parallel path is bit-identical to the serial path for any
+worker count — asserted by the property suite.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -70,6 +79,42 @@ class SweepResult:
         return float(np.mean(self.series[name]))
 
 
+def _run_replication(
+    payload: tuple,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Run every scheduler on one replication's instance.
+
+    Module-level so it is picklable for the process pool; the serial
+    path calls it directly, which is what makes serial == parallel a
+    structural property rather than a coincidence.
+    """
+    scheduler_names, instance_factory, x, rng, metric, check = payload
+    metric_fn = METRICS[metric]
+    instance = instance_factory(x, rng)
+    samples: dict[str, float] = {}
+    seconds: dict[str, float] = {}
+    for name in scheduler_names:
+        scheduler = get_scheduler(name)
+        t0 = time.perf_counter()
+        schedule = scheduler.schedule(instance)
+        seconds[name] = time.perf_counter() - t0
+        if check:
+            validate(schedule, instance)
+        samples[name] = metric_fn(schedule, instance)
+    return samples, seconds
+
+
+def _check_picklable(instance_factory: Callable) -> None:
+    try:
+        pickle.dumps(instance_factory)
+    except Exception as exc:
+        raise ConfigurationError(
+            "workers > 1 requires a picklable instance_factory (module-level "
+            "function or dataclass like bench.workloads.SweepFactory, not a "
+            f"lambda/closure): {exc}"
+        ) from exc
+
+
 def run_sweep(
     scheduler_names: Sequence[str],
     x_name: str,
@@ -79,6 +124,7 @@ def run_sweep(
     metric: str = "slr",
     seed: int = 0,
     check: bool = True,
+    workers: int = 1,
 ) -> SweepResult:
     """Run one figure-style sweep.
 
@@ -90,34 +136,50 @@ def run_sweep(
     ``check=True`` validates every produced schedule — slow but the
     default, because a bench that reports infeasible schedules is worse
     than no bench.
+
+    ``workers > 1`` distributes replications over a process pool.  The
+    per-replication RNG streams are spawned once from ``seed`` (exactly
+    as in the serial path) and shipped to the workers, and results are
+    reassembled in replication order, so the outcome is bit-identical to
+    ``workers=1``.  The factory must then be picklable — module-level
+    functions and :class:`repro.bench.workloads.SweepFactory` qualify,
+    lambdas do not.
     """
     if metric not in METRICS:
         raise ConfigurationError(f"unknown metric {metric!r}; known: {sorted(METRICS)}")
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
-    metric_fn = METRICS[metric]
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
 
     result = SweepResult(x_name=x_name, x_values=list(x_values), metric=metric)
-    for name in scheduler_names:
+    names = list(scheduler_names)
+    for name in names:
         result.series[name] = []
         result.raw[name] = []
         result.sched_seconds[name] = 0.0
 
     streams = spawn_children(seed, len(x_values) * reps)
-    for xi, x in enumerate(x_values):
-        samples: dict[str, list[float]] = {n: [] for n in scheduler_names}
+    payloads = [
+        (names, instance_factory, x, streams[xi * reps + rep], metric, check)
+        for xi, x in enumerate(x_values)
+        for rep in range(reps)
+    ]
+    if workers == 1:
+        outcomes = [_run_replication(p) for p in payloads]
+    else:
+        _check_picklable(instance_factory)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_replication, payloads, chunksize=1))
+
+    for xi in range(len(result.x_values)):
+        samples: dict[str, list[float]] = {n: [] for n in names}
         for rep in range(reps):
-            rng = streams[xi * reps + rep]
-            instance = instance_factory(x, rng)
-            for name in scheduler_names:
-                scheduler = get_scheduler(name)
-                t0 = time.perf_counter()
-                schedule = scheduler.schedule(instance)
-                result.sched_seconds[name] += time.perf_counter() - t0
-                if check:
-                    validate(schedule, instance)
-                samples[name].append(metric_fn(schedule, instance))
-        for name in scheduler_names:
+            rep_samples, rep_seconds = outcomes[xi * reps + rep]
+            for name in names:
+                samples[name].append(rep_samples[name])
+                result.sched_seconds[name] += rep_seconds[name]
+        for name in names:
             result.series[name].append(float(np.mean(samples[name])))
             result.raw[name].append(samples[name])
     return result

@@ -133,6 +133,40 @@ def homogeneous_random_instance(
     return homogeneous_instance(dag, num_procs=num_procs)
 
 
+#: Workload kinds a :class:`SweepFactory` can reference by name.
+FACTORY_KINDS = {
+    "random": random_instance,
+    "gaussian": gaussian_instance,
+    "fft": fft_instance,
+    "laplace": laplace_instance,
+    "homogeneous": homogeneous_random_instance,
+}
+
+
+@dataclass(frozen=True)
+class SweepFactory:
+    """Picklable ``instance_factory`` for :func:`repro.bench.runner.run_sweep`.
+
+    The registry's sweeps used inline lambdas, which the parallel runner
+    cannot ship to worker processes.  This frozen dataclass captures the
+    same closure declaratively: ``kind`` names a workload factory,
+    ``param`` is the keyword the sweep's x-value binds to, and ``fixed``
+    holds the remaining keyword arguments.
+
+    >>> factory = SweepFactory("random", "num_tasks", (("ccr", 5.0),))
+    >>> factory(40, rng)  # == random_instance(rng, num_tasks=40, ccr=5.0)
+    """
+
+    kind: str = "random"
+    param: str = "num_tasks"
+    fixed: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self, x: object, rng: np.random.Generator) -> Instance:
+        kwargs = dict(self.fixed)
+        kwargs[self.param] = x
+        return FACTORY_KINDS[self.kind](rng, **kwargs)
+
+
 # ----------------------------------------------------------------------
 # Sweep axes (full protocol vs quick CI-sized protocol)
 # ----------------------------------------------------------------------

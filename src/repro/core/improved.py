@@ -15,6 +15,7 @@ from repro.core.placement import PlacementEngine
 from repro.core.refinement import refine_schedule
 from repro.exceptions import SchedulingError
 from repro.instance import Instance
+from repro.kernels import kernels_enabled
 from repro.schedule.schedule import Schedule
 from repro.schedulers.base import Scheduler
 from repro.schedulers.ranking import RankAggregation, upward_ranks
@@ -47,7 +48,10 @@ class ImprovedScheduler(Scheduler):
         self, instance: Instance, agg: RankAggregation, engine: PlacementEngine
     ) -> Schedule:
         ranks = upward_ranks(instance, agg)
-        pos = {t: i for i, t in enumerate(instance.dag.topological_order())}
+        if kernels_enabled():
+            pos = instance.kernel.pos
+        else:
+            pos = {t: i for i, t in enumerate(instance.dag.topological_order())}
         order: list[TaskId] = sorted(
             instance.dag.tasks(), key=lambda t: (-ranks[t], pos[t])
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.instance import Instance
+from repro.kernels import kernels_enabled
 from repro.schedule.schedule import Schedule, ScheduledTask
 from repro.schedulers.base import Placement, placement_on, ready_time
 from repro.types import ProcId, TaskId
@@ -53,7 +54,10 @@ class PlacementEngine:
         # map per placement would cost O(n) per call, O(n^2 q) per run.
         self._pos_cache: tuple[object, dict[TaskId, int]] | None = None
 
-    def _positions(self, dag) -> dict[TaskId, int]:
+    def _positions(self, instance: Instance) -> dict[TaskId, int]:
+        if kernels_enabled():
+            return instance.kernel.pos
+        dag = instance.dag
         if self._pos_cache is None or self._pos_cache[0] is not dag:
             pos = {t: i for i, t in enumerate(dag.topological_order())}
             self._pos_cache = (dag, pos)
@@ -67,11 +71,26 @@ class PlacementEngine:
     ) -> dict[TaskId, float]:
         """Per-parent earliest data arrival on ``proc``."""
         out: dict[TaskId, float] = {}
-        for parent in instance.dag.predecessors(task):
-            out[parent] = min(
-                c.end + instance.comm_time(parent, task, c.proc, proc)
-                for c in schedule.copies(parent)
-            )
+        if kernels_enabled():
+            kern = instance.kernel
+            consts = kern.out_const
+            if consts is not None:
+                for parent in kern.pred[task]:
+                    const = consts[parent][task]
+                    arrival = float("inf")
+                    for c in schedule.copies(parent):
+                        cand = c.end if c.proc == proc else c.end + const
+                        if cand < arrival:
+                            arrival = cand
+                    out[parent] = arrival
+                return out
+        for parent in instance.predecessors_of(task):
+            arrival = float("inf")
+            for c in schedule.copies(parent):
+                cand = c.end + instance.comm_time(parent, task, c.proc, proc)
+                if cand < arrival:
+                    arrival = cand
+            out[parent] = arrival
         return out
 
     def _plan_duplicates(
@@ -84,8 +103,7 @@ class PlacementEngine:
         :meth:`_rollback` unless it commits to this processor.
         """
         applied: list[_DupPlan] = []
-        dag = instance.dag
-        pos = self._positions(dag)
+        pos = self._positions(instance)
         for _ in range(self.max_duplications_per_task):
             arrivals = self._arrivals(schedule, instance, task, proc)
             if not arrivals:
@@ -127,11 +145,10 @@ class PlacementEngine:
         task: TaskId,
         ranks: dict[TaskId, float],
     ) -> TaskId | None:
-        dag = instance.dag
-        pending = [s for s in dag.successors(task) if s not in schedule]
+        pending = [s for s in instance.successors_of(task) if s not in schedule]
         if not pending:
             return None
-        pos = self._positions(dag)
+        pos = self._positions(instance)
         return max(pending, key=lambda s: (ranks.get(s, 0.0), -pos[s]))
 
     def _lookahead_score(
@@ -151,11 +168,16 @@ class PlacementEngine:
         deterministic approximation that keeps the engine at
         O(q^2) per task.
         """
-        dag = instance.dag
+        if kernels_enabled():
+            fast = instance.kernel.lookahead_score(
+                schedule, task, child, placed.proc, placed.end
+            )
+            if fast is not None:
+                return fast
         best = float("inf")
         for proc in instance.machine.proc_ids():
             ready = placed.end + instance.comm_time(task, child, placed.proc, proc)
-            for parent in dag.predecessors(child):
+            for parent in instance.predecessors_of(child):
                 if parent == task or parent not in schedule:
                     continue
                 ready = max(
@@ -197,8 +219,23 @@ class PlacementEngine:
         best_plans: list[_DupPlan] = []
         best_placement: Placement | None = None
 
+        # The plain probes all see the same schedule state (tentative
+        # duplicates are rolled back before the next processor), so the
+        # per-processor ready times can be batched once up front.
+        ready_vec = (
+            instance.kernel.ready_times(schedule, task) if kernels_enabled() else None
+        )
         for j, proc in enumerate(procs):
-            plain = placement_on(schedule, instance, task, proc, insertion=self.insertion)
+            if ready_vec is not None:
+                duration = instance.exec_time(task, proc)
+                start = schedule.timeline(proc).find_slot(
+                    float(ready_vec[j]), duration, insertion=self.insertion
+                )
+                plain = Placement(proc=proc, start=start, end=start + duration)
+            else:
+                plain = placement_on(
+                    schedule, instance, task, proc, insertion=self.insertion
+                )
             plans: list[_DupPlan] = []
             placed = plain
             if self.duplication:

@@ -1,0 +1,432 @@
+"""Hot-path kernel layer: per-instance caches and NumPy-vectorized kernels.
+
+Every figure of the reconstructed protocol averages hundreds of
+replications, and each replication runs every compared scheduler on the
+same :class:`~repro.instance.Instance`.  The scalar implementations in
+:mod:`repro.schedulers.ranking` and :mod:`repro.schedulers.base` are the
+specification; this module supplies *behaviour-preserving* accelerated
+equivalents:
+
+* :class:`InstanceKernel` — built once per instance (lazily, via
+  ``Instance.kernel``), it memoizes successor/predecessor lists, per-edge
+  data volumes, average communication costs, per-pair communication
+  constants (for the uniform/zero link models every experiment uses) and
+  a dense ETC array in canonical (machine) processor order.
+* level-grouped NumPy evaluation of the upward/downward rank recurrences
+  (``np.maximum.reduceat`` over the DAG's depth levels), cached per
+  aggregation so HEFT, CPOP and the improved scheduler's rank-variant
+  search never recompute a rank for the same instance;
+* batched earliest-data-ready times across all processors for EFT/EST
+  placement, and a vectorized one-level lookahead score.
+
+The kernels reproduce the scalar floating-point operations exactly —
+same additions, in the same order, with exact min/max reductions — so
+schedules are bit-identical with the layer on or off (asserted by
+``tests/core/test_vectorized_equivalence.py``).  The module-level switch
+(:func:`use_kernels`) exists for those differential tests and for the
+perf-regression harness, which measures the legacy scalar path as its
+baseline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    GraphError,
+    SchedulingError,
+    UnknownProcessorError,
+    UnknownTaskError,
+)
+from repro.machine.comm import UniformCommunication, ZeroCommunication
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instance import Instance
+    from repro.schedule.schedule import Schedule
+    from repro.types import ProcId, TaskId
+
+#: Aggregations a rank kernel understands (mirrors ranking.RankAggregation).
+_AGGS = ("mean", "median", "best", "worst")
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    """True when the accelerated kernel layer is active (the default)."""
+    return _ENABLED
+
+
+def set_kernels_enabled(enabled: bool) -> None:
+    """Globally enable/disable the kernel layer (process-wide)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def use_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily force the kernel layer on or off.
+
+    Used by the differential tests (compare against the scalar reference)
+    and by ``benchmarks/bench_regression.py`` (time the legacy path).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+class InstanceKernel:
+    """Precomputed arrays and caches for one (immutable) instance.
+
+    The kernel snapshots the DAG/machine/ETC at construction; instances
+    are treated as immutable bundles everywhere in the library (see
+    ``docs/architecture.md``), so the snapshot never goes stale.  All
+    returned lists/arrays are shared — callers must treat them as
+    read-only.
+    """
+
+    def __init__(self, instance: "Instance") -> None:
+        dag = instance.dag
+        machine = instance.machine
+        etc = instance.etc
+
+        self.tasks: list["TaskId"] = list(dag.tasks())
+        self.ti: dict["TaskId", int] = {t: i for i, t in enumerate(self.tasks)}
+        self.procs: list["ProcId"] = machine.proc_ids()
+        self.pi: dict["ProcId", int] = {p: j for j, p in enumerate(self.procs)}
+        self._etc = etc
+        self._comm = machine.comm
+
+        # Dense ETC in canonical (task insertion, machine proc) order.
+        # Reindexing copies the stored floats verbatim — no arithmetic.
+        arr = etc.as_array()
+        trow = {t: i for i, t in enumerate(etc.task_ids)}
+        pcol = {p: j for j, p in enumerate(etc.proc_ids)}
+        rows = [trow[t] for t in self.tasks]
+        cols = [pcol[p] for p in self.procs]
+        if arr.size:
+            self.etc_arr = np.ascontiguousarray(arr[np.ix_(rows, cols)])
+        else:
+            self.etc_arr = np.zeros((len(self.tasks), len(self.procs)))
+        self.etc_arr.flags.writeable = False
+
+        # Adjacency, memoized once instead of per networkx query.
+        self.succ: dict["TaskId", list["TaskId"]] = {t: dag.successors(t) for t in self.tasks}
+        self.pred: dict["TaskId", list["TaskId"]] = {t: dag.predecessors(t) for t in self.tasks}
+
+        self.topo: list["TaskId"] = dag.topological_order()
+        self.pos: dict["TaskId", int] = {t: i for i, t in enumerate(self.topo)}
+
+        # Per-edge data volumes and machine-average communication times.
+        self._edge_data: dict["TaskId", dict["TaskId", float]] = {t: {} for t in self.tasks}
+        self._avg_comm: dict["TaskId", dict["TaskId", float]] = {t: {} for t in self.tasks}
+        for u, v in dag.edges():
+            data = dag.data(u, v)
+            self._edge_data[u][v] = data
+            self._avg_comm[u][v] = machine.avg_comm_time(data)
+
+        # Per-pair constants: with the uniform (or zero) link model the
+        # cost of an edge is one constant for every distinct pair — the
+        # exact float the model itself would return.  ``None`` for
+        # per-link models; hot paths then fall back to scalar code.
+        self.out_const: dict["TaskId", dict["TaskId", float]] | None
+        if isinstance(self._comm, ZeroCommunication):
+            self.out_const = {u: {v: 0.0 for v in row} for u, row in self._edge_data.items()}
+        elif isinstance(self._comm, UniformCommunication):
+            lat, bw = self._comm.latency, self._comm.bandwidth
+            self.out_const = {
+                u: {v: lat + d / bw for v, d in row.items()}
+                for u, row in self._edge_data.items()
+            }
+        else:
+            self.out_const = None
+
+        # Lazy per-aggregation caches.
+        self._weights: dict[str, np.ndarray] = {}
+        self._upward: dict[str, dict["TaskId", float]] = {}
+        self._downward: dict[str, dict["TaskId", float]] = {}
+        self._up_levels: list[tuple] | None = None
+        self._down_levels: list[tuple] | None = None
+        self._exec: dict["TaskId", dict["ProcId", float]] | None = None
+
+        # Scratch buffers for the batched scoring kernels.  Scheduling is
+        # single-threaded per instance, so reuse is safe; ready_times
+        # hands out a fresh array, never a buffer.
+        q = len(self.procs)
+        self._row_buf = np.empty(q)
+        self._arr_buf = np.empty(q)
+        self._la_ready_buf = np.empty(q)
+        self._avail_buf = np.empty(q)
+
+    # ------------------------------------------------------------------
+    # memoized cost queries
+    # ------------------------------------------------------------------
+    def comm_time(self, parent: "TaskId", child: "TaskId", src: "ProcId", dst: "ProcId") -> float:
+        """Edge transfer time between two placements (== Instance.comm_time)."""
+        consts = self.out_const
+        if consts is not None:
+            try:
+                const = consts[parent][child]
+            except KeyError:
+                raise GraphError(f"no edge {parent!r} -> {child!r}") from None
+            if src not in self.pi:
+                raise UnknownProcessorError(src)
+            if dst not in self.pi:
+                raise UnknownProcessorError(dst)
+            return 0.0 if src == dst else const
+        try:
+            data = self._edge_data[parent][child]
+        except KeyError:
+            raise GraphError(f"no edge {parent!r} -> {child!r}") from None
+        if src not in self.pi:
+            raise UnknownProcessorError(src)
+        if dst not in self.pi:
+            raise UnknownProcessorError(dst)
+        return self._comm.time(data, src, dst)
+
+    def avg_comm(self, parent: "TaskId", child: "TaskId") -> float:
+        """Machine-average transfer time of one edge (== Instance.avg_comm_time)."""
+        try:
+            return self._avg_comm[parent][child]
+        except KeyError:
+            raise GraphError(f"no edge {parent!r} -> {child!r}") from None
+
+    def etc_row(self, task: "TaskId") -> np.ndarray:
+        """Read-only per-processor execution times in machine proc order."""
+        try:
+            return self.etc_arr[self.ti[task]]
+        except KeyError:
+            raise UnknownTaskError(task) from None
+
+    def exec_table(self) -> dict["TaskId", dict["ProcId", float]]:
+        """Nested ``{task: {proc: time}}`` memo of the ETC lookups.
+
+        Built lazily from ``ETCMatrix.time`` itself so the floats are the
+        exact values the scalar path sees.
+        """
+        table = self._exec
+        if table is None:
+            time = self._etc.time
+            table = {
+                t: {p: time(t, p) for p in self.procs} for t in self.tasks
+            }
+            self._exec = table
+        return table
+
+    def weights(self, agg: str) -> np.ndarray:
+        """Per-task scalar weight vector for one rank aggregation.
+
+        Delegates to the ETCMatrix accessors so the floats are the exact
+        ones the scalar rank implementations see.
+        """
+        cached = self._weights.get(agg)
+        if cached is not None:
+            return cached
+        if agg == "mean":
+            fn = self._etc.mean
+        elif agg == "median":
+            fn = self._etc.median
+        elif agg == "best":
+            fn = self._etc.best
+        elif agg == "worst":
+            fn = self._etc.worst
+        else:
+            raise ConfigurationError(f"unknown rank aggregation {agg!r}")
+        w = np.array([fn(t) for t in self.tasks], dtype=float)
+        w.flags.writeable = False
+        self._weights[agg] = w
+        return w
+
+    # ------------------------------------------------------------------
+    # vectorized rank recurrences
+    # ------------------------------------------------------------------
+    def _build_levels(self, upward: bool) -> list[tuple]:
+        """Group tasks into dependency levels for batched evaluation.
+
+        For the upward recurrence a task's level is ``1 + max`` over its
+        successors' levels (exit tasks at level 0); processing levels in
+        ascending order guarantees every successor rank is final before
+        it is read.  Each level is stored as ``(leaf_idx, seg_idx,
+        seg_ptr, edge_dst, edge_comm)`` where *leaf* tasks have no edges
+        on the relevant side and *seg* tasks own the contiguous edge
+        segments ``[seg_ptr[i], seg_ptr[i+1])``.
+        """
+        n = len(self.tasks)
+        neigh = self.succ if upward else self.pred
+        neigh_idx: list[list[int]] = [
+            [self.ti[s] for s in neigh[t]] for t in self.tasks
+        ]
+        comm_of: list[list[float]] = []
+        for t in self.tasks:
+            if upward:
+                comm_of.append([self._avg_comm[t][s] for s in neigh[t]])
+            else:
+                comm_of.append([self._avg_comm[p][t] for p in neigh[t]])
+        depth = [0] * n
+        order = reversed(self.topo) if upward else self.topo
+        for t in order:
+            i = self.ti[t]
+            d = 0
+            for j in neigh_idx[i]:
+                if depth[j] + 1 > d:
+                    d = depth[j] + 1
+            depth[i] = d
+        by_level: dict[int, list[int]] = {}
+        for i in range(n):
+            by_level.setdefault(depth[i], []).append(i)
+        levels = []
+        for level in sorted(by_level):
+            members = by_level[level]
+            leaf = [i for i in members if not neigh_idx[i]]
+            seg = [i for i in members if neigh_idx[i]]
+            ptr = [0]
+            dst: list[int] = []
+            comm: list[float] = []
+            for i in seg:
+                dst.extend(neigh_idx[i])
+                comm.extend(comm_of[i])
+                ptr.append(len(dst))
+            levels.append(
+                (
+                    np.asarray(leaf, dtype=np.intp),
+                    np.asarray(seg, dtype=np.intp),
+                    np.asarray(ptr, dtype=np.intp),
+                    np.asarray(dst, dtype=np.intp),
+                    np.asarray(comm, dtype=float),
+                )
+            )
+        return levels
+
+    def upward(self, agg: str) -> dict["TaskId", float]:
+        """Cached upward ranks (HEFT's ``rank_u``) for one aggregation."""
+        cached = self._upward.get(agg)
+        if cached is not None:
+            return cached
+        w = self.weights(agg)
+        if self._up_levels is None:
+            self._up_levels = self._build_levels(upward=True)
+        n = len(self.tasks)
+        rank = np.zeros(n)
+        for leaf, seg, ptr, dst, comm in self._up_levels:
+            if leaf.size:
+                rank[leaf] = w[leaf]
+            if seg.size:
+                cand = comm + rank[dst]
+                tails = np.maximum.reduceat(cand, ptr[:-1])
+                rank[seg] = w[seg] + tails
+        out = {t: float(rank[i]) for i, t in enumerate(self.tasks)}
+        self._upward[agg] = out
+        return out
+
+    def downward(self, agg: str) -> dict["TaskId", float]:
+        """Cached downward ranks (CPOP's ``rank_d``) for one aggregation."""
+        cached = self._downward.get(agg)
+        if cached is not None:
+            return cached
+        w = self.weights(agg)
+        if self._down_levels is None:
+            self._down_levels = self._build_levels(upward=False)
+        n = len(self.tasks)
+        rank = np.zeros(n)
+        for leaf, seg, ptr, src, comm in self._down_levels:
+            # Entry tasks rank 0; `leaf` needs no write into the zeros.
+            del leaf
+            if seg.size:
+                cand = (rank[src] + w[src]) + comm
+                rank[seg] = np.maximum.reduceat(cand, ptr[:-1])
+        out = {t: float(rank[i]) for i, t in enumerate(self.tasks)}
+        self._downward[agg] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # batched placement scoring
+    # ------------------------------------------------------------------
+    def ready_times(self, schedule: "Schedule", task: "TaskId") -> np.ndarray | None:
+        """Earliest data-ready time of ``task`` on *every* processor.
+
+        Returns ``None`` when the machine's link model has no per-pair
+        constant (the caller then falls back to the scalar path).  The
+        reductions mirror ``schedulers.base.ready_time`` element-wise:
+        per parent, min over placed copies of ``end + comm``; across
+        parents, a running max starting at 0.
+        """
+        consts = self.out_const
+        if consts is None:
+            return None
+        pi = self.pi
+        ready = np.zeros(len(self.procs))
+        row = self._row_buf
+        arrival = self._arr_buf
+        for parent in self.pred[task]:
+            if parent not in schedule:
+                raise SchedulingError(f"parent {parent!r} of {task!r} is unscheduled")
+            const = consts[parent][task]
+            first = True
+            for copy in schedule.copies(parent):
+                row.fill(copy.end + const)
+                row[pi[copy.proc]] = copy.end
+                if first:
+                    arrival[:] = row
+                    first = False
+                else:
+                    np.minimum(arrival, row, out=arrival)
+            np.maximum(ready, arrival, out=ready)
+        return ready
+
+    def lookahead_score(
+        self,
+        schedule: "Schedule",
+        task: "TaskId",
+        child: "TaskId",
+        placed_proc: "ProcId",
+        placed_end: float,
+    ) -> float | None:
+        """Vectorized one-level lookahead (see PlacementEngine).
+
+        Estimated earliest finish of ``child`` over all processors given
+        ``task`` finishing at ``placed_end`` on ``placed_proc``; ``None``
+        when no fast communication path exists.
+        """
+        consts = self.out_const
+        if consts is None:
+            return None
+        pi = self.pi
+        j_placed = pi[placed_proc]
+        ready = self._la_ready_buf
+        row = self._row_buf
+        arrival = self._arr_buf
+        ready.fill(placed_end + consts[task][child])
+        ready[j_placed] = placed_end
+        for parent in self.pred[child]:
+            if parent == task or parent not in schedule:
+                continue
+            const = consts[parent][child]
+            first = True
+            for copy in schedule.copies(parent):
+                row.fill(copy.end + const)
+                row[pi[copy.proc]] = copy.end
+                if first:
+                    arrival[:] = row
+                    first = False
+                else:
+                    np.minimum(arrival, row, out=arrival)
+            if not first:
+                np.maximum(ready, arrival, out=ready)
+        avail = self._avail_buf
+        for j, p in enumerate(self.procs):
+            avail[j] = schedule.timeline(p).end_time
+        if placed_end > avail[j_placed]:
+            avail[j_placed] = placed_end
+        np.maximum(ready, avail, out=ready)
+        ready += self.etc_arr[self.ti[child]]
+        return float(ready.min())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InstanceKernel(tasks={len(self.tasks)}, procs={len(self.procs)})"

@@ -115,13 +115,15 @@ class Schedule:
 
     def copies(self, task: TaskId) -> list[ScheduledTask]:
         """All placements of ``task``: primary first, then duplicates."""
-        out: list[ScheduledTask] = []
-        if task in self._primary:
-            out.append(self._primary[task])
-        out.extend(self._copies.get(task, []))
-        if not out:
-            raise ScheduleError(f"task {task!r} is not scheduled")
-        return out
+        primary = self._primary.get(task)
+        extra = self._copies.get(task)
+        if primary is not None:
+            if not extra:
+                return [primary]
+            return [primary, *extra]
+        if extra:
+            return list(extra)
+        raise ScheduleError(f"task {task!r} is not scheduled")
 
     def proc_of(self, task: TaskId) -> ProcId:
         """Processor of the primary copy."""

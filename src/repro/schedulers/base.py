@@ -17,8 +17,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.exceptions import SchedulingError
+from repro.exceptions import SchedulingError, UnknownProcessorError
 from repro.instance import Instance
+from repro.kernels import kernels_enabled
 from repro.schedule.schedule import Schedule
 from repro.types import ProcId, TaskId
 
@@ -56,15 +57,42 @@ def ready_time(
     :class:`SchedulingError` if some parent is not placed yet — priority
     policies must only submit ready tasks.
     """
+    if kernels_enabled():
+        kern = instance.kernel
+        consts = kern.out_const
+        if consts is not None:
+            preds = kern.pred[task]
+            # Legacy only touches the comm model (and hence validates
+            # ``proc``) when there is at least one parent.
+            if preds and proc not in kern.pi:
+                raise UnknownProcessorError(proc)
+            ready = 0.0
+            for parent in preds:
+                if parent not in schedule:
+                    raise SchedulingError(f"parent {parent!r} of {task!r} is unscheduled")
+                const = consts[parent][task]
+                arrival = float("inf")
+                # copy.end + 0.0 == copy.end (times are >= 0), so the
+                # same-processor branch matches the zero-comm case bit
+                # for bit.
+                for copy in schedule.copies(parent):
+                    cand = copy.end if copy.proc == proc else copy.end + const
+                    if cand < arrival:
+                        arrival = cand
+                if arrival > ready:
+                    ready = arrival
+            return ready
     ready = 0.0
-    for parent in instance.dag.predecessors(task):
+    for parent in instance.predecessors_of(task):
         if parent not in schedule:
             raise SchedulingError(f"parent {parent!r} of {task!r} is unscheduled")
-        arrival = min(
-            copy.end + instance.comm_time(parent, task, copy.proc, proc)
-            for copy in schedule.copies(parent)
-        )
-        ready = max(ready, arrival)
+        arrival = float("inf")
+        for copy in schedule.copies(parent):
+            cand = copy.end + instance.comm_time(parent, task, copy.proc, proc)
+            if cand < arrival:
+                arrival = cand
+        if arrival > ready:
+            ready = arrival
     return ready
 
 
@@ -95,6 +123,17 @@ def placement_on(
     return Placement(proc=proc, start=start, end=start + duration)
 
 
+def _batched_ready(schedule: Schedule, instance: Instance, task: TaskId):
+    """Kernel-backed ready times for all processors at once, or ``None``.
+
+    Only valid when the candidate processors are exactly
+    ``machine.proc_ids()`` (the kernel's canonical order).
+    """
+    if not kernels_enabled():
+        return None
+    return instance.kernel.ready_times(schedule, task)
+
+
 def eft_placement(
     schedule: Schedule,
     instance: Instance,
@@ -110,7 +149,19 @@ def eft_placement(
     candidates = procs if procs is not None else instance.machine.proc_ids()
     if not candidates:
         raise SchedulingError("no candidate processors")
+    ready_vec = _batched_ready(schedule, instance, task) if procs is None else None
     best: Placement | None = None
+    if ready_vec is not None:
+        for j, proc in enumerate(candidates):
+            duration = instance.exec_time(task, proc)
+            start = schedule.timeline(proc).find_slot(
+                float(ready_vec[j]), duration, insertion=insertion
+            )
+            end = start + duration
+            if best is None or end < best.end - 1e-12:
+                best = Placement(proc=proc, start=start, end=end)
+        assert best is not None
+        return best
     for proc in candidates:
         cand = placement_on(schedule, instance, task, proc, insertion=insertion)
         if best is None or cand.end < best.end - 1e-12:
@@ -130,7 +181,18 @@ def est_placement(
     candidates = procs if procs is not None else instance.machine.proc_ids()
     if not candidates:
         raise SchedulingError("no candidate processors")
+    ready_vec = _batched_ready(schedule, instance, task) if procs is None else None
     best: Placement | None = None
+    if ready_vec is not None:
+        for j, proc in enumerate(candidates):
+            duration = instance.exec_time(task, proc)
+            start = schedule.timeline(proc).find_slot(
+                float(ready_vec[j]), duration, insertion=insertion
+            )
+            if best is None or start < best.start - 1e-12:
+                best = Placement(proc=proc, start=start, end=start + duration)
+        assert best is not None
+        return best
     for proc in candidates:
         cand = placement_on(schedule, instance, task, proc, insertion=insertion)
         if best is None or cand.start < best.start - 1e-12:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.exceptions import SchedulingError
 from repro.instance import Instance
+from repro.kernels import kernels_enabled
 from repro.schedule.schedule import Schedule
 from repro.schedulers.base import Scheduler, ready_time
 from repro.schedulers.ranking import machine_static_levels
@@ -37,12 +38,27 @@ class DLS(Scheduler):
         ready = {t for t in dag.tasks() if indegree[t] == 0}
 
         scheduled = 0
+        use_batched = kernels_enabled()
+        # A task enters `ready` only once all parents are placed, and DLS
+        # never moves or duplicates a placement afterwards — so its
+        # per-processor data-ready vector is fixed while it waits.
+        ready_cache: dict = {}
         while ready:
             best = None  # (neg_dl, pos, proc_index) ordering key
             best_choice = None
             for task in ready:
+                ready_vec = None
+                if use_batched:
+                    ready_vec = ready_cache.get(task)
+                    if ready_vec is None:
+                        ready_vec = instance.kernel.ready_times(schedule, task)
+                        if ready_vec is not None:
+                            ready_cache[task] = ready_vec
                 for j, proc in enumerate(procs):
-                    data_ready = ready_time(schedule, instance, task, proc)
+                    if ready_vec is not None:
+                        data_ready = float(ready_vec[j])
+                    else:
+                        data_ready = ready_time(schedule, instance, task, proc)
                     start = max(data_ready, schedule.timeline(proc).end_time)
                     delta = wstar[task] - instance.exec_time(task, proc)
                     dl = sl[task] - start + delta
@@ -55,6 +71,7 @@ class DLS(Scheduler):
             schedule.add(task, proc, start, instance.exec_time(task, proc))
             scheduled += 1
             ready.discard(task)
+            ready_cache.pop(task, None)
             for child in dag.successors(task):
                 indegree[child] -= 1
                 if indegree[child] == 0:

@@ -8,6 +8,7 @@ on the processor giving the earliest (insertion-based) finish time.
 from __future__ import annotations
 
 from repro.instance import Instance
+from repro.kernels import kernels_enabled
 from repro.schedulers.base import ListScheduler
 from repro.schedulers.ranking import RankAggregation, upward_ranks
 from repro.types import TaskId
@@ -34,8 +35,10 @@ class HEFT(ListScheduler):
 
     def priority_order(self, instance: Instance) -> list[TaskId]:
         ranks = upward_ranks(instance, self.agg)
-        order = instance.dag.topological_order()
-        pos = {t: i for i, t in enumerate(order)}
+        if kernels_enabled():
+            pos = instance.kernel.pos
+        else:
+            pos = {t: i for i, t in enumerate(instance.dag.topological_order())}
         # Decreasing upward rank is a valid topological order because a
         # parent's rank strictly exceeds each child's (w > 0); the
         # topological position tie-break also keeps zero-cost chains legal.

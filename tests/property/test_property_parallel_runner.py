@@ -1,0 +1,64 @@
+"""Property: the parallel sweep runner is bit-identical to serial.
+
+``run_sweep(workers=N)`` fans replications over a process pool but spawns
+the per-replication RNG streams exactly as the serial path does and
+reassembles results in replication order — so for *any* seed and worker
+count the series and every raw sample must match ``workers=1`` exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import workloads as W
+from repro.bench.runner import run_sweep
+from repro.exceptions import ConfigurationError
+
+SCHEDULERS = ("HEFT", "CPOP")
+FACTORY = W.SweepFactory(kind="random", param="num_tasks")
+
+
+def _sweep(seed: int, workers: int):
+    return run_sweep(
+        SCHEDULERS,
+        "num_tasks",
+        [12, 16],
+        FACTORY,
+        reps=2,
+        metric="slr",
+        seed=seed,
+        check=False,
+        workers=workers,
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), workers=st.sampled_from([2, 4]))
+@settings(max_examples=5, deadline=None)
+def test_parallel_sweep_bit_identical_to_serial(seed: int, workers: int):
+    serial = _sweep(seed, workers=1)
+    parallel = _sweep(seed, workers=workers)
+    assert parallel.x_values == serial.x_values
+    assert parallel.series == serial.series  # exact float equality
+    assert parallel.raw == serial.raw
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        _sweep(0, workers=0)
+
+
+def test_unpicklable_factory_is_rejected_up_front():
+    rejected = lambda x, rng: W.random_instance(rng, num_tasks=x)  # noqa: E731
+    with pytest.raises(ConfigurationError, match="picklable"):
+        run_sweep(
+            SCHEDULERS,
+            "num_tasks",
+            [10],
+            rejected,
+            reps=1,
+            seed=3,
+            check=False,
+            workers=2,
+        )

@@ -1,0 +1,83 @@
+"""Golden makespans: every registered scheduler, three fixed instances.
+
+The expected values live in ``golden_makespans.json`` next to this file
+and are compared with *exact* float equality — any behavior change in a
+scheduler, the placement kernels, or the instance generators shows up as
+a failure here with the precise scheduler/instance that moved.
+
+Regenerate (after an intentional change) with:
+
+    PYTHONPATH=src python tests/schedulers/test_golden_makespans.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads as W
+from repro.schedulers.registry import all_scheduler_names, get_scheduler
+
+FIXTURE = Path(__file__).with_name("golden_makespans.json")
+
+
+def _instances():
+    """Three tiny fixed instances (small enough for the B&B oracle)."""
+    return {
+        "het-small": W.random_instance(
+            np.random.default_rng(11), num_tasks=9, num_procs=3
+        ),
+        "het-comm-heavy": W.random_instance(
+            np.random.default_rng(23), num_tasks=8, num_procs=2, ccr=5.0, heterogeneity=1.0
+        ),
+        "homog-small": W.homogeneous_random_instance(
+            np.random.default_rng(37), num_tasks=10, num_procs=3
+        ),
+    }
+
+
+def _compute_all() -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for inst_name, inst in _instances().items():
+        out[inst_name] = {
+            sched: get_scheduler(sched).schedule(inst).makespan
+            for sched in all_scheduler_names()
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict[str, dict[str, float]]:
+    with FIXTURE.open() as fh:
+        return json.load(fh)
+
+
+def test_fixture_covers_every_scheduler(golden):
+    names = set(all_scheduler_names())
+    for inst_name, row in golden.items():
+        assert set(row) == names, f"fixture stale for {inst_name}"
+
+
+@pytest.mark.parametrize("inst_name", ["het-small", "het-comm-heavy", "homog-small"])
+def test_makespans_match_golden(golden, inst_name):
+    inst = _instances()[inst_name]
+    for sched, expected in golden[inst_name].items():
+        got = get_scheduler(sched).schedule(inst).makespan
+        assert got == expected, (
+            f"{sched} on {inst_name}: makespan {got!r} != golden {expected!r}"
+        )
+
+
+def test_optimal_is_lower_bound(golden):
+    for inst_name, row in golden.items():
+        opt = row["OPT-BB"]
+        for sched, span in row.items():
+            assert span >= opt - 1e-9, (inst_name, sched)
+
+
+if __name__ == "__main__":
+    FIXTURE.write_text(json.dumps(_compute_all(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")
