@@ -9,9 +9,12 @@ Subcommands::
     repro-sched render --dag g.json --alg IMP --out sched.svg
     repro-sched simulate --dag g.json --alg IMP --noise 0.3 [--contention]
     repro-sched compare --suite application --alg IMP --alg HEFT
+    repro-sched serve --port 8787 --workers 4 --cache-size 256
+    repro-sched submit --dag g.json --alg IMP --endpoint 127.0.0.1:8787
     repro-sched demo                      # tiny end-to-end demonstration
 
-(Also reachable as ``python -m repro ...``.)
+(Also reachable as ``python -m repro ...`` and via the ``repro``
+console-script alias.)
 """
 
 from __future__ import annotations
@@ -194,6 +197,69 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import EngineConfig, ScheduleServer, SchedulingEngine
+
+    config = EngineConfig(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        default_timeout=args.timeout,
+    )
+
+    async def run() -> None:
+        server = ScheduleServer(SchedulingEngine(config), host=args.host, port=args.port)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        print(
+            f"repro service listening on http://{args.host}:{server.port} "
+            f"(workers={config.workers}, cache={config.cache_size}, "
+            f"queue={config.queue_depth})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        stats = server.engine.stats()
+        print(
+            f"drained: {stats.completed} completed, {stats.cache_hits} cache hits, "
+            f"{stats.rejected} rejected, {stats.timeouts} timeouts",
+            flush=True,
+        )
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.instance import make_instance
+    from repro.service import ServiceClient
+
+    dag = _load_dag(args.dag)
+    instance = make_instance(
+        dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
+    )
+    client = ServiceClient.at(args.endpoint, request_timeout=args.timeout)
+    result = client.schedule_sync(instance, alg=args.alg, timeout=args.timeout)
+    print(f"algorithm  : {result.alg}")
+    print(f"dag        : {dag.name} ({dag.num_tasks} tasks, {dag.num_edges} edges)")
+    print(f"fingerprint: {result.fingerprint}")
+    print(f"cache hit  : {'yes' if result.cache_hit else 'no'}")
+    print(f"makespan   : {result.makespan:.4f}")
+    print(f"server ms  : {result.server_ms:.3f}")
+    if args.gantt:
+        print()
+        print(result.to_schedule(instance.machine).gantt())
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.dag.generators import gaussian_elimination_dag
     from repro.instance import make_instance
@@ -294,6 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument("--reps", type=int, default=5)
     p_sens.add_argument("--seed", type=int, default=0)
     p_sens.set_defaults(fn=_cmd_sensitivity)
+
+    p_serve = sub.add_parser("serve", help="run the scheduling service daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="pool processes (0 = in-process thread)")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="schedule cache capacity (entries)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded request queue (full -> 429)")
+    p_serve.add_argument("--batch-size", type=int, default=8,
+                         help="max requests dispatched per batch")
+    p_serve.add_argument("--timeout", type=float, default=30.0,
+                         help="default per-request timeout (seconds)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser("submit", help="submit a task graph to a running service")
+    add_instance_args(p_submit)
+    p_submit.add_argument("--endpoint", default="127.0.0.1:8787",
+                          help="service endpoint host:port")
+    p_submit.add_argument("--timeout", type=float, default=60.0,
+                          help="request timeout (seconds)")
+    p_submit.add_argument("--gantt", action="store_true",
+                          help="print an ASCII Gantt chart of the result")
+    p_submit.set_defaults(fn=_cmd_submit)
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
     p_demo.set_defaults(fn=_cmd_demo)

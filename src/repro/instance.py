@@ -148,6 +148,25 @@ class Instance:
             total = max(total, best[t])
         return total
 
+    @cached_property
+    def _fingerprint(self) -> str:
+        from repro.instance_io import instance_fingerprint  # lazy: avoids import cycle
+
+        return instance_fingerprint(self)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this instance (SHA-256 hex digest).
+
+        Covers DAG structure (tasks, costs, edges, edge data), the
+        machine (processors, speeds, communication model) and the ETC
+        matrix, all in a canonical order — equal for equal content no
+        matter how the instance was assembled, different under any
+        single perturbation.  Names are metadata and excluded.  The
+        serving layer keys its content-addressed schedule cache on this
+        (see :mod:`repro.service.cache`).
+        """
+        return self._fingerprint
+
     def is_homogeneous(self) -> bool:
         """True when every task runs equally fast on every processor."""
         arr = self.etc.as_array()

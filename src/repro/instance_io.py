@@ -7,10 +7,16 @@ exact instance, not just the seeds that produced it.
 
 Supported communication models: Zero, Uniform and Link (the three this
 library ships).  A custom model serialises only if it is one of these.
+
+This module is also the home of the *canonical form* behind
+:meth:`repro.instance.Instance.fingerprint`: an order-independent
+document over the same fields the lossless serialiser writes, hashed to
+content-address instances in the serving layer.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Union
@@ -148,6 +154,58 @@ def instance_from_json(text: str) -> Instance:
         np.asarray(etc_doc["values"], dtype=float),
     )
     return Instance(dag=dag, machine=machine, etc=etc, name=doc.get("name", ""))
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def _id_key(value) -> str:
+    """Total order over mixed-type ids via their canonical JSON encoding."""
+    return json.dumps(encode_id(value), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_instance_doc(instance: Instance) -> dict:
+    """Order-independent canonical document of an instance's *content*.
+
+    Two instances that describe the same problem — same tasks, edges,
+    processors, communication model and ETC values — produce the same
+    document regardless of construction order (task/edge insertion
+    sequence, ETC row/column order).  Metadata that does not change the
+    problem (instance/DAG/machine names, processor display names) is
+    deliberately excluded, so renaming an instance does not defeat
+    content addressing.
+    """
+    dag = instance.dag
+    machine = instance.machine
+    task_order = sorted(dag.tasks(), key=_id_key)
+    proc_order = sorted(machine.proc_ids(), key=_id_key)
+    comm = _comm_to_dict(machine.comm, machine.proc_ids())
+    if comm.get("type") == "links":
+        comm["links"] = sorted(comm["links"], key=lambda r: (_id_key(r["src"]), _id_key(r["dst"])))
+    return {
+        "format": "repro-instance-fingerprint-v1",
+        "tasks": [[encode_id(t), dag.cost(t)] for t in task_order],
+        "edges": sorted(
+            ([encode_id(u), encode_id(v), dag.data(u, v)] for u, v in dag.edges()),
+            key=lambda rec: (_id_key(decode_id(rec[0])), _id_key(decode_id(rec[1]))),
+        ),
+        "procs": [[encode_id(p), machine.speed(p)] for p in proc_order],
+        "comm": comm,
+        "etc": [[instance.etc.time(t, p) for p in proc_order] for t in task_order],
+    }
+
+
+def instance_fingerprint(instance: Instance) -> str:
+    """SHA-256 hex digest of :func:`canonical_instance_doc`.
+
+    Stable across processes and Python sessions (no reliance on
+    ``hash()``) and exact in the float values: ``json.dumps`` emits the
+    shortest round-trip ``repr`` of each float, so any single-ULP
+    perturbation of an ETC cell, edge weight or task cost changes the
+    digest.
+    """
+    text = json.dumps(canonical_instance_doc(instance), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def save_instance(instance: Instance, path: PathLike) -> None:

@@ -1,0 +1,82 @@
+"""Content-addressed LRU cache of computed schedules.
+
+Keys are :func:`request_key` digests — instance fingerprint plus
+scheduler name — so *what* was asked, never *when* or *by whom*,
+determines the entry.  Values are the immutable response payloads of
+:func:`repro.service.protocol.schedule_payload`; a hit returns the
+exact object stored by the cold run, which is what makes hit responses
+bit-identical to cold responses by construction.
+
+The cache is used from a single event loop, so plain dict operations
+need no locking; it still keeps its own hit/miss/eviction counters so a
+:class:`ScheduleCache` is observable on its own (the engine-level
+metrics aggregate over it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.instance import Instance
+
+
+def request_key(instance: Instance, alg: str) -> str:
+    """Cache key of one request: content fingerprint x scheduler config."""
+    digest = hashlib.sha256(instance.fingerprint().encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(alg.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ScheduleCache:
+    """Bounded LRU mapping request keys to response payloads."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> dict | None:
+        """Look up a payload; refreshes recency on hit.
+
+        Treat the returned payload as read-only — it is shared with
+        every other hit on the same key.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, payload: dict) -> None:
+        """Insert (or refresh) an entry, evicting the least recently
+        used entries beyond capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduleCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -1,0 +1,210 @@
+"""Async (and sync-wrapped) client for the scheduling service.
+
+:class:`ServiceClient` speaks the minimal HTTP/1.1 dialect of
+:mod:`repro.service.server` over one connection per request
+(``Connection: close``), which keeps both ends trivial and is plenty
+for a local daemon.  Server-side failures come back as the same
+exception types the in-process engine raises — a caller can move
+between ``engine.submit(...)`` and ``client.schedule(...)`` without
+changing its error handling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import OrderedDict
+
+from repro.instance import Instance
+from repro.instance_io import instance_to_json
+from repro.service.errors import (
+    RequestError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+    WorkerError,
+)
+from repro.service.metrics import ServiceStats
+from repro.service.protocol import ScheduleResult, make_request_doc
+
+_ERROR_BY_STATUS = {
+    400: RequestError,
+    404: RequestError,
+    405: RequestError,
+    413: RequestError,
+    429: ServiceOverloadedError,
+    503: ServiceClosedError,
+    504: ServiceTimeoutError,
+}
+
+#: Encoded request bodies memoised per client (instance fingerprint x
+#: alg x timeout).  Resubmitting an instance skips re-serialisation and
+#: sends byte-identical bodies, which the server's exact-body fast path
+#: answers without parsing.
+_BODY_CACHE_SIZE = 128
+
+
+def parse_endpoint(endpoint: str, default_port: int = 8787) -> tuple[str, int]:
+    """Parse ``host``, ``host:port`` or ``http://host:port`` strings."""
+    text = endpoint.strip()
+    for prefix in ("http://", "https://"):
+        if text.startswith(prefix):
+            text = text[len(prefix):]
+    text = text.rstrip("/")
+    host, _, port_text = text.partition(":")
+    if not host:
+        host = "127.0.0.1"
+    if not port_text:
+        return host, default_port
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise RequestError(f"invalid endpoint {endpoint!r}") from None
+
+
+class ServiceClient:
+    """Talks to one running :class:`~repro.service.server.ScheduleServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 connect_timeout: float = 5.0, request_timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._body_cache: OrderedDict[tuple, bytes] = OrderedDict()
+
+    @classmethod
+    def at(cls, endpoint: str, **kwargs) -> "ServiceClient":
+        """Build a client from an ``host:port`` endpoint string."""
+        host, port = parse_endpoint(endpoint)
+        return cls(host=host, port=port, **kwargs)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def _request(self, method: str, path: str,
+                       body: bytes | None = None) -> tuple[int, bytes]:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.connect_timeout
+        )
+        try:
+            payload = body or b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            # Read headers, then exactly Content-Length body bytes.  Never
+            # read-to-EOF: pool workers forked on the server side may hold
+            # an inherited copy of this socket, delaying EOF indefinitely.
+            header = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.request_timeout
+            )
+            content_length = 0
+            for line in header.split(b"\r\n")[1:]:
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            answer = await asyncio.wait_for(
+                reader.readexactly(content_length), self.request_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} closed mid-response"
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise ServiceError(f"malformed status line {status_line!r}") from None
+        return status, answer
+
+    async def _request_json(self, method: str, path: str,
+                            doc: dict | None = None,
+                            body: bytes | None = None) -> dict:
+        if body is None and doc is not None:
+            body = json.dumps(doc).encode("utf-8")
+        status, payload = await self._request(method, path, body)
+        try:
+            answer = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            answer = {"status": "error", "error": payload.decode("latin-1", "replace")}
+        if status != 200:
+            exc_type = _ERROR_BY_STATUS.get(status, WorkerError)
+            raise exc_type(answer.get("error", f"HTTP {status}"))
+        return answer
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def _schedule_body(self, instance: Instance, alg: str,
+                       timeout: float | None) -> bytes:
+        key = (instance.fingerprint(), alg, timeout)
+        body = self._body_cache.get(key)
+        if body is None:
+            doc = make_request_doc(json.loads(instance_to_json(instance)), alg, timeout)
+            body = json.dumps(doc).encode("utf-8")
+            self._body_cache[key] = body
+            while len(self._body_cache) > _BODY_CACHE_SIZE:
+                self._body_cache.popitem(last=False)
+        else:
+            self._body_cache.move_to_end(key)
+        return body
+
+    async def schedule(self, instance: Instance, alg: str = "IMP",
+                       timeout: float | None = None) -> ScheduleResult:
+        """Submit one instance; returns the placement result."""
+        body = self._schedule_body(instance, alg, timeout)
+        answer = await self._request_json("POST", "/v1/schedule", body=body)
+        return ScheduleResult.from_payload(answer["result"])
+
+    async def stats(self) -> ServiceStats:
+        """Fetch the server's counter snapshot."""
+        answer = await self._request_json("GET", "/v1/stats")
+        return ServiceStats(**answer["stats"])
+
+    async def metrics_text(self) -> str:
+        """Fetch the Prometheus-style exposition text."""
+        status, payload = await self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"GET /metrics -> HTTP {status}")
+        return payload.decode("utf-8")
+
+    async def health(self) -> bool:
+        """True when the daemon is up and not draining."""
+        try:
+            answer = await self._request_json("GET", "/healthz")
+        except (OSError, asyncio.TimeoutError, ServiceError):
+            return False
+        return answer.get("status") == "ok" and not answer.get("draining", False)
+
+    async def shutdown(self) -> None:
+        """Ask the daemon to drain and exit."""
+        await self._request_json("POST", "/v1/shutdown")
+
+    # ------------------------------------------------------------------
+    # sync conveniences (CLI, scripts)
+    # ------------------------------------------------------------------
+    def schedule_sync(self, instance: Instance, alg: str = "IMP",
+                      timeout: float | None = None) -> ScheduleResult:
+        return asyncio.run(self.schedule(instance, alg, timeout))
+
+    def stats_sync(self) -> ServiceStats:
+        return asyncio.run(self.stats())
+
+    def health_sync(self) -> bool:
+        return asyncio.run(self.health())
+
+    def shutdown_sync(self) -> None:
+        asyncio.run(self.shutdown())

@@ -1,0 +1,342 @@
+"""Asynchronous batching engine: the compute core of the service.
+
+Request lifecycle::
+
+    submit() ──> cache hit? ──────────────────────────────> respond
+        │
+        ├──> identical request already in flight? ─┐         (coalesce:
+        │                                          ├───────> share the
+        └──> bounded queue (full -> 429) ──> dispatcher      same future)
+                                                │
+                             batch of <= batch_size jobs
+                                                │
+                                  ProcessPoolExecutor worker
+                              (compute_schedule_payload: parse,
+                               schedule, validate, serialise)
+                                                │
+                               cache.put + resolve the future
+
+Design notes:
+
+* **Coalescing at two levels.**  The content-addressed cache folds
+  repeats over time; the in-flight table folds repeats *in the same
+  instant* — N concurrent submissions of one instance cost one
+  computation, and all N waiters share its future.
+* **Backpressure is an error, not a wait.**  When the queue is at
+  capacity, :meth:`submit` raises :class:`ServiceOverloadedError`
+  immediately (HTTP 429) instead of queueing unbounded work; shedding
+  load early is what keeps tail latency bounded under overload.
+* **Timeouts don't kill shared work.**  A waiter that times out stops
+  waiting (HTTP 504), but the computation — potentially shared with
+  other waiters, and cacheable — runs to completion behind
+  :func:`asyncio.shield`.
+* **Workers are processes.**  The cold path pickles ``(instance JSON,
+  alg)`` to a :class:`~concurrent.futures.ProcessPoolExecutor`, the
+  same module-level-function discipline as the PR-1 sweep runner, so
+  the GIL never serialises scheduling work.  ``workers=0`` degrades to
+  a thread, which tests use to monkeypatch the compute function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.instance import Instance
+from repro.instance_io import instance_to_json
+from repro.service import protocol
+from repro.service.cache import ScheduleCache, request_key
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+    WorkerError,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of one engine (all bounded, all explicit)."""
+
+    workers: int = 2
+    cache_size: int = 256
+    queue_depth: int = 64
+    batch_size: int = 8
+    default_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.default_timeout <= 0:
+            raise ValueError(f"default_timeout must be > 0, got {self.default_timeout}")
+
+
+def _warm_worker() -> None:
+    """Force a pool worker to exist and pre-import the scheduler stack.
+
+    The short sleep keeps each warmed worker busy long enough that the
+    executor spawns a fresh process for the next warmup task instead of
+    reusing this one.
+    """
+    import repro.schedulers.registry  # noqa: F401  (import is the warmup)
+
+    time.sleep(0.05)
+
+
+class _Job:
+    """One unique (instance, alg) computation and its shared future."""
+
+    __slots__ = ("key", "text", "alg", "future")
+
+    def __init__(self, key: str, text: str, alg: str, future: asyncio.Future) -> None:
+        self.key = key
+        self.text = text
+        self.alg = alg
+        self.future = future
+
+
+class SchedulingEngine:
+    """Accepts schedule requests, answers from cache or a worker pool."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 metrics: ServiceMetrics | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.metrics = metrics or ServiceMetrics()
+        self.cache = ScheduleCache(self.config.cache_size)
+        self._queue: asyncio.Queue[_Job | None] = asyncio.Queue(maxsize=self.config.queue_depth)
+        # One dispatch slot per pool worker: when every worker is busy
+        # the dispatcher stalls, the queue genuinely fills, and submit()
+        # starts shedding load — the queue bound is the backpressure.
+        self._slots = asyncio.Semaphore(max(1, self.config.workers))
+        self._inflight: dict[str, _Job] = {}
+        self._running: set[asyncio.Task] = set()
+        self._pool: ProcessPoolExecutor | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the worker pool and the dispatcher coroutine.
+
+        Workers are forked *and warmed* here, before the server accepts
+        any connection: a worker forked mid-request would inherit the
+        accepted socket (keeping it open past the response), and warming
+        pays the library import cost once instead of on the first
+        request of each worker.
+        """
+        if self._started:
+            return
+        if self.config.workers > 0:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            warmups = [self._pool.submit(_warm_worker) for _ in range(self.config.workers)]
+            await asyncio.gather(*[asyncio.wrap_future(f) for f in warmups])
+        self._dispatcher = asyncio.create_task(self._dispatch_loop(), name="repro-dispatcher")
+        self._started = True
+        self._closed = False
+
+    async def stop(self, drain: bool = True, drain_timeout: float = 30.0) -> None:
+        """Stop the engine.
+
+        ``drain=True`` (graceful): refuse new submissions, let every
+        queued and in-flight job finish (bounded by ``drain_timeout``),
+        then tear the pool down.  ``drain=False``: cancel everything
+        pending; waiters see :class:`ServiceClosedError`.
+        """
+        if not self._started:
+            return
+        self._closed = True
+        if drain:
+            deadline = time.monotonic() + drain_timeout
+            while (self._inflight or not self._queue.empty()) and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+        if self._dispatcher is not None:
+            try:
+                self._queue.put_nowait(None)  # wake the dispatcher so it can exit
+            except asyncio.QueueFull:
+                self._dispatcher.cancel()
+            try:
+                await asyncio.wait_for(self._dispatcher, timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._dispatcher.cancel()
+            self._dispatcher = None
+        for task in list(self._running):
+            if not drain:
+                task.cancel()
+        if self._running:
+            await asyncio.gather(*self._running, return_exceptions=True)
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                job.future.set_exception(ServiceClosedError("engine stopped"))
+        self._inflight.clear()
+        while not self._queue.empty():  # anything the dispatcher never reached
+            job = self._queue.get_nowait()
+            if job is not None and not job.future.done():
+                job.future.set_exception(ServiceClosedError("engine stopped"))
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=not drain)
+            self._pool = None
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, instance: Instance, alg: str,
+                     timeout: float | None = None) -> dict:
+        """Schedule ``instance`` with scheduler ``alg``; return the payload.
+
+        The returned dict is a fresh copy carrying ``cache_hit``,
+        ``fingerprint`` and ``server_ms`` alongside the placement data.
+        Raises :class:`ServiceOverloadedError` (queue full),
+        :class:`ServiceTimeoutError` (deadline), :class:`WorkerError`
+        (computation failed) or :class:`ServiceClosedError` (draining).
+        """
+        if self._closed or not self._started:
+            raise ServiceClosedError("engine is not accepting requests")
+        self.metrics.request()
+        t0 = time.perf_counter()
+        key = request_key(instance, alg)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.cache_hit()
+            return self._respond(cached, key, t0, cache_hit=True)
+        self.metrics.cache_miss()
+
+        job = self._inflight.get(key)
+        if job is None:
+            job = _Job(key, instance_to_json(instance), alg,
+                       asyncio.get_running_loop().create_future())
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.metrics.reject()
+                raise ServiceOverloadedError(
+                    f"request queue full ({self.config.queue_depth}); retry later"
+                ) from None
+            self._inflight[key] = job
+        else:
+            self.metrics.coalesce()
+
+        if timeout is None:
+            timeout = self.config.default_timeout
+        try:
+            payload = await asyncio.wait_for(asyncio.shield(job.future), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.timeout()
+            raise ServiceTimeoutError(
+                f"no result for {alg} within {timeout:g}s (key {key[:12]}...)"
+            ) from None
+        return self._respond(payload, key, t0, cache_hit=False)
+
+    def submit_cached(self, key: str) -> dict | None:
+        """Answer request ``key`` from the cache, or ``None`` if absent.
+
+        Fast path for callers that already know the request key (the
+        server remembers it per exact request body): a hit skips
+        instance parsing and fingerprinting entirely.  A miss is silent
+        — no counters move — because the caller falls back to
+        :meth:`submit`, which accounts the request in full.
+        """
+        if self._closed or not self._started:
+            raise ServiceClosedError("engine is not accepting requests")
+        if key not in self.cache:
+            return None
+        self.metrics.request()
+        t0 = time.perf_counter()
+        payload = self.cache.get(key)
+        self.metrics.cache_hit()
+        return self._respond(payload, key, t0, cache_hit=True)
+
+    def _respond(self, payload: dict, key: str, t0: float, cache_hit: bool) -> dict:
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        self.metrics.complete(latency_ms)
+        return {
+            **payload,
+            "cache_hit": cache_hit,
+            "fingerprint": key,
+            "server_ms": latency_ms,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Pull jobs off the queue in batches and fan them out."""
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            batch = [job]
+            while len(batch) < self.config.batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    self._queue.put_nowait(None)  # re-arm the stop signal
+                    break
+                batch.append(nxt)
+            self.metrics.batch(len(batch))
+            for item in batch:
+                await self._slots.acquire()
+                task = asyncio.create_task(self._run_job(item))
+                self._running.add(task)
+                task.add_done_callback(self._running.discard)
+
+    async def _run_job(self, job: _Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, protocol.compute_schedule_payload, job.text, job.alg
+            )
+        except asyncio.CancelledError:
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_exception(ServiceClosedError("computation cancelled"))
+            raise
+        except Exception as exc:
+            self.metrics.error()
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
+            return
+        finally:
+            self._slots.release()
+        self.cache.put(job.key, payload)
+        self._inflight.pop(job.key, None)
+        if not job.future.done():
+            job.future.set_result(payload)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _gauges(self) -> dict:
+        return {
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "workers": self.config.workers,
+            "cache_size": len(self.cache),
+            "cache_evictions": self.cache.evictions,
+        }
+
+    def stats(self):
+        """A :class:`~repro.service.metrics.ServiceStats` snapshot."""
+        return self.metrics.snapshot(**self._gauges())
+
+    def render_metrics(self) -> str:
+        """Prometheus-style exposition text."""
+        return self.metrics.render(**self._gauges())

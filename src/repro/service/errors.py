@@ -1,0 +1,49 @@
+"""Service-layer exception hierarchy.
+
+Every serving failure derives from :class:`ServiceError` (itself a
+:class:`~repro.exceptions.ReproError`) and carries the HTTP status code
+the server maps it to, so the transport layer never needs a big
+``isinstance`` ladder.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures."""
+
+    #: HTTP status the server responds with for this error class.
+    status = 500
+
+
+class RequestError(ServiceError):
+    """The request document is malformed (bad JSON, unknown scheduler,
+    invalid instance)."""
+
+    status = 400
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded request queue is full — backpressure, retry later."""
+
+    status = 429
+
+
+class ServiceTimeoutError(ServiceError):
+    """The per-request deadline elapsed before a result was ready."""
+
+    status = 504
+
+
+class ServiceClosedError(ServiceError):
+    """The engine is draining or stopped and accepts no new work."""
+
+    status = 503
+
+
+class WorkerError(ServiceError):
+    """The scheduling computation itself raised in the worker."""
+
+    status = 500

@@ -1,0 +1,185 @@
+"""Wire model of the scheduling service.
+
+One request = one instance + one scheduler name.  The request document
+is plain JSON (the instance in :mod:`repro.instance_io` v1 format), the
+response is a *payload* dict listing every placement in a deterministic
+order plus the makespan — deterministic so that "bit-identical" is a
+string-equality property, not a tolerance.
+
+:func:`compute_schedule_payload` is the cold path.  It is a module-level
+function of picklable arguments (JSON text + scheduler name), following
+the same pattern as ``repro.bench.runner._run_replication``, so the
+engine can ship it to a :class:`~concurrent.futures.ProcessPoolExecutor`
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.instance import Instance
+from repro.schedule.schedule import Schedule
+from repro.utils.encoding import decode_id, encode_id
+
+#: Version tag of the request/response documents.
+PROTOCOL = "repro-service-v1"
+
+
+# ----------------------------------------------------------------------
+# response payload (what the engine computes, caches and returns)
+# ----------------------------------------------------------------------
+def schedule_payload(schedule: Schedule, instance: Instance, alg: str) -> dict:
+    """Serialise a computed schedule into the canonical response payload.
+
+    Placements are sorted by ``(start, proc, task)`` exactly like
+    :func:`repro.schedule.io.schedule_to_json`, so two runs that produce
+    the same schedule produce byte-identical payload JSON.
+    """
+    return {
+        "alg": alg,
+        "instance": instance.name,
+        "num_tasks": instance.num_tasks,
+        "num_procs": instance.num_procs,
+        "makespan": schedule.makespan,
+        "num_duplicates": schedule.num_duplicates(),
+        "placements": [
+            {
+                "task": encode_id(p.task),
+                "proc": encode_id(p.proc),
+                "start": p.start,
+                "end": p.end,
+                "duplicate": p.duplicate,
+            }
+            for p in sorted(
+                schedule.all_placements(), key=lambda p: (p.start, str(p.proc), str(p.task))
+            )
+        ],
+    }
+
+
+def compute_schedule_payload(instance_text: str, alg: str) -> dict:
+    """Cold-path computation: parse, schedule, validate, serialise.
+
+    Runs inside pool workers; imports are deferred so a worker process
+    only pays for what it uses.
+    """
+    from repro.instance_io import instance_from_json
+    from repro.schedule.validation import validate
+    from repro.schedulers.registry import get_scheduler
+
+    instance = instance_from_json(instance_text)
+    schedule = get_scheduler(alg).schedule(instance)
+    validate(schedule, instance)
+    return schedule_payload(schedule, instance, alg)
+
+
+def payload_to_schedule(payload: dict, machine) -> Schedule:
+    """Rebuild a :class:`Schedule` from a response payload.
+
+    Needs the machine the instance was built with (timelines are
+    machine-scoped).  Primaries are placed before duplicates, as in
+    :func:`repro.schedule.io.schedule_from_json`.
+    """
+    schedule = Schedule(machine, name=str(payload.get("instance", "served")))
+    records = payload["placements"]
+    for want_duplicate in (False, True):
+        for rec in records:
+            if bool(rec.get("duplicate", False)) != want_duplicate:
+                continue
+            schedule.add(
+                decode_id(rec["task"]),
+                decode_id(rec["proc"]),
+                float(rec["start"]),
+                float(rec["end"]) - float(rec["start"]),
+                duplicate=want_duplicate,
+            )
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# client-side result view
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleResult:
+    """What a client gets back from one scheduling request."""
+
+    alg: str
+    instance: str
+    makespan: float
+    placements: tuple = ()
+    num_duplicates: int = 0
+    cache_hit: bool = False
+    fingerprint: str = ""
+    server_ms: float = 0.0
+    payload: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScheduleResult":
+        return cls(
+            alg=payload["alg"],
+            instance=str(payload.get("instance", "")),
+            makespan=float(payload["makespan"]),
+            placements=tuple(
+                (decode_id(r["task"]), decode_id(r["proc"]), r["start"], r["end"], r["duplicate"])
+                for r in payload["placements"]
+            ),
+            num_duplicates=int(payload.get("num_duplicates", 0)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            fingerprint=str(payload.get("fingerprint", "")),
+            server_ms=float(payload.get("server_ms", 0.0)),
+            payload=payload,
+        )
+
+    def to_schedule(self, machine) -> Schedule:
+        """Materialise the placements onto ``machine``."""
+        return payload_to_schedule(self.payload, machine)
+
+
+# ----------------------------------------------------------------------
+# request document
+# ----------------------------------------------------------------------
+def make_request_doc(instance_doc: dict, alg: str, timeout: float | None = None) -> dict:
+    """Assemble the body of a ``POST /v1/schedule`` request."""
+    doc = {"protocol": PROTOCOL, "alg": alg, "instance": instance_doc}
+    if timeout is not None:
+        doc["timeout"] = float(timeout)
+    return doc
+
+
+def parse_request_doc(doc: object) -> tuple[Instance, str, float | None]:
+    """Validate a request document into ``(instance, alg, timeout)``.
+
+    Raises :class:`~repro.service.errors.RequestError` on any shape or
+    content problem, including an unknown scheduler name — rejecting bad
+    requests *before* they occupy queue space.
+    """
+    from repro.instance_io import instance_from_json
+    from repro.service.errors import RequestError
+    from repro.schedulers.registry import all_scheduler_names
+
+    if not isinstance(doc, dict):
+        raise RequestError("request body must be a JSON object")
+    alg = doc.get("alg")
+    if not isinstance(alg, str) or not alg:
+        raise RequestError("request needs a scheduler name under 'alg'")
+    if alg not in all_scheduler_names():
+        raise RequestError(
+            f"unknown scheduler {alg!r}; known: {', '.join(all_scheduler_names())}"
+        )
+    instance_doc = doc.get("instance")
+    if not isinstance(instance_doc, dict):
+        raise RequestError("request needs an instance document under 'instance'")
+    try:
+        instance = instance_from_json(json.dumps(instance_doc))
+    except Exception as exc:
+        raise RequestError(f"invalid instance document: {exc}") from exc
+    timeout = doc.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise RequestError(f"invalid timeout {timeout!r}") from None
+        if timeout <= 0:
+            raise RequestError(f"timeout must be > 0, got {timeout}")
+    return instance, alg, timeout

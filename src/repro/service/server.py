@@ -1,0 +1,231 @@
+"""Minimal asyncio HTTP endpoint in front of the engine.
+
+Stdlib-only by design (``asyncio.start_server`` + hand-rolled HTTP/1.1
+framing): the service has to run in the same environments the library
+does, with no web-framework dependency.  The surface is deliberately
+tiny:
+
+====================  =================================================
+``POST /v1/schedule``  schedule one instance (JSON request document)
+``GET  /v1/stats``     :class:`ServiceStats` snapshot as JSON
+``GET  /metrics``      Prometheus-style text exposition
+``GET  /healthz``      liveness probe
+``POST /v1/shutdown``  request a graceful drain-and-exit
+====================  =================================================
+
+Error mapping: every :class:`~repro.service.errors.ServiceError`
+subclass carries its HTTP status (400 bad request, 429 backpressure,
+503 draining, 504 timeout, 500 worker failure), so the handler is a
+single try/except.
+
+Two cache layers answer repeats: a byte-exact map from request-body
+digest to request key (skips parsing and fingerprinting altogether)
+backed by the engine's canonical content-addressed cache (catches the
+same instance serialised differently).  Both serve the identical stored
+payload, so hits are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from collections import OrderedDict
+
+from repro.service.engine import SchedulingEngine
+from repro.service.errors import RequestError, ServiceError
+from repro.service.protocol import parse_request_doc
+
+#: Largest accepted request body (a ~100k-task instance document).
+MAX_BODY = 64 * 1024 * 1024
+
+#: Entries kept in the exact-body fast-path map (body digest -> request
+#: key).  Each entry is two hex digests, so this is a few hundred kB.
+EXACT_MAP_SIZE = 4096
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ScheduleServer:
+    """Serves one :class:`SchedulingEngine` over local TCP."""
+
+    def __init__(self, engine: SchedulingEngine, host: str = "127.0.0.1",
+                 port: int = 8787) -> None:
+        self.engine = engine
+        self.host = host
+        self._port = port
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        # Exact-body fast path: sha256(request body) -> request key.  A
+        # byte-identical resubmission skips JSON parsing and instance
+        # fingerprinting and answers straight from the schedule cache;
+        # semantically-equal-but-differently-serialised requests still
+        # hit through the canonical fingerprint path in the engine.
+        self._exact: OrderedDict[str, str] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the engine and begin accepting connections."""
+        await self.engine.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self._port)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binding)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_until_shutdown` to drain and exit."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown` (or ``POST /v1/shutdown``),
+        then stop gracefully."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting connections, drain the engine, shut down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.stop(drain=drain)
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, content_type, payload = await self._route(method, path, body)
+            await self._write_response(writer, status, content_type, payload)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP/1.x request; returns (method, path, body)."""
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > MAX_BODY:
+            return method, path, b"\x00too-large"
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request; returns (status, content-type, bytes)."""
+        if body.startswith(b"\x00too-large"):
+            return self._json(413, {"status": "error", "error": "request body too large"})
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return self._json(405, {"status": "error", "error": "use GET"})
+            return self._json(200, {"status": "ok", "draining": self.engine.draining})
+        if path == "/metrics":
+            if method != "GET":
+                return self._json(405, {"status": "error", "error": "use GET"})
+            return 200, "text/plain; version=0.0.4", self.engine.render_metrics().encode()
+        if path == "/v1/stats":
+            if method != "GET":
+                return self._json(405, {"status": "error", "error": "use GET"})
+            return self._json(200, {"status": "ok", "stats": self.engine.stats().as_dict()})
+        if path == "/v1/shutdown":
+            if method != "POST":
+                return self._json(405, {"status": "error", "error": "use POST"})
+            # Respond first, then trip the shutdown event: the caller
+            # gets its 200 before the listener closes.
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return self._json(200, {"status": "ok", "shutting_down": True})
+        if path == "/v1/schedule":
+            if method != "POST":
+                return self._json(405, {"status": "error", "error": "use POST"})
+            return await self._handle_schedule(body)
+        return self._json(404, {"status": "error", "error": f"no such route {path}"})
+
+    async def _handle_schedule(self, body: bytes):
+        try:
+            body_key = hashlib.sha256(body).hexdigest()
+            known_key = self._exact.get(body_key)
+            if known_key is not None:
+                payload = self.engine.submit_cached(known_key)
+                if payload is not None:
+                    self._exact.move_to_end(body_key)
+                    return self._json(200, {"status": "ok", "result": payload})
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise RequestError(f"invalid JSON body: {exc}") from None
+            instance, alg, timeout = parse_request_doc(doc)
+            payload = await self.engine.submit(instance, alg, timeout=timeout)
+            self._remember_exact(body_key, payload["fingerprint"])
+        except ServiceError as exc:
+            kind = "rejected" if exc.status == 429 else "error"
+            return self._json(exc.status, {"status": kind, "error": str(exc)})
+        return self._json(200, {"status": "ok", "result": payload})
+
+    def _remember_exact(self, body_key: str, request_key: str) -> None:
+        self._exact[body_key] = request_key
+        self._exact.move_to_end(body_key)
+        while len(self._exact) > EXACT_MAP_SIZE:
+            self._exact.popitem(last=False)
+
+    @staticmethod
+    def _json(status: int, doc: dict):
+        return status, "application/json", json.dumps(doc).encode("utf-8")
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              content_type: str, payload: bytes) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()

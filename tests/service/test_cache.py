@@ -1,0 +1,65 @@
+"""LRU semantics and counters of the content-addressed cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ScheduleCache
+
+
+def test_miss_then_hit():
+    cache = ScheduleCache(capacity=4)
+    assert cache.get("k1") is None
+    cache.put("k1", {"makespan": 1.0})
+    assert cache.get("k1") == {"makespan": 1.0}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_hit_returns_the_stored_object():
+    """Bit-identity of hits rests on returning the cold run's payload."""
+    cache = ScheduleCache(capacity=4)
+    payload = {"makespan": 2.0, "placements": [{"task": "a"}]}
+    cache.put("k", payload)
+    assert cache.get("k") is payload
+
+
+def test_lru_eviction_order():
+    cache = ScheduleCache(capacity=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") is not None  # refresh 'a'; 'b' is now LRU
+    cache.put("c", {"v": 3})
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.evictions == 1
+
+
+def test_refresh_on_put():
+    cache = ScheduleCache(capacity=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.put("a", {"v": 10})  # re-put refreshes recency and value
+    cache.put("c", {"v": 3})
+    assert "b" not in cache
+    assert cache.get("a") == {"v": 10}
+
+
+def test_zero_capacity_never_stores():
+    cache = ScheduleCache(capacity=0)
+    cache.put("a", {"v": 1})
+    assert len(cache) == 0
+    assert cache.get("a") is None
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ScheduleCache(capacity=-1)
+
+
+def test_len_and_clear():
+    cache = ScheduleCache(capacity=8)
+    for i in range(5):
+        cache.put(f"k{i}", {"v": i})
+    assert len(cache) == 5
+    cache.clear()
+    assert len(cache) == 0

@@ -1,0 +1,72 @@
+"""Differential acceptance: cache hits are bit-identical to cold runs.
+
+For *every* registered scheduler on seeded instances, the served cold
+response, the served cache-hit response and a direct in-process
+computation must agree exactly — placements and makespan, no tolerance.
+One engine with a real process pool serves all schedulers, so this also
+proves the JSON round trip into the worker process loses nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.service import EngineConfig, SchedulingEngine
+from repro.service.protocol import schedule_payload
+from repro.schedulers.registry import all_scheduler_names, get_scheduler
+from repro.utils.rng import as_generator
+
+
+def _instances():
+    """Two tiny seeded instances — small enough for the B&B oracle."""
+    return [
+        W.random_instance(as_generator(11), num_tasks=8, num_procs=3),
+        W.homogeneous_random_instance(as_generator(23), num_tasks=7, num_procs=2),
+    ]
+
+
+@pytest.fixture(scope="module")
+def served():
+    """Submit every (scheduler, instance) twice through one pooled engine."""
+    instances = _instances()
+
+    async def run():
+        engine = SchedulingEngine(EngineConfig(workers=2, cache_size=256))
+        await engine.start()
+        try:
+            out = {}
+            for alg in all_scheduler_names():
+                for idx, inst in enumerate(instances):
+                    cold = await engine.submit(inst, alg)
+                    warm = await engine.submit(inst, alg)
+                    out[(alg, idx)] = (cold, warm)
+            return out
+        finally:
+            await engine.stop()
+
+    return asyncio.run(run())
+
+
+@pytest.mark.parametrize("idx", [0, 1])
+@pytest.mark.parametrize("alg", all_scheduler_names())
+def test_hit_is_bit_identical_to_cold(served, alg, idx):
+    cold, warm = served[(alg, idx)]
+    assert cold["cache_hit"] is False
+    assert warm["cache_hit"] is True
+    assert warm["makespan"] == cold["makespan"]
+    assert warm["placements"] == cold["placements"]
+    assert warm["num_duplicates"] == cold["num_duplicates"]
+
+
+@pytest.mark.parametrize("idx", [0, 1])
+@pytest.mark.parametrize("alg", all_scheduler_names())
+def test_served_matches_direct_computation(served, alg, idx):
+    """The pool-worker result equals a local run of the same scheduler."""
+    inst = _instances()[idx]
+    local = schedule_payload(get_scheduler(alg).schedule(inst), inst, alg)
+    cold, _ = served[(alg, idx)]
+    assert cold["makespan"] == local["makespan"]
+    assert cold["placements"] == local["placements"]

@@ -1,0 +1,242 @@
+"""End-to-end TCP tests: real server, real client, real process pool.
+
+Each scenario boots a daemon on an ephemeral port inside the test's own
+event loop, exercises the HTTP surface through :class:`ServiceClient`
+(plus raw sockets for the malformed cases) and shuts down cleanly — no
+fixed ports, no leftover listeners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.service import (
+    EngineConfig,
+    RequestError,
+    ScheduleServer,
+    SchedulingEngine,
+    ServiceClient,
+)
+from repro.utils.rng import as_generator
+
+
+def _instance(seed: int = 3, num_tasks: int = 12):
+    return W.random_instance(as_generator(seed), num_tasks=num_tasks, num_procs=3)
+
+
+async def _boot(workers: int = 2, **config):
+    engine = SchedulingEngine(EngineConfig(workers=workers, **config))
+    server = ScheduleServer(engine, port=0)
+    await server.start()
+    return server, ServiceClient(port=server.port, request_timeout=60.0)
+
+
+async def _raw_http(port: int, blob: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(blob)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), 10.0)
+    writer.close()
+    await writer.wait_closed()
+    return raw
+
+
+def test_schedule_cold_then_cache_hit_over_tcp():
+    async def scenario():
+        server, client = await _boot(workers=2)
+        try:
+            inst = _instance()
+            cold = await client.schedule(inst, alg="HEFT")
+            warm = await client.schedule(inst, alg="HEFT")
+            assert not cold.cache_hit and warm.cache_hit
+            assert warm.makespan == cold.makespan
+            assert warm.placements == cold.placements
+            # The result rebuilds into a valid schedule locally.
+            rebuilt = warm.to_schedule(inst.machine)
+            assert rebuilt.makespan == warm.makespan
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_exact_body_and_canonical_cache_layers():
+    """Byte-identical resubmits hit the fast path; a re-serialised but
+    semantically equal request still hits through the fingerprint."""
+
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            from repro.instance_io import instance_to_json
+            from repro.service.protocol import make_request_doc
+
+            inst = _instance()
+            doc = make_request_doc(json.loads(instance_to_json(inst)), "HEFT")
+            body = json.dumps(doc).encode()
+            blob = (
+                b"POST /v1/schedule HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+            cold = json.loads((await _raw_http(server.port, blob)).split(b"\r\n\r\n", 1)[1])
+            warm = json.loads((await _raw_http(server.port, blob)).split(b"\r\n\r\n", 1)[1])
+            assert cold["result"]["cache_hit"] is False
+            assert warm["result"]["cache_hit"] is True
+            assert warm["result"]["placements"] == cold["result"]["placements"]
+            # Same document, different serialisation (sorted keys): the
+            # exact-body map misses, the canonical fingerprint hits.
+            body2 = json.dumps(doc, sort_keys=True, indent=1).encode()
+            assert body2 != body
+            blob2 = (
+                b"POST /v1/schedule HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body2), body2)
+            )
+            alt = json.loads((await _raw_http(server.port, blob2)).split(b"\r\n\r\n", 1)[1])
+            assert alt["result"]["cache_hit"] is True
+            assert alt["result"]["placements"] == cold["result"]["placements"]
+            stats = await client.stats()
+            assert stats.requests == 3
+            assert stats.cache_hits == 2 and stats.cache_misses == 1
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_stats_and_metrics_endpoints():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            inst = _instance()
+            await client.schedule(inst, alg="CPOP")
+            await client.schedule(inst, alg="CPOP")
+            stats = await client.stats()
+            assert stats.requests == 2
+            assert stats.cache_hits == 1 and stats.cache_misses == 1
+            assert stats.p50_ms > 0.0
+            text = await client.metrics_text()
+            assert "repro_service_requests_total 2" in text
+            assert "repro_service_cache_hits_total 1" in text
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_health_endpoint():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            assert await client.health() is True
+        finally:
+            await server.stop()
+        assert await client.health() is False  # daemon gone
+
+    asyncio.run(scenario())
+
+
+def test_unknown_scheduler_is_400():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            with pytest.raises(RequestError, match="unknown scheduler"):
+                await client.schedule(_instance(), alg="NOPE")
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_json_is_400():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            body = b"this is not json"
+            blob = (
+                b"POST /v1/schedule HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+            raw = await _raw_http(server.port, blob)
+            assert raw.startswith(b"HTTP/1.1 400")
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_unknown_route_is_404_and_wrong_method_405():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            raw = await _raw_http(server.port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 404")
+            raw = await _raw_http(server.port, b"GET /v1/schedule HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 405")
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_request_document_timeout_validation():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        try:
+            doc = {"protocol": "repro-service-v1", "alg": "HEFT", "instance": {},
+                   "timeout": -1}
+            body = json.dumps(doc).encode()
+            blob = (
+                b"POST /v1/schedule HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\nContent-Type: application/json\r\n\r\n%s"
+                % (len(body), body)
+            )
+            raw = await _raw_http(server.port, blob)
+            assert raw.startswith(b"HTTP/1.1 400")
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_shutdown_endpoint_drains_and_exits():
+    async def scenario():
+        server, client = await _boot(workers=0)
+        inst = _instance()
+        await client.schedule(inst, alg="HEFT")
+        waiter = asyncio.create_task(server.serve_until_shutdown())
+        await client.shutdown()
+        await asyncio.wait_for(waiter, timeout=30.0)
+        assert await client.health() is False
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_mixed_load_over_tcp():
+    async def scenario():
+        server, client = await _boot(workers=2, queue_depth=64)
+        try:
+            instances = [_instance(seed) for seed in range(4)]
+            jobs = [(i, alg) for i in instances for alg in ("HEFT", "CPOP")] * 2
+            results = await asyncio.gather(
+                *[client.schedule(i, alg=a) for i, a in jobs]
+            )
+            assert len(results) == 16
+            stats = await client.stats()
+            # Every request is a hit or a miss; coalesced requests are
+            # misses that piggybacked on an in-flight computation.  Only
+            # 8 unique (instance, alg) pairs ever reach a worker.
+            assert stats.cache_hits + stats.cache_misses == 16
+            assert stats.cache_misses - stats.coalesced == 8
+            by_key = {}
+            for (i, alg), res in zip(jobs, results):
+                by_key.setdefault((id(i), alg), set()).add(
+                    (res.makespan, res.placements)
+                )
+            assert all(len(v) == 1 for v in by_key.values()), "repeats must be identical"
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
