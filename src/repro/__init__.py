@@ -22,6 +22,7 @@ True
 """
 
 from repro._version import __version__
+from repro.compiled import CompiledInstance, compile_instance
 from repro.dag import Task, TaskDAG
 from repro.instance import (
     Instance,
@@ -76,6 +77,8 @@ __all__ = [
     "Task",
     "TaskDAG",
     "Instance",
+    "CompiledInstance",
+    "compile_instance",
     "make_instance",
     "homogeneous_instance",
     "speed_scaled_instance",

@@ -1,0 +1,261 @@
+"""Compiled flat-array scheduling core for the metaheuristic search loop.
+
+The GA/SA schedulers (:mod:`repro.schedulers.meta`) evaluate thousands of
+candidate assignments, and each evaluation builds a full schedule: walk
+the rank order, compute the data-ready time on the assigned processor,
+insertion-search the processor's timeline, place the task.  The object
+path does that through :class:`~repro.schedule.schedule.Schedule`,
+frozen-dataclass placements and dict-based cost lookups — correct, but
+allocation-heavy, and it caps search quality because the metaheuristics
+are budgeted in *evaluations per second*.
+
+This module lowers an :class:`~repro.instance.Instance` once into flat
+arrays (:class:`CompiledInstance`, cached on ``Instance.kernel``):
+
+* the decode order (decreasing mean upward rank, topological tie-break)
+  as integer task indices,
+* a predecessor CSR (``pred_ptr``/``pred_idx``/``pred_const``) whose
+  per-edge entry is the pair-independent communication constant of the
+  uniform/zero link models,
+* the dense ETC matrix in canonical (task, machine-proc) order.
+
+:meth:`CompiledInstance.decode_fast` then builds a whole schedule in
+preallocated scratch buffers — plain floats and per-processor
+start/end lists, no ``Schedule``/``Placement``/``Slot`` objects — and
+:meth:`CompiledInstance.decode_batch` evaluates an entire GA population
+per call.  The slot search is the *same* helper the object path's
+:meth:`~repro.schedule.timeline.Timeline.find_slot` delegates to
+(:func:`~repro.schedule.timeline.scan_slots`), and every arithmetic
+operation replays the object path's float sequence exactly, so decoded
+makespans are bit-identical to
+:func:`repro.schedulers.meta.decoder.decode_assignment` (asserted over
+the 56-instance differential corpus by
+``tests/core/test_compiled_decode.py``).
+
+Machines with per-link communication models have no pair-independent
+edge constant; :func:`compile_instance` returns ``None`` there and
+callers fall back to the object path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+from repro.schedule.timeline import scan_slots
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instance import Instance
+    from repro.kernels import InstanceKernel
+    from repro.types import ProcId, TaskId
+
+__all__ = ["CompiledInstance", "compile_instance"]
+
+
+class CompiledInstance:
+    """Flat-array lowering of one instance plus a reusable decoder.
+
+    All arrays are fixed at construction; the decode scratch buffers are
+    reused across calls, so — like :class:`~repro.kernels.InstanceKernel`
+    — a ``CompiledInstance`` must only be used from one thread at a time
+    (scheduling is single-threaded per instance everywhere in the
+    library).
+    """
+
+    def __init__(self, kernel: "InstanceKernel") -> None:
+        if kernel.out_const is None:
+            raise SchedulingError(
+                "cannot compile an instance with a per-link communication model"
+            )
+        self.tasks: list["TaskId"] = kernel.tasks
+        self.procs: list["ProcId"] = kernel.procs
+        self.n = n = len(self.tasks)
+        self.q = len(self.procs)
+        ti = kernel.ti
+        self._pi = kernel.pi
+
+        # Decode order: decreasing mean upward rank, exactly the order
+        # rank_order() hands the metaheuristics (cached on the kernel).
+        self.order = np.array(
+            [ti[t] for t in kernel.rank_order("mean")], dtype=np.intp
+        )
+        self.order.flags.writeable = False
+        self._order_list: list[int] = self.order.tolist()
+
+        # Predecessor CSR over canonical task indices.  ``pred_const[e]``
+        # is the uniform/zero-model edge constant — the exact float the
+        # object path's ready_time adds for a cross-processor transfer.
+        consts = kernel.out_const
+        ptr = [0]
+        idx: list[int] = []
+        const: list[float] = []
+        for t in self.tasks:
+            for parent in kernel.pred[t]:
+                idx.append(ti[parent])
+                const.append(consts[parent][t])
+            ptr.append(len(idx))
+        self.pred_ptr = np.array(ptr, dtype=np.intp)
+        self.pred_idx = np.array(idx, dtype=np.intp)
+        self.pred_const = np.array(const, dtype=float)
+        for arr in (self.pred_ptr, self.pred_idx, self.pred_const):
+            arr.flags.writeable = False
+
+        # Python-level mirrors for the hot loop: per-task (parent index,
+        # edge constant) pairs, and the ETC matrix as nested lists.
+        self._preds: list[list[tuple[int, float]]] = [
+            list(zip(idx[ptr[i] : ptr[i + 1]], const[ptr[i] : ptr[i + 1]]))
+            for i in range(n)
+        ]
+        self.etc = kernel.etc_arr  # shared read-only view
+        self._etc_rows: list[list[float]] = self.etc.tolist()
+
+        # Decode scratch (reused; every read is preceded by a same-decode
+        # write because the decode order is topological).
+        self._end_of: list[float] = [0.0] * n
+        self._start_of: list[float] = [0.0] * n
+        self._proc_of: list[int] = [-1] * n
+        self._proc_starts: list[list[float]] = [[] for _ in range(self.q)]
+        self._proc_ends: list[list[float]] = [[] for _ in range(self.q)]
+
+    # ------------------------------------------------------------------
+    # genome plumbing
+    # ------------------------------------------------------------------
+    def genome_of(self, assignment: Mapping["TaskId", "ProcId"]) -> np.ndarray:
+        """Lower a ``{task: proc}`` mapping to a decode-order genome."""
+        pi = self._pi
+        tasks = self.tasks
+        try:
+            return np.array(
+                [pi[assignment[tasks[t]]] for t in self._order_list], dtype=np.int64
+            )
+        except KeyError as exc:
+            raise SchedulingError(f"assignment is missing {exc.args[0]!r}") from None
+
+    def assignment_of(self, genome: Sequence[int]) -> dict["TaskId", "ProcId"]:
+        """Raise a decode-order genome back to a ``{task: proc}`` mapping."""
+        tasks, procs = self.tasks, self.procs
+        return {tasks[t]: procs[int(g)] for t, g in zip(self._order_list, genome)}
+
+    def _as_genome_list(self, assignment) -> list[int]:
+        if isinstance(assignment, Mapping):
+            genome = self.genome_of(assignment).tolist()
+        else:
+            genome = [int(g) for g in assignment]
+            if len(genome) != self.n:
+                raise SchedulingError(
+                    f"genome length {len(genome)} != {self.n} tasks"
+                )
+        q = self.q
+        for g in genome:
+            if not 0 <= g < q:
+                raise SchedulingError(f"processor index {g} out of range [0, {q})")
+        return genome
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _decode(self, genome: Sequence[int]) -> float:
+        """Makespan of one decode-order genome (no validation, no copies).
+
+        Replays ``decode_assignment`` float-for-float: per task, the
+        ready time is the max over parents of ``end`` (same processor)
+        or ``end + const`` (cross processor); the start comes from the
+        shared insertion scan; the busy interval is inserted in
+        start-sorted order with `bisect_left` ties — exactly like
+        ``Timeline.add``.
+        """
+        preds = self._preds
+        etc_rows = self._etc_rows
+        end_of = self._end_of
+        start_of = self._start_of
+        proc_of = self._proc_of
+        proc_starts = self._proc_starts
+        proc_ends = self._proc_ends
+        for lst in proc_starts:
+            del lst[:]
+        for lst in proc_ends:
+            del lst[:]
+        makespan = 0.0
+        for k, t in enumerate(self._order_list):
+            p = genome[k]
+            duration = etc_rows[t][p]
+            ready = 0.0
+            for u, const in preds[t]:
+                cand = end_of[u]
+                if proc_of[u] != p:
+                    cand += const
+                if cand > ready:
+                    ready = cand
+            starts = proc_starts[p]
+            ends = proc_ends[p]
+            start = scan_slots(starts, ends, ready, duration)
+            # The object path records ``start + ((start + duration) -
+            # start)`` (Placement end minus start, re-added by
+            # Schedule.add) — replay that double rounding so recorded
+            # ends are bit-identical.
+            end = start + duration
+            end = start + (end - start)
+            i = bisect_left(starts, start)
+            starts.insert(i, start)
+            ends.insert(i, end)
+            start_of[t] = start
+            end_of[t] = end
+            proc_of[t] = p
+            if end > makespan:
+                makespan = end
+        return makespan
+
+    def decode_fast(
+        self, assignment: Mapping["TaskId", "ProcId"] | Sequence[int]
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Decode one assignment into ``(makespan, starts, procs)``.
+
+        ``assignment`` is either a ``{task: proc}`` mapping or a
+        decode-order genome of processor indices.  ``starts``/``procs``
+        are indexed by canonical task position (``self.tasks``); end
+        times follow as ``starts + etc[task, proc]``.
+        """
+        genome = self._as_genome_list(assignment)
+        makespan = self._decode(genome)
+        starts = np.array(self._start_of, dtype=float)
+        procs = np.array(self._proc_of, dtype=np.intp)
+        return makespan, starts, procs
+
+    def decode_span(self, genome: Sequence[int]) -> float:
+        """Makespan of one decode-order genome (the SA inner loop)."""
+        return self._decode(genome)
+
+    def decode_batch(self, population: np.ndarray | Sequence[Sequence[int]]) -> np.ndarray:
+        """Makespans of a whole population, one row per genome.
+
+        This is the GA fitness evaluation: one call per generation
+        instead of one object-path schedule per chromosome.
+        """
+        rows = np.asarray(population)
+        if rows.ndim != 2 or rows.shape[1] != self.n:
+            raise SchedulingError(
+                f"population must have shape (m, {self.n}), got {rows.shape}"
+            )
+        decode = self._decode
+        return np.array([decode(genome) for genome in rows.tolist()], dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledInstance(tasks={self.n}, procs={self.q}, "
+            f"edges={len(self.pred_idx)})"
+        )
+
+
+def compile_instance(instance: "Instance") -> CompiledInstance | None:
+    """The cached compiled form of ``instance``, or ``None``.
+
+    Delegates to ``instance.kernel.compiled()`` — the lowering happens
+    once per instance and is shared by every subsequent caller (the
+    metaheuristics, the service workers, the benchmarks).  ``None`` when
+    the machine's link model has no per-pair constant; callers fall back
+    to the object decode path.
+    """
+    return instance.kernel.compiled()

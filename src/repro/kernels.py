@@ -148,13 +148,23 @@ class InstanceKernel:
         else:
             self.out_const = None
 
-        # Lazy per-aggregation caches.
+        # Lazy per-aggregation caches.  Bounding policy: every keyed
+        # cache is keyed by a rank aggregation, and :meth:`weights`
+        # validates the key against ``_AGGS`` *before* inserting, so each
+        # dict holds at most ``len(_AGGS)`` (= 4) entries for the life of
+        # the instance; the unkeyed memos (exec table, level structures,
+        # compiled form) are singletons.  Nothing here can grow with
+        # request volume — :meth:`cache_info` exposes the sizes and caps
+        # so tests can assert the bound.
         self._weights: dict[str, np.ndarray] = {}
         self._upward: dict[str, dict["TaskId", float]] = {}
         self._downward: dict[str, dict["TaskId", float]] = {}
+        self._rank_order: dict[str, list["TaskId"]] = {}
         self._up_levels: list[tuple] | None = None
         self._down_levels: list[tuple] | None = None
         self._exec: dict["TaskId", dict["ProcId", float]] | None = None
+        self._compiled: object | None = None
+        self._compiled_built = False
 
         # Scratch buffers for the batched scoring kernels.  Scheduling is
         # single-threaded per instance, so reuse is safe; ready_times
@@ -344,6 +354,62 @@ class InstanceKernel:
         out = {t: float(rank[i]) for i, t in enumerate(self.tasks)}
         self._downward[agg] = out
         return out
+
+    def rank_order(self, agg: str = "mean") -> list["TaskId"]:
+        """Cached decode order: decreasing upward rank, ties by
+        topological position — the order the metaheuristic decoder and
+        the compiled core place tasks in.  Treat the list as read-only.
+        """
+        cached = self._rank_order.get(agg)
+        if cached is None:
+            ranks = self.upward(agg)  # validates ``agg`` before caching
+            pos = self.pos
+            cached = sorted(self.tasks, key=lambda t: (-ranks[t], pos[t]))
+            self._rank_order[agg] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # compiled flat-array form
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """The :class:`~repro.compiled.CompiledInstance` lowering, or
+        ``None`` for per-link communication models (no pair-independent
+        edge constant; callers fall back to the object decode path).
+
+        Built once and shared — the service workers key their instance
+        memo by fingerprint precisely so repeat requests reuse this.
+        """
+        if not self._compiled_built:
+            if self.out_const is None:
+                self._compiled = None
+            else:
+                from repro.compiled import CompiledInstance  # lazy: avoids cycle
+
+                self._compiled = CompiledInstance(self)
+            self._compiled_built = True
+        return self._compiled
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Sizes and caps of every lazy cache on this kernel.
+
+        ``maxsize`` is a hard bound: aggregation-keyed caches reject
+        unknown keys before inserting, singletons hold at most one
+        entry.  Tests assert ``size <= maxsize`` stays invariant.
+        """
+        cap = len(_AGGS)
+        return {
+            "weights": {"size": len(self._weights), "maxsize": cap},
+            "upward": {"size": len(self._upward), "maxsize": cap},
+            "downward": {"size": len(self._downward), "maxsize": cap},
+            "rank_order": {"size": len(self._rank_order), "maxsize": cap},
+            "up_levels": {"size": int(self._up_levels is not None), "maxsize": 1},
+            "down_levels": {"size": int(self._down_levels is not None), "maxsize": 1},
+            "exec_table": {"size": int(self._exec is not None), "maxsize": 1},
+            "compiled": {"size": int(self._compiled is not None), "maxsize": 1},
+        }
 
     # ------------------------------------------------------------------
     # batched placement scoring

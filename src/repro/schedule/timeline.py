@@ -23,6 +23,38 @@ from repro.types import TaskId
 EPS = 1e-9
 
 
+def scan_slots(starts: list[float], ends: list[float], ready: float, duration: float) -> float:
+    """Insertion-policy slot search over parallel start/end lists.
+
+    ``starts``/``ends`` describe non-overlapping busy intervals sorted by
+    start time (ties in original insertion order).  Returns the earliest
+    start ``>= ready`` of an idle gap that fits ``duration``, falling
+    back to the end of the last busy interval — the exact float sequence
+    of :meth:`Timeline.find_slot`, shared with the compiled flat-array
+    decoder (:mod:`repro.compiled`) so both paths are bit-identical by
+    construction.  Zero-width intervals (``end - start <= EPS``) occupy
+    no time and are skipped, as in :meth:`Timeline.find_slot`.
+    """
+    if not starts:
+        return ready
+    idx = bisect.bisect_left(starts, ready)
+    prev_end = 0.0
+    j = idx - 1
+    while j >= 0:
+        if ends[j] - starts[j] > EPS:
+            prev_end = ends[j]
+            break
+        j -= 1
+    for i in range(idx, len(starts)):
+        if ends[i] - starts[i] <= EPS:
+            continue
+        start = ready if ready > prev_end else prev_end
+        if starts[i] - start >= duration - EPS:
+            return start
+        prev_end = ends[i]
+    return ready if ready > prev_end else prev_end
+
+
 @dataclass(frozen=True, order=True)
 class Slot:
     """A half-open busy interval ``[start, end)`` executing ``task``."""
@@ -47,6 +79,7 @@ class Timeline:
 
     def __init__(self) -> None:
         self._starts: list[float] = []
+        self._ends: list[float] = []
         self._slots: list[Slot] = []
         self._max_end = 0.0
 
@@ -88,28 +121,12 @@ class Timeline:
             raise ScheduleError(f"ready time must be >= 0, got {ready}")
         if not insertion:
             return max(ready, self.end_time)
-        if not self._slots:
-            return ready
-        # Start scanning from the first slot that starts at/after `ready`;
-        # earlier gaps close before the task could begin anyway.  The gap
-        # following the previous *non-empty* slot may still straddle
-        # `ready` (zero-width slots occupy no time and are skipped).
-        idx = bisect.bisect_left(self._starts, ready)
-        prev_end = 0.0
-        j = idx - 1
-        while j >= 0:
-            if self._slots[j].duration > EPS:
-                prev_end = self._slots[j].end
-                break
-            j -= 1
-        for slot in self._slots[idx:]:
-            if slot.duration <= EPS:
-                continue
-            start = max(ready, prev_end)
-            if slot.start - start >= duration - EPS:
-                return start
-            prev_end = slot.end
-        return max(ready, prev_end)
+        # Scanning starts from the first slot that starts at/after
+        # `ready`; earlier gaps close before the task could begin anyway.
+        # The gap following the previous *non-empty* slot may still
+        # straddle `ready` (zero-width slots occupy no time and are
+        # skipped).  The scan itself is shared with the compiled decoder.
+        return scan_slots(self._starts, self._ends, ready, duration)
 
     def add(self, start: float, duration: float, task: TaskId) -> Slot:
         """Occupy ``[start, start+duration)`` with ``task``.
@@ -149,6 +166,7 @@ class Timeline:
                 break
             j -= 1
         self._starts.insert(idx, slot.start)
+        self._ends.insert(idx, slot.end)
         self._slots.insert(idx, slot)
         self._max_end = max(self._max_end, slot.end)
         return slot
@@ -163,6 +181,7 @@ class Timeline:
             if slot.task == task and (start is None or abs(slot.start - start) <= EPS):
                 del self._slots[i]
                 del self._starts[i]
+                del self._ends[i]
                 self._max_end = max((s.end for s in self._slots), default=0.0)
                 return
         raise ScheduleError(f"task {task!r} not on this timeline")
@@ -186,6 +205,7 @@ class Timeline:
     def copy(self) -> "Timeline":
         clone = Timeline()
         clone._starts = list(self._starts)
+        clone._ends = list(self._ends)
         clone._slots = list(self._slots)
         clone._max_end = self._max_end
         return clone

@@ -123,6 +123,33 @@ def placement_on(
     return Placement(proc=proc, start=start, end=start + duration)
 
 
+def schedule_task_on(
+    schedule: Schedule,
+    instance: Instance,
+    task: TaskId,
+    proc: ProcId,
+    insertion: bool = True,
+):
+    """Place ``task`` on ``proc`` at its earliest slot, in one step.
+
+    The same float sequence as :func:`placement_on` followed by
+    ``schedule.add`` — duration, ready time, insertion slot search —
+    without materialising the intermediate :class:`Placement`.  This is
+    the object-path decoder's per-task step (the compiled core replays
+    it over flat arrays); returns the :class:`ScheduledTask` recorded.
+    """
+    duration = instance.exec_time(task, proc)
+    ready = ready_time(schedule, instance, task, proc)
+    start = schedule.timeline(proc).find_slot(ready, duration, insertion=insertion)
+    # ``end - start`` (not ``duration``) replays the historical float
+    # sequence Placement callers produce; the recorded end is
+    # ``start + (end - start)``, which can differ from ``start +
+    # duration`` in the last ulp.  Bit-compatibility with existing
+    # schedules (and the compiled decoder) depends on matching it.
+    end = start + duration
+    return schedule.add(task, proc, start, end - start)
+
+
 def _batched_ready(schedule: Schedule, instance: Instance, task: TaskId):
     """Kernel-backed ready times for all processors at once, or ``None``.
 

@@ -35,6 +35,12 @@ Design notes:
   same module-level-function discipline as the PR-1 sweep runner, so
   the GIL never serialises scheduling work.  ``workers=0`` degrades to
   a thread, which tests use to monkeypatch the compute function.
+* **Lowering is memoised per worker.**  Inside each worker,
+  :func:`~repro.service.protocol.compute_schedule_payload` resolves the
+  request body through a fingerprint-keyed LRU of parsed instances, so
+  warm requests for known content (same instance, different scheduler;
+  response evicted from this engine's cache) skip JSON parsing and the
+  kernel/compiled flat-array lowering and go straight to scheduling.
 """
 
 from __future__ import annotations

@@ -15,7 +15,9 @@ unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.instance import Instance
@@ -24,6 +26,88 @@ from repro.utils.encoding import decode_id, encode_id
 
 #: Version tag of the request/response documents.
 PROTOCOL = "repro-service-v1"
+
+#: Worker-side memo of lowered instances, keyed by content fingerprint
+#: (with an exact-body alias so repeats skip parsing entirely).  Bounded.
+_LOWERED_CAPACITY = 32
+
+
+class _LoweredInstances:
+    """Fingerprint-keyed LRU of parsed-and-lowered instances.
+
+    A cold request costs parse + kernel/compiled lowering before any
+    scheduling happens.  Warm requests for the *same content* — the
+    same instance under a different scheduler, or a cache-evicted
+    payload — hit this memo instead: the stored :class:`Instance`
+    carries its ``kernel`` (ranks, ETC arrays, compiled decoder) so the
+    lowering is skipped.  Lives in each pool worker process (and in the
+    ``workers=0`` thread path); sized for instances, not requests.
+    """
+
+    def __init__(self, capacity: int = _LOWERED_CAPACITY) -> None:
+        self.capacity = capacity
+        self._by_fp: OrderedDict[str, Instance] = OrderedDict()
+        self._body_alias: OrderedDict[str, str] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, instance_text: str) -> Instance:
+        body_key = hashlib.sha256(instance_text.encode("utf-8")).hexdigest()
+        fp = self._body_alias.get(body_key)
+        if fp is not None and fp in self._by_fp:
+            self.hits += 1
+            self._by_fp.move_to_end(fp)
+            return self._by_fp[fp]
+        from repro.instance_io import instance_from_json
+
+        instance = instance_from_json(instance_text)
+        fp = instance.fingerprint()
+        memoized = self._by_fp.get(fp)
+        if memoized is not None:
+            # Same content, different body (task order, names): reuse
+            # the already-lowered instance — consistent with the
+            # fingerprint-keyed response cache, which likewise answers
+            # for the first-seen body.
+            self.hits += 1
+            self._by_fp.move_to_end(fp)
+            instance = memoized
+        else:
+            self.misses += 1
+            instance.kernel.compiled()  # lower once, up front
+            self._by_fp[fp] = instance
+            while len(self._by_fp) > self.capacity:
+                self._by_fp.popitem(last=False)
+        self._body_alias[body_key] = fp
+        while len(self._body_alias) > 4 * self.capacity:
+            self._body_alias.popitem(last=False)
+        return instance
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "size": len(self._by_fp),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self._by_fp.clear()
+        self._body_alias.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_LOWERED = _LoweredInstances()
+
+
+def lowering_cache_info() -> dict[str, int]:
+    """Counters of this process's lowered-instance memo (for tests)."""
+    return _LOWERED.cache_info()
+
+
+def clear_lowering_cache() -> None:
+    """Drop this process's lowered-instance memo (for tests)."""
+    _LOWERED.clear()
 
 
 # ----------------------------------------------------------------------
@@ -62,13 +146,15 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
     """Cold-path computation: parse, schedule, validate, serialise.
 
     Runs inside pool workers; imports are deferred so a worker process
-    only pays for what it uses.
+    only pays for what it uses.  Parsing and lowering go through the
+    fingerprint-keyed memo, so a warm request for known content (same
+    instance, different scheduler; or evicted from the response cache)
+    reuses the compiled flat-array form instead of rebuilding it.
     """
-    from repro.instance_io import instance_from_json
     from repro.schedule.validation import validate
     from repro.schedulers.registry import get_scheduler
 
-    instance = instance_from_json(instance_text)
+    instance = _LOWERED.get(instance_text)
     schedule = get_scheduler(alg).schedule(instance)
     validate(schedule, instance)
     return schedule_payload(schedule, instance, alg)

@@ -15,8 +15,6 @@ import numpy as np
 import pytest
 
 from repro.bench import workloads as W
-from repro.dag.generators import random_dag
-from repro.instance import make_instance
 from repro.kernels import kernels_enabled, use_kernels
 from repro.schedulers.base import ready_time
 from repro.schedulers.ranking import (
@@ -26,54 +24,15 @@ from repro.schedulers.ranking import (
     upward_ranks_scalar,
 )
 from repro.schedulers.registry import all_scheduler_names, get_scheduler
+from tests.population import build_population, partially_consistent_instance
 
 AGGS = ("mean", "median", "best", "worst")
-
-#: (name, builder) pairs; 14 seeds x 4 families = 56 instances >= 50.
-SEEDS = range(14)
-
-
-def _heterogeneous(seed: int):
-    rng = np.random.default_rng(10_000 + seed)
-    return W.random_instance(rng, num_tasks=25, num_procs=8)
-
-
-def _consistent(seed: int):
-    dag = random_dag(20, ccr=5.0, seed=20_000 + seed)
-    return make_instance(
-        dag, num_procs=5, heterogeneity=1.0, consistency="consistent", seed=seed
-    )
-
-
-def _partially_consistent(seed: int):
-    dag = random_dag(18, ccr=0.5, seed=30_000 + seed)
-    return make_instance(
-        dag, num_procs=3, heterogeneity=0.75, consistency="partially-consistent", seed=seed
-    )
-
-
-def _homogeneous(seed: int):
-    rng = np.random.default_rng(40_000 + seed)
-    return W.homogeneous_random_instance(rng, num_tasks=22, num_procs=4)
-
-
-FAMILIES = [
-    ("het", _heterogeneous),
-    ("consistent", _consistent),
-    ("partial", _partially_consistent),
-    ("homog", _homogeneous),
-]
-
-
-def _population():
-    for family, build in FAMILIES:
-        for seed in SEEDS:
-            yield f"{family}-{seed}", build(seed)
 
 
 @pytest.fixture(scope="module")
 def population():
-    return list(_population())
+    # 14 seeds x 4 families = 56 instances >= 50 (tests/population.py).
+    return build_population()
 
 
 def test_population_is_large_enough(population):
@@ -142,7 +101,7 @@ def test_every_scheduler_makespan_bit_identical(population):
 
 
 def test_optimal_scheduler_bit_identical():
-    inst = _partially_consistent(3)
+    inst = partially_consistent_instance(3)
     small = W.random_instance(np.random.default_rng(7), num_tasks=8, num_procs=3)
     del inst  # 18 tasks is beyond the oracle's default cap
     with use_kernels(False):

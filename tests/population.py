@@ -1,0 +1,63 @@
+"""The shared differential-test instance corpus.
+
+14 seeds x 4 families = 56 seeded instances covering heterogeneous
+machines (all three consistency classes) and homogeneous ones.  Both
+differential suites — the vectorized kernel layer
+(``tests/core/test_vectorized_equivalence.py``) and the compiled
+flat-array decoder (``tests/core/test_compiled_decode.py``) — check
+behaviour preservation over this same population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+
+SEEDS = range(14)
+
+
+def _heterogeneous(seed: int):
+    rng = np.random.default_rng(10_000 + seed)
+    return W.random_instance(rng, num_tasks=25, num_procs=8)
+
+
+def _consistent(seed: int):
+    dag = random_dag(20, ccr=5.0, seed=20_000 + seed)
+    return make_instance(
+        dag, num_procs=5, heterogeneity=1.0, consistency="consistent", seed=seed
+    )
+
+
+def _partially_consistent(seed: int):
+    dag = random_dag(18, ccr=0.5, seed=30_000 + seed)
+    return make_instance(
+        dag, num_procs=3, heterogeneity=0.75, consistency="partially-consistent", seed=seed
+    )
+
+
+def _homogeneous(seed: int):
+    rng = np.random.default_rng(40_000 + seed)
+    return W.homogeneous_random_instance(rng, num_tasks=22, num_procs=4)
+
+
+FAMILIES = [
+    ("het", _heterogeneous),
+    ("consistent", _consistent),
+    ("partial", _partially_consistent),
+    ("homog", _homogeneous),
+]
+
+
+def build_population():
+    """``(label, instance)`` pairs of the full 56-instance corpus."""
+    return [
+        (f"{family}-{seed}", build(seed)) for family, build in FAMILIES for seed in SEEDS
+    ]
+
+
+def partially_consistent_instance(seed: int):
+    """One partially-consistent family member (used by a legacy test)."""
+    return _partially_consistent(seed)

@@ -1,0 +1,83 @@
+"""Worker-side lowered-instance memo: warm requests skip lowering."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads as W
+from repro.instance_io import instance_to_json
+from repro.service.protocol import (
+    clear_lowering_cache,
+    compute_schedule_payload,
+    lowering_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_lowering_cache()
+    yield
+    clear_lowering_cache()
+
+
+def _instance(seed: int = 50, num_tasks: int = 20):
+    return W.random_instance(np.random.default_rng(seed), num_tasks=num_tasks, num_procs=4)
+
+
+def test_exact_body_repeat_hits_memo():
+    text = instance_to_json(_instance())
+    first = compute_schedule_payload(text, "HEFT")
+    info = lowering_cache_info()
+    assert (info["hits"], info["misses"]) == (0, 1)
+    second = compute_schedule_payload(text, "HEFT")
+    info = lowering_cache_info()
+    assert (info["hits"], info["misses"]) == (1, 1)
+    assert first == second
+
+
+def test_same_instance_different_alg_skips_lowering():
+    text = instance_to_json(_instance())
+    compute_schedule_payload(text, "HEFT")
+    compute_schedule_payload(text, "CPOP")
+    compute_schedule_payload(text, "GA")
+    info = lowering_cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 2
+
+
+def test_fingerprint_keyed_across_body_variants():
+    """A semantically equal body (re-serialised with a different name)
+    still hits the memo — the key is the content fingerprint."""
+    inst = _instance()
+    text = instance_to_json(inst)
+    doc = json.loads(text)
+    doc["name"] = "renamed"
+    variant = json.dumps(doc)
+    assert variant != text
+    a = compute_schedule_payload(text, "HEFT")
+    b = compute_schedule_payload(variant, "HEFT")
+    info = lowering_cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 1
+    # Fingerprint-keyed reuse answers for the first-seen body, exactly
+    # like the engine's response cache does on a warm hit.
+    assert a == b
+
+
+def test_payloads_identical_with_and_without_memo():
+    inst = _instance(seed=51)
+    text = instance_to_json(inst)
+    warm_twice = [compute_schedule_payload(text, "IMP") for _ in range(2)]
+    clear_lowering_cache()
+    cold = compute_schedule_payload(text, "IMP")
+    assert warm_twice[0] == warm_twice[1] == cold
+
+
+def test_memo_stays_bounded():
+    for seed in range(40):
+        compute_schedule_payload(instance_to_json(_instance(seed=seed, num_tasks=6)), "HEFT")
+    info = lowering_cache_info()
+    assert info["size"] <= info["capacity"]
