@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.instance import Instance
+from repro.obs import Tracer, get_tracer, use_tracer
 from repro.schedule import metrics as M
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import validate
@@ -81,27 +82,47 @@ class SweepResult:
 
 def _run_replication(
     payload: tuple,
-) -> tuple[dict[str, float], dict[str, float]]:
+) -> tuple[dict[str, float], dict[str, float], dict | None]:
     """Run every scheduler on one replication's instance.
 
     Module-level so it is picklable for the process pool; the serial
     path calls it directly, which is what makes serial == parallel a
     structural property rather than a coincidence.
+
+    When the payload's ``trace`` flag is set, the replication runs under
+    its own local :class:`~repro.obs.Tracer` (installed as the module
+    default for the duration, so scheduler-internal spans land in it)
+    and returns the exported trace as a picklable third element —
+    identical machinery in the serial path and in a pool worker, which
+    is what lets :func:`run_sweep` merge per-worker spans into one
+    trace without touching the deterministic result plumbing.
     """
-    scheduler_names, instance_factory, x, rng, metric, check = payload
+    scheduler_names, instance_factory, x, rng, metric, check, trace = payload
     metric_fn = METRICS[metric]
-    instance = instance_factory(x, rng)
     samples: dict[str, float] = {}
     seconds: dict[str, float] = {}
-    for name in scheduler_names:
-        scheduler = get_scheduler(name)
-        t0 = time.perf_counter()
-        schedule = scheduler.schedule(instance)
-        seconds[name] = time.perf_counter() - t0
-        if check:
-            validate(schedule, instance)
-        samples[name] = metric_fn(schedule, instance)
-    return samples, seconds
+    local = Tracer(name="sweep-worker") if trace else None
+
+    def body(tracer) -> None:
+        with tracer.span("sweep.replication", x=str(x), metric=metric):
+            instance = instance_factory(x, rng)
+            for name in scheduler_names:
+                scheduler = get_scheduler(name)
+                with tracer.span("sweep.sched", alg=name, x=str(x)):
+                    t0 = time.perf_counter()
+                    schedule = scheduler.schedule(instance)
+                    seconds[name] = time.perf_counter() - t0
+                if check:
+                    with tracer.span("sweep.validate", alg=name):
+                        validate(schedule, instance)
+                samples[name] = metric_fn(schedule, instance)
+
+    if local is not None:
+        with use_tracer(local):
+            body(local)
+        return samples, seconds, local.export()
+    body(get_tracer())  # the no-op default unless a caller installed one
+    return samples, seconds, None
 
 
 def _check_picklable(instance_factory: Callable) -> None:
@@ -125,6 +146,7 @@ def run_sweep(
     seed: int = 0,
     check: bool = True,
     workers: int = 1,
+    tracer=None,
 ) -> SweepResult:
     """Run one figure-style sweep.
 
@@ -144,6 +166,14 @@ def run_sweep(
     ``workers=1``.  The factory must then be picklable — module-level
     functions and :class:`repro.bench.workloads.SweepFactory` qualify,
     lambdas do not.
+
+    ``tracer`` (or an enabled module-default tracer from
+    :func:`repro.obs.set_tracer`) turns on observability: every
+    replication records its per-scheduler spans into a local tracer —
+    in a pool worker when parallel — and the exports are merged, in
+    replication order, under one ``sweep.run`` span.  Tracing rides on
+    the *result* plumbing, never the RNG plumbing, so traced and
+    untraced sweeps produce bit-identical series.
     """
     if metric not in METRICS:
         raise ConfigurationError(f"unknown metric {metric!r}; known: {sorted(METRICS)}")
@@ -151,6 +181,9 @@ def run_sweep(
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+    obs = tracer if tracer is not None else get_tracer()
+    trace = bool(obs.enabled)
 
     result = SweepResult(x_name=x_name, x_values=list(x_values), metric=metric)
     names = list(scheduler_names)
@@ -161,21 +194,28 @@ def run_sweep(
 
     streams = spawn_children(seed, len(x_values) * reps)
     payloads = [
-        (names, instance_factory, x, streams[xi * reps + rep], metric, check)
+        (names, instance_factory, x, streams[xi * reps + rep], metric, check, trace)
         for xi, x in enumerate(x_values)
         for rep in range(reps)
     ]
-    if workers == 1:
-        outcomes = [_run_replication(p) for p in payloads]
-    else:
-        _check_picklable(instance_factory)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_replication, payloads, chunksize=1))
+    with obs.span("sweep.run", metric=metric, x_name=x_name,
+                  reps=reps, workers=workers) as sweep_span:
+        if workers == 1:
+            outcomes = [_run_replication(p) for p in payloads]
+        else:
+            _check_picklable(instance_factory)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_run_replication, payloads, chunksize=1))
+        if trace:
+            for _, _, rep_trace in outcomes:
+                if rep_trace is not None:
+                    obs.absorb(rep_trace, parent=sweep_span.sid)
+            obs.count("sweep.replications", len(outcomes))
 
     for xi in range(len(result.x_values)):
         samples: dict[str, list[float]] = {n: [] for n in names}
         for rep in range(reps):
-            rep_samples, rep_seconds = outcomes[xi * reps + rep]
+            rep_samples, rep_seconds, _ = outcomes[xi * reps + rep]
             for name in names:
                 samples[name].append(rep_samples[name])
                 result.sched_seconds[name] += rep_seconds[name]

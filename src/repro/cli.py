@@ -6,6 +6,7 @@ Subcommands::
     repro-sched experiment E2 [--full]    # regenerate one figure/table
     repro-sched all [--full]              # regenerate everything
     repro-sched schedule --dag g.json --alg IMP --procs 8 [--gantt]
+    repro-sched trace IMP g.json --format chrome --out trace.json
     repro-sched render --dag g.json --alg IMP --out sched.svg
     repro-sched simulate --dag g.json --alg IMP --noise 0.3 [--contention]
     repro-sched compare --suite application --alg IMP --alg HEFT
@@ -83,8 +84,18 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     scheduler = get_scheduler(args.alg)
-    schedule = scheduler.schedule(instance)
-    validate(schedule, instance)
+    if args.trace_out:
+        from repro.obs import Tracer, use_tracer, write_trace
+
+        tracer = Tracer(name=f"repro:{scheduler.name}")
+        with use_tracer(tracer):
+            schedule = scheduler.schedule(instance)
+            validate(schedule, instance)
+        write_trace(tracer, args.trace_out)
+        print(f"trace     : wrote {args.trace_out} ({len(tracer.spans())} spans)")
+    else:
+        schedule = scheduler.schedule(instance)
+        validate(schedule, instance)
     print(f"algorithm : {scheduler.name}")
     print(f"dag       : {dag.name} ({dag.num_tasks} tasks, {dag.num_edges} edges)")
     print(f"machine   : {args.procs} processors, beta={args.heterogeneity}")
@@ -104,6 +115,83 @@ def _load_dag(path_text: str):
     if path.suffix == ".json":
         return dag_io.load_json(path)
     return dag_io.load_stg(path)
+
+
+def _resolve_alg(name: str) -> str:
+    """Scheduler name as registered, accepting lower/mixed case."""
+    from repro.schedulers.registry import all_scheduler_names
+
+    known = all_scheduler_names()
+    if name in known:
+        return name
+    if name.upper() in known:
+        return name.upper()
+    return name  # let get_scheduler raise its usual error
+
+
+def _load_instance_arg(path_text: str, args: argparse.Namespace):
+    """An instance from either a v1 instance document or a DAG file.
+
+    ``.json`` files are tried as full instance documents first (the
+    service wire format, ETC matrix included); anything else — a DAG
+    JSON or a ``.stg`` file — goes through :func:`make_instance` with
+    the ``--procs``/``--heterogeneity``/``--seed`` knobs.
+    """
+    from repro.instance import make_instance
+
+    path = Path(path_text)
+    if path.suffix == ".json":
+        from repro.instance_io import instance_from_json
+
+        try:
+            return instance_from_json(path.read_text())
+        except Exception:
+            pass  # not an instance document; treat as a DAG file
+    dag = _load_dag(path_text)
+    return make_instance(
+        dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Tracer,
+        render_trace,
+        trace_format_for_path,
+        use_tracer,
+        validate_trace,
+        write_trace,
+    )
+    from repro.schedule.validation import validate
+    from repro.schedulers.registry import get_scheduler
+
+    instance = _load_instance_arg(args.instance, args)
+    scheduler = get_scheduler(_resolve_alg(args.alg))
+    tracer = Tracer(name=f"repro:{scheduler.name}")
+    with use_tracer(tracer):
+        schedule = scheduler.schedule(instance)
+        validate(schedule, instance)
+    problems = validate_trace(tracer)
+    if problems:  # pragma: no cover - would be a tracer bug
+        print("\n".join(f"warning: {p}" for p in problems), file=sys.stderr)
+    fmt = args.format
+    if args.out:
+        if fmt is None:
+            fmt = trace_format_for_path(args.out)
+        write_trace(tracer, args.out, fmt)
+        counters = tracer.counters()
+        print(f"algorithm : {scheduler.name}")
+        print(f"instance  : {instance.name} ({instance.num_tasks} tasks, "
+              f"{instance.num_procs} processors)")
+        print(f"makespan  : {schedule.makespan:.4f}")
+        print(f"spans     : {len(tracer.spans())}")
+        if counters:
+            joined = ", ".join(f"{k}={v:g}" for k, v in sorted(counters.items()))
+            print(f"counters  : {joined}")
+        print(f"wrote {args.out} ({fmt})")
+    else:
+        sys.stdout.write(render_trace(tracer, fmt or "chrome"))
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -153,14 +241,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"unknown suite {args.suite!r}; known: {', '.join(sorted(SUITES))}"
         )
     dags = SUITES[args.suite]()
-    result = compare_schedulers(
-        args.alg or ["IMP", "HEFT", "CPOP"],
-        dags,
-        num_procs=args.procs,
-        heterogeneity=args.heterogeneity,
-        etc_draws=args.draws,
-        seed=args.seed,
-    )
+
+    def run():
+        return compare_schedulers(
+            args.alg or ["IMP", "HEFT", "CPOP"],
+            dags,
+            num_procs=args.procs,
+            heterogeneity=args.heterogeneity,
+            etc_draws=args.draws,
+            seed=args.seed,
+        )
+
+    if args.trace_out:
+        from repro.obs import Tracer, use_tracer, write_trace
+
+        tracer = Tracer(name=f"repro:compare:{args.suite}")
+        with use_tracer(tracer):
+            result = run()
+        write_trace(tracer, args.trace_out)
+        print(f"trace: wrote {args.trace_out} ({len(tracer.spans())} spans)\n")
+    else:
+        result = run()
     print(result.report())
     print(f"\nwinner: {result.winner()}")
     return 0
@@ -201,6 +302,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.obs import Tracer, write_trace
     from repro.service import EngineConfig, ScheduleServer, SchedulingEngine
 
     config = EngineConfig(
@@ -210,9 +312,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         default_timeout=args.timeout,
     )
+    # The daemon always traces: the span store is bounded, the no-op
+    # question doesn't arise (requests are I/O-scale, not decode-scale),
+    # and it is what makes /metrics carry the repro_obs_* counters.
+    tracer = Tracer(name="repro-service", max_spans=args.trace_spans)
 
     async def run() -> None:
-        server = ScheduleServer(SchedulingEngine(config), host=args.host, port=args.port)
+        server = ScheduleServer(SchedulingEngine(config, tracer=tracer),
+                                host=args.host, port=args.port)
         await server.start()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -233,6 +340,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.rejected} rejected, {stats.timeouts} timeouts",
             flush=True,
         )
+        if args.trace_out:
+            write_trace(tracer, args.trace_out)
+            print(f"trace: wrote {args.trace_out} "
+                  f"({len(tracer.spans())} spans, {tracer.dropped_spans} dropped)",
+                  flush=True)
 
     asyncio.run(run())
     return 0
@@ -313,7 +425,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--heterogeneity", type=float, default=0.5)
     p_sched.add_argument("--seed", type=int, default=0)
     p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sched.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also record an execution trace "
+                              "(.jsonl -> JSONL, else Chrome trace_event)")
     p_sched.set_defaults(fn=_cmd_schedule)
+
+    p_trace = sub.add_parser(
+        "trace", help="schedule once and emit the execution trace"
+    )
+    p_trace.add_argument("alg", help="scheduler name (case-insensitive)")
+    p_trace.add_argument("instance",
+                         help="instance document (.json) or DAG file (.json/.stg)")
+    p_trace.add_argument("--format", choices=("chrome", "jsonl"), default=None,
+                         help="output format (default: chrome, or from --out suffix)")
+    p_trace.add_argument("--out", default=None,
+                         help="output path (default: print to stdout)")
+    p_trace.add_argument("--procs", type=int, default=8,
+                         help="processors when the input is a bare DAG")
+    p_trace.add_argument("--heterogeneity", type=float, default=0.5)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(fn=_cmd_trace)
 
     def add_instance_args(p):
         p.add_argument("--dag", required=True, help="path to .json or .stg graph")
@@ -344,6 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--heterogeneity", type=float, default=0.5)
     p_cmp.add_argument("--draws", type=int, default=3, help="ETC draws per DAG")
     p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record an execution trace of the whole comparison")
     p_cmp.set_defaults(fn=_cmd_compare)
 
     p_explain = sub.add_parser("explain", help="dominant path / slack report")
@@ -375,6 +508,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max requests dispatched per batch")
     p_serve.add_argument("--timeout", type=float, default=30.0,
                          help="default per-request timeout (seconds)")
+    p_serve.add_argument("--trace-spans", type=int, default=100_000,
+                         help="bound on retained trace spans")
+    p_serve.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the service trace on graceful shutdown")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_submit = sub.add_parser("submit", help="submit a task graph to a running service")

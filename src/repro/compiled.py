@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import SchedulingError
+from repro.obs import get_tracer
 from repro.schedule.timeline import scan_slots
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -222,6 +223,9 @@ class CompiledInstance:
         makespan = self._decode(genome)
         starts = np.array(self._start_of, dtype=float)
         procs = np.array(self._proc_of, dtype=np.intp)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("compiled.decodes")
         return makespan, starts, procs
 
     def decode_span(self, genome: Sequence[int]) -> float:
@@ -240,7 +244,13 @@ class CompiledInstance:
                 f"population must have shape (m, {self.n}), got {rows.shape}"
             )
         decode = self._decode
-        return np.array([decode(genome) for genome in rows.tolist()], dtype=float)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return np.array([decode(genome) for genome in rows.tolist()], dtype=float)
+        with tracer.span("compiled.decode_batch", genomes=len(rows), tasks=self.n):
+            out = np.array([decode(genome) for genome in rows.tolist()], dtype=float)
+        tracer.count("compiled.decodes", len(rows))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -16,6 +16,7 @@ from repro.core.refinement import refine_schedule
 from repro.exceptions import SchedulingError
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
+from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule
 from repro.schedulers.base import Scheduler
 from repro.schedulers.ranking import RankAggregation, upward_ranks
@@ -47,19 +48,30 @@ class ImprovedScheduler(Scheduler):
     def _one_pass(
         self, instance: Instance, agg: RankAggregation, engine: PlacementEngine
     ) -> Schedule:
-        ranks = upward_ranks(instance, agg)
-        if kernels_enabled():
-            pos = instance.kernel.pos
-        else:
-            pos = {t: i for i, t in enumerate(instance.dag.topological_order())}
-        order: list[TaskId] = sorted(
-            instance.dag.tasks(), key=lambda t: (-ranks[t], pos[t])
-        )
+        tracer = get_tracer()
+        with tracer.span("sched.rank", alg=self.name, agg=agg):
+            ranks = upward_ranks(instance, agg)
+            if kernels_enabled():
+                pos = instance.kernel.pos
+            else:
+                pos = {t: i for i, t in enumerate(instance.dag.topological_order())}
+            order: list[TaskId] = sorted(
+                instance.dag.tasks(), key=lambda t: (-ranks[t], pos[t])
+            )
         schedule = Schedule(instance.machine, name=f"{self.name}({agg}):{instance.name}")
-        for task in order:
-            engine.place(schedule, instance, task, ranks)
+        with tracer.span("sched.place", alg=self.name, agg=agg):
+            if tracer.enabled:
+                for task in order:
+                    with tracer.span("sched.insert", task=str(task)):
+                        engine.place(schedule, instance, task, ranks)
+            else:
+                for task in order:
+                    engine.place(schedule, instance, task, ranks)
         if self.config.refinement:
-            refine_schedule(schedule, instance, max_rounds=self.config.refinement_rounds)
+            with tracer.span("imp.refine", agg=agg):
+                refine_schedule(
+                    schedule, instance, max_rounds=self.config.refinement_rounds
+                )
         return schedule
 
     def schedule(self, instance: Instance) -> Schedule:
@@ -74,16 +86,24 @@ class ImprovedScheduler(Scheduler):
             # are then a strict superset of HEFT's search, giving the
             # never-worse-than-HEFT guarantee the tests assert.
             engines.append(self._plain_engine)
+        tracer = get_tracer()
         best: Schedule | None = None
-        for agg in variants:
-            for engine in engines:
-                candidate = self._one_pass(instance, agg, engine)
-                if len(candidate) != instance.num_tasks:
-                    raise SchedulingError(
-                        f"{self.name} pass {agg} scheduled "
-                        f"{len(candidate)}/{instance.num_tasks} tasks"
-                    )
-                if best is None or candidate.makespan < best.makespan - 1e-12:
-                    best = candidate
-        assert best is not None
+        with tracer.span("sched.run", alg=self.name, tasks=instance.num_tasks) as run:
+            for agg in variants:
+                for engine in engines:
+                    kind = "plain" if engine is self._plain_engine else "primary"
+                    with tracer.span("imp.pass", agg=agg, engine=kind):
+                        candidate = self._one_pass(instance, agg, engine)
+                    if len(candidate) != instance.num_tasks:
+                        raise SchedulingError(
+                            f"{self.name} pass {agg} scheduled "
+                            f"{len(candidate)}/{instance.num_tasks} tasks"
+                        )
+                    if tracer.enabled:
+                        tracer.count("imp.passes")
+                    if best is None or candidate.makespan < best.makespan - 1e-12:
+                        best = candidate
+            assert best is not None
+            if tracer.enabled:
+                run.set(makespan=best.makespan)
         return best

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
+from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule, ScheduledTask
 from repro.schedulers.base import Placement, placement_on, ready_time
 from repro.types import ProcId, TaskId
@@ -263,6 +264,8 @@ class PlacementEngine:
                 self._rollback(schedule, plans)
 
         assert best_placement is not None and best_proc is not None
+        if best_plans:
+            get_tracer().count("imp.duplicates", len(best_plans))
         self._apply(schedule, best_plans)
         return schedule.add(
             task,

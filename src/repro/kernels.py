@@ -43,6 +43,7 @@ from repro.exceptions import (
     UnknownTaskError,
 )
 from repro.machine.comm import UniformCommunication, ZeroCommunication
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.instance import Instance
@@ -379,14 +380,22 @@ class InstanceKernel:
         Built once and shared — the service workers key their instance
         memo by fingerprint precisely so repeat requests reuse this.
         """
+        tracer = get_tracer()
         if not self._compiled_built:
             if self.out_const is None:
                 self._compiled = None
             else:
                 from repro.compiled import CompiledInstance  # lazy: avoids cycle
 
-                self._compiled = CompiledInstance(self)
+                with tracer.span(
+                    "compiled.lower", tasks=len(self.tasks), procs=len(self.procs)
+                ):
+                    self._compiled = CompiledInstance(self)
             self._compiled_built = True
+            if tracer.enabled:
+                tracer.count("kernel.compiled_build")
+        elif tracer.enabled:
+            tracer.count("kernel.compiled_hit")
         return self._compiled
 
     # ------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Unified observability layer: hierarchical spans, counters, exporters.
+
+One :class:`Tracer` records everything the scheduling pipeline does —
+ranking and placement phases, compiled-core decodes, sweep replications
+(including those run in pool workers), service requests — as a tree of
+timed *spans* plus aggregate *counters* and *gauges*.  The module-level
+default is a :class:`NullTracer` whose operations are no-ops, so the
+hot paths stay hot unless a caller opts in with :func:`set_tracer` or
+:func:`use_tracer` (the overhead of the no-op default is benchmarked by
+``benchmarks/bench_obs.py``).
+
+Exporters (:mod:`repro.obs.export`) turn a recorded trace into JSONL,
+Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` and
+Perfetto) or Prometheus-style text that unifies with the service
+metrics exposition.
+"""
+
+from repro.obs.export import (
+    render_trace,
+    span_tree,
+    to_chrome,
+    to_jsonl,
+    to_prometheus,
+    trace_format_for_path,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "render_trace",
+    "span_tree",
+    "to_chrome",
+    "to_jsonl",
+    "to_prometheus",
+    "trace_format_for_path",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,226 @@
+"""Trace exporters: JSONL, Chrome ``trace_event``, Prometheus text.
+
+All exporters accept either a live tracer (anything with ``export()``)
+or an already-exported trace dict, so they work identically on the
+in-process tracer and on a worker trace shipped across a pickle
+boundary.  Chrome output loads directly in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ (JSON Array Format, ``"X"``
+complete events); Prometheus output uses the same conventions as
+:mod:`repro.service.metrics` so the two expositions concatenate into
+one ``/metrics`` page.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "metric_name",
+    "render_trace",
+    "span_tree",
+    "to_chrome",
+    "to_jsonl",
+    "to_prometheus",
+    "trace_format_for_path",
+    "validate_trace",
+    "write_trace",
+]
+
+#: Containment slack when checking parents cover children (clock reads
+#: between a child's exit and its parent's exit are not simultaneous).
+_EPS = 1e-6
+
+_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _as_trace(trace) -> dict:
+    """Normalise a tracer object or exported dict to the export schema."""
+    if isinstance(trace, dict):
+        return trace
+    return trace.export()
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(trace) -> str:
+    """One JSON object per line: spans first, then counters and gauges.
+
+    Span lines carry ``type: "span"`` plus the stored fields; the final
+    lines carry the aggregated instruments.  Attribute values that are
+    not JSON-serialisable fall back to ``str()``.
+    """
+    doc = _as_trace(trace)
+    lines = []
+    for span in sorted(doc["spans"], key=lambda s: (s["t0"], s["id"])):
+        lines.append(json.dumps({"type": "span", **span}, default=str))
+    if doc.get("counters"):
+        lines.append(json.dumps({"type": "counters", "values": doc["counters"]},
+                                default=str, sort_keys=True))
+    if doc.get("gauges"):
+        lines.append(json.dumps({"type": "gauges", "values": doc["gauges"]},
+                                default=str, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def to_chrome(trace, *, normalize_ids: bool = False) -> dict:
+    """The trace as a Chrome ``trace_event`` document (a JSON-able dict).
+
+    Every span becomes a ``"X"`` (complete) event with microsecond
+    timestamps rebased to the earliest span in the trace.  ``pid`` and
+    ``tid`` survive merging, so worker spans appear as separate process
+    tracks in Perfetto.  ``normalize_ids=True`` remaps pids/tids to
+    small integers in first-seen order — used by golden-fixture tests,
+    where real process/thread ids would make output non-deterministic.
+    """
+    doc = _as_trace(trace)
+    spans = sorted(doc["spans"], key=lambda s: (s["t0"], s["id"]))
+    base = min((s["t0"] for s in spans), default=0.0)
+    pid_map: dict[int, int] = {}
+    tid_map: dict[tuple[int, int], int] = {}
+
+    def _pid(span: dict) -> int:
+        raw = span.get("pid", 0)
+        if not normalize_ids:
+            return raw
+        return pid_map.setdefault(raw, len(pid_map) + 1)
+
+    def _tid(span: dict) -> int:
+        raw = span.get("tid", 0)
+        if not normalize_ids:
+            return raw
+        key = (span.get("pid", 0), raw)
+        return tid_map.setdefault(key, len(tid_map) + 1)
+
+    events = []
+    for pid_raw in sorted({s.get("pid", 0) for s in spans}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _pid({"pid": pid_raw}),
+            "tid": 0,
+            "args": {"name": f"{doc.get('name', 'trace')} (pid {pid_raw})"
+                     if not normalize_ids else doc.get("name", "trace")},
+        })
+    for span in spans:
+        attrs = {k: v if isinstance(v, (str, int, float, bool, type(None))) else str(v)
+                 for k, v in span.get("attrs", {}).items()}
+        events.append({
+            "name": span["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span["t0"] - base) * 1e6,
+            "dur": (span["t1"] - span["t0"]) * 1e6,
+            "pid": _pid(span),
+            "tid": _tid(span),
+            "args": {"id": span["id"], "parent": span.get("parent"), **attrs},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Prometheus
+# ----------------------------------------------------------------------
+def metric_name(name: str) -> str:
+    """Sanitise an instrument name into a Prometheus metric name."""
+    return _METRIC_CHARS.sub("_", name)
+
+
+def to_prometheus(trace, prefix: str = "repro_obs") -> str:
+    """Counters (``_total``-suffixed) and gauges as exposition text.
+
+    Empty when nothing was recorded, so concatenating onto the service
+    metrics page is always safe.
+    """
+    doc = _as_trace(trace)
+    lines = []
+    for name in sorted(doc.get("counters", {})):
+        lines.append(f"{prefix}_{metric_name(name)}_total {doc['counters'][name]:g}")
+    for name in sorted(doc.get("gauges", {})):
+        lines.append(f"{prefix}_{metric_name(name)} {doc['gauges'][name]:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# structure helpers
+# ----------------------------------------------------------------------
+def span_tree(trace) -> dict[int | None, list[dict]]:
+    """Children grouped by parent id (``None`` holds the roots).
+
+    Children are ordered by start time; spans whose parent was evicted
+    by the ``max_spans`` bound (or never recorded) count as roots.
+    """
+    doc = _as_trace(trace)
+    spans = sorted(doc["spans"], key=lambda s: (s["t0"], s["id"]))
+    known = {s["id"] for s in spans}
+    tree: dict[int | None, list[dict]] = {None: []}
+    for span in spans:
+        parent = span.get("parent")
+        if parent not in known:
+            parent = None
+        tree.setdefault(parent, []).append(span)
+    return tree
+
+
+def validate_trace(trace) -> list[str]:
+    """Well-formedness violations of a trace (empty when sound).
+
+    Checks: unique span ids, no negative durations, and every parent
+    interval containing its children (within a small slack — the child
+    records its end before the parent records its own).
+    """
+    doc = _as_trace(trace)
+    spans = doc["spans"]
+    problems: list[str] = []
+    by_id: dict[int, dict] = {}
+    for span in spans:
+        sid = span["id"]
+        if sid in by_id:
+            problems.append(f"duplicate span id {sid} ({span['name']})")
+        by_id[sid] = span
+        if span["t1"] < span["t0"]:
+            problems.append(
+                f"negative duration on span {sid} ({span['name']}): "
+                f"{span['t1'] - span['t0']:.9f}s"
+            )
+    for span in spans:
+        parent = by_id.get(span.get("parent"))
+        if parent is None:
+            continue
+        if span["t0"] < parent["t0"] - _EPS or span["t1"] > parent["t1"] + _EPS:
+            problems.append(
+                f"span {span['id']} ({span['name']}) escapes parent "
+                f"{parent['id']} ({parent['name']})"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# file output
+# ----------------------------------------------------------------------
+def trace_format_for_path(path: str) -> str:
+    """Trace format implied by a file name: ``.jsonl`` -> jsonl, else chrome."""
+    return "jsonl" if str(path).endswith(".jsonl") else "chrome"
+
+
+def render_trace(trace, fmt: str = "chrome") -> str:
+    """Serialise a trace in one of the named formats."""
+    if fmt == "chrome":
+        return json.dumps(to_chrome(trace), indent=1) + "\n"
+    if fmt == "jsonl":
+        return to_jsonl(trace)
+    if fmt == "prometheus":
+        return to_prometheus(trace)
+    raise ValueError(f"unknown trace format {fmt!r}; known: chrome, jsonl, prometheus")
+
+
+def write_trace(trace, path, fmt: str | None = None) -> Path:
+    """Write a trace file; format from ``fmt`` or the file extension."""
+    out = Path(path)
+    out.write_text(render_trace(trace, fmt or trace_format_for_path(out)))
+    return out

@@ -20,6 +20,7 @@ from typing import Sequence
 from repro.exceptions import SchedulingError, UnknownProcessorError
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
+from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule
 from repro.types import ProcId, TaskId
 
@@ -274,14 +275,31 @@ class ListScheduler(Scheduler):
         return eft_placement(schedule, instance, task, insertion=self.insertion)
 
     def schedule(self, instance: Instance) -> Schedule:
+        tracer = get_tracer()
         schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
-        order = self.priority_order(instance)
-        if set(order) != set(instance.dag.tasks()) or len(order) != instance.num_tasks:
-            raise SchedulingError(
-                f"{self.name}: priority order covers {len(order)} tasks, "
-                f"instance has {instance.num_tasks}"
-            )
-        for task in order:
-            placed = self.place(schedule, instance, task)
-            schedule.add(task, placed.proc, placed.start, placed.end - placed.start)
+        with tracer.span("sched.run", alg=self.name, tasks=instance.num_tasks) as run:
+            with tracer.span("sched.rank", alg=self.name):
+                order = self.priority_order(instance)
+            if set(order) != set(instance.dag.tasks()) or len(order) != instance.num_tasks:
+                raise SchedulingError(
+                    f"{self.name}: priority order covers {len(order)} tasks, "
+                    f"instance has {instance.num_tasks}"
+                )
+            with tracer.span("sched.place", alg=self.name):
+                if tracer.enabled:
+                    for task in order:
+                        with tracer.span("sched.insert", task=str(task)):
+                            placed = self.place(schedule, instance, task)
+                            schedule.add(
+                                task, placed.proc, placed.start, placed.end - placed.start
+                            )
+                else:
+                    for task in order:
+                        placed = self.place(schedule, instance, task)
+                        schedule.add(
+                            task, placed.proc, placed.start, placed.end - placed.start
+                        )
+            if tracer.enabled:
+                tracer.count("sched.tasks_placed", len(order))
+                run.set(makespan=schedule.makespan)
         return schedule

@@ -18,6 +18,7 @@ import numpy as np
 from repro.exceptions import SchedulingError
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
+from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule
 from repro.schedulers.base import Scheduler, eft_placement, placement_on
 from repro.schedulers.ranking import (
@@ -63,36 +64,54 @@ class CPOP(Scheduler):
             raise SchedulingError("machine has no processors")
         return best_proc
 
+    def _place_one(self, schedule: Schedule, instance: Instance, task, cp_set, cp_proc):
+        if task in cp_set:
+            placed = placement_on(schedule, instance, task, cp_proc, insertion=True)
+        else:
+            placed = eft_placement(schedule, instance, task, insertion=True)
+        schedule.add(task, placed.proc, placed.start, placed.end - placed.start)
+
     def schedule(self, instance: Instance) -> Schedule:
+        tracer = get_tracer()
         dag = instance.dag
-        up = upward_ranks(instance, self.agg)
-        down = downward_ranks(instance, self.agg)
-        priority = {t: up[t] + down[t] for t in dag.tasks()}
-        cp = critical_path_tasks(instance, self.agg)
-        cp_set = set(cp)
-        cp_proc = self._critical_processor(instance, cp) if cp else None
+        with tracer.span("sched.run", alg=self.name, tasks=instance.num_tasks) as run:
+            with tracer.span("sched.rank", alg=self.name) as rank_span:
+                up = upward_ranks(instance, self.agg)
+                down = downward_ranks(instance, self.agg)
+                priority = {t: up[t] + down[t] for t in dag.tasks()}
+                cp = critical_path_tasks(instance, self.agg)
+                cp_set = set(cp)
+                cp_proc = self._critical_processor(instance, cp) if cp else None
+                if tracer.enabled:
+                    rank_span.set(cp_len=len(cp), cp_proc=str(cp_proc))
 
-        schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
-        indegree = {t: dag.in_degree(t) for t in dag.tasks()}
-        tie = count()
-        heap: list[tuple[float, int, object]] = []
-        for t in dag.entry_tasks():
-            heapq.heappush(heap, (-priority[t], next(tie), t))
+            schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
+            indegree = {t: dag.in_degree(t) for t in dag.tasks()}
+            tie = count()
+            heap: list[tuple[float, int, object]] = []
+            for t in dag.entry_tasks():
+                heapq.heappush(heap, (-priority[t], next(tie), t))
 
-        scheduled = 0
-        while heap:
-            _, _, task = heapq.heappop(heap)
-            if task in cp_set:
-                placed = placement_on(schedule, instance, task, cp_proc, insertion=True)
-            else:
-                placed = eft_placement(schedule, instance, task, insertion=True)
-            schedule.add(task, placed.proc, placed.start, placed.end - placed.start)
-            scheduled += 1
-            for child in dag.successors(task):
-                indegree[child] -= 1
-                if indegree[child] == 0:
-                    heapq.heappush(heap, (-priority[child], next(tie), child))
+            scheduled = 0
+            with tracer.span("sched.place", alg=self.name):
+                while heap:
+                    _, _, task = heapq.heappop(heap)
+                    if tracer.enabled:
+                        with tracer.span("sched.insert", task=str(task)):
+                            self._place_one(schedule, instance, task, cp_set, cp_proc)
+                    else:
+                        self._place_one(schedule, instance, task, cp_set, cp_proc)
+                    scheduled += 1
+                    for child in dag.successors(task):
+                        indegree[child] -= 1
+                        if indegree[child] == 0:
+                            heapq.heappush(heap, (-priority[child], next(tie), child))
 
-        if scheduled != instance.num_tasks:
-            raise SchedulingError(f"CPOP scheduled {scheduled}/{instance.num_tasks} tasks")
+            if scheduled != instance.num_tasks:
+                raise SchedulingError(
+                    f"CPOP scheduled {scheduled}/{instance.num_tasks} tasks"
+                )
+            if tracer.enabled:
+                tracer.count("sched.tasks_placed", scheduled)
+                run.set(makespan=schedule.makespan)
         return schedule

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
+from repro.obs import get_tracer
 from repro.schedulers.base import ListScheduler
 from repro.schedulers.ranking import RankAggregation, upward_ranks
 from repro.types import TaskId
@@ -34,7 +35,8 @@ class HEFT(ListScheduler):
         self.name = f"HEFT{suffix}" if insertion else f"HEFT{suffix}-noins"
 
     def priority_order(self, instance: Instance) -> list[TaskId]:
-        ranks = upward_ranks(instance, self.agg)
+        with get_tracer().span("heft.rank_u", agg=self.agg):
+            ranks = upward_ranks(instance, self.agg)
         if kernels_enabled():
             pos = instance.kernel.pos
         else:

@@ -149,11 +149,13 @@ class ServiceClient:
     # API
     # ------------------------------------------------------------------
     def _schedule_body(self, instance: Instance, alg: str,
-                       timeout: float | None) -> bytes:
-        key = (instance.fingerprint(), alg, timeout)
+                       timeout: float | None,
+                       trace_id: str | None = None) -> bytes:
+        key = (instance.fingerprint(), alg, timeout, trace_id)
         body = self._body_cache.get(key)
         if body is None:
-            doc = make_request_doc(json.loads(instance_to_json(instance)), alg, timeout)
+            doc = make_request_doc(json.loads(instance_to_json(instance)), alg,
+                                   timeout, trace_id=trace_id)
             body = json.dumps(doc).encode("utf-8")
             self._body_cache[key] = body
             while len(self._body_cache) > _BODY_CACHE_SIZE:
@@ -163,9 +165,14 @@ class ServiceClient:
         return body
 
     async def schedule(self, instance: Instance, alg: str = "IMP",
-                       timeout: float | None = None) -> ScheduleResult:
-        """Submit one instance; returns the placement result."""
-        body = self._schedule_body(instance, alg, timeout)
+                       timeout: float | None = None,
+                       trace_id: str | None = None) -> ScheduleResult:
+        """Submit one instance; returns the placement result.
+
+        ``trace_id`` (optional) is echoed back in the result and stamped
+        on every server/worker span this request produces.
+        """
+        body = self._schedule_body(instance, alg, timeout, trace_id)
         answer = await self._request_json("POST", "/v1/schedule", body=body)
         return ScheduleResult.from_payload(answer["result"])
 
@@ -197,8 +204,9 @@ class ServiceClient:
     # sync conveniences (CLI, scripts)
     # ------------------------------------------------------------------
     def schedule_sync(self, instance: Instance, alg: str = "IMP",
-                      timeout: float | None = None) -> ScheduleResult:
-        return asyncio.run(self.schedule(instance, alg, timeout))
+                      timeout: float | None = None,
+                      trace_id: str | None = None) -> ScheduleResult:
+        return asyncio.run(self.schedule(instance, alg, timeout, trace_id=trace_id))
 
     def stats_sync(self) -> ServiceStats:
         return asyncio.run(self.stats())

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 
 from repro.instance import Instance
 from repro.instance_io import instance_to_json
+from repro.obs import NullTracer, Tracer, get_tracer, to_prometheus
 from repro.service import protocol
 from repro.service.cache import ScheduleCache, request_key
 from repro.service.errors import (
@@ -97,24 +98,38 @@ def _warm_worker() -> None:
 
 
 class _Job:
-    """One unique (instance, alg) computation and its shared future."""
+    """One unique (instance, alg) computation and its shared future.
 
-    __slots__ = ("key", "text", "alg", "future")
+    ``trace_id``/``sid``/``enqueued`` carry the observability context of
+    the request that *created* the job (coalesced waiters share it): the
+    correlation id, the parent span for the compute/queue-wait spans,
+    and the enqueue timestamp the queue-wait span is measured from.
+    """
 
-    def __init__(self, key: str, text: str, alg: str, future: asyncio.Future) -> None:
+    __slots__ = ("key", "text", "alg", "future", "trace_id", "sid", "enqueued")
+
+    def __init__(self, key: str, text: str, alg: str, future: asyncio.Future,
+                 trace_id: str | None = None, sid: int | None = None,
+                 enqueued: float = 0.0) -> None:
         self.key = key
         self.text = text
         self.alg = alg
         self.future = future
+        self.trace_id = trace_id
+        self.sid = sid
+        self.enqueued = enqueued
 
 
 class SchedulingEngine:
     """Accepts schedule requests, answers from cache or a worker pool."""
 
     def __init__(self, config: EngineConfig | None = None,
-                 metrics: ServiceMetrics | None = None) -> None:
+                 metrics: ServiceMetrics | None = None,
+                 tracer: Tracer | NullTracer | None = None) -> None:
         self.config = config or EngineConfig()
         self.metrics = metrics or ServiceMetrics()
+        self._tracer = tracer
+        self._trace_seq = 0
         self.cache = ScheduleCache(self.config.cache_size)
         self._queue: asyncio.Queue[_Job | None] = asyncio.Queue(maxsize=self.config.queue_depth)
         # One dispatch slot per pool worker: when every worker is busy
@@ -197,58 +212,89 @@ class SchedulingEngine:
     def draining(self) -> bool:
         return self._closed
 
+    @property
+    def tracer(self) -> Tracer | NullTracer:
+        """This engine's tracer: the injected one, else the module default."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _next_trace_id(self) -> str:
+        self._trace_seq += 1
+        return f"req-{self._trace_seq:08d}"
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     async def submit(self, instance: Instance, alg: str,
-                     timeout: float | None = None) -> dict:
+                     timeout: float | None = None,
+                     trace_id: str | None = None) -> dict:
         """Schedule ``instance`` with scheduler ``alg``; return the payload.
 
         The returned dict is a fresh copy carrying ``cache_hit``,
-        ``fingerprint`` and ``server_ms`` alongside the placement data.
-        Raises :class:`ServiceOverloadedError` (queue full),
+        ``fingerprint`` and ``server_ms`` alongside the placement data
+        (plus ``trace_id`` when tracing is on).  Raises
+        :class:`ServiceOverloadedError` (queue full),
         :class:`ServiceTimeoutError` (deadline), :class:`WorkerError`
         (computation failed) or :class:`ServiceClosedError` (draining).
+
+        All request spans use explicit parents (``parent=``/``detach``)
+        rather than the tracer's thread-local nesting: the event-loop
+        thread interleaves many requests, so implicit nesting would
+        attribute spans to whichever request last yielded.
         """
         if self._closed or not self._started:
             raise ServiceClosedError("engine is not accepting requests")
+        tracer = self.tracer
+        if trace_id is None and tracer.enabled:
+            trace_id = self._next_trace_id()
         self.metrics.request()
         t0 = time.perf_counter()
-        key = request_key(instance, alg)
+        with tracer.span("service.request", detach=True,
+                         alg=alg, trace_id=trace_id) as req:
+            key = request_key(instance, alg)
+            with tracer.span("cache.lookup", parent=req.sid, trace_id=trace_id) as lk:
+                cached = self.cache.get(key)
+                lk.set(hit=cached is not None)
+            if cached is not None:
+                self.metrics.cache_hit()
+                with tracer.span("cache.hit", parent=req.sid,
+                                 alg=alg, trace_id=trace_id):
+                    pass
+                return self._respond(cached, key, t0, cache_hit=True,
+                                     trace_id=trace_id, parent=req.sid)
+            self.metrics.cache_miss()
 
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.metrics.cache_hit()
-            return self._respond(cached, key, t0, cache_hit=True)
-        self.metrics.cache_miss()
+            job = self._inflight.get(key)
+            if job is None:
+                job = _Job(key, instance_to_json(instance), alg,
+                           asyncio.get_running_loop().create_future(),
+                           trace_id=trace_id, sid=req.sid,
+                           enqueued=time.perf_counter())
+                try:
+                    self._queue.put_nowait(job)
+                except asyncio.QueueFull:
+                    self.metrics.reject()
+                    raise ServiceOverloadedError(
+                        f"request queue full ({self.config.queue_depth}); retry later"
+                    ) from None
+                self._inflight[key] = job
+            else:
+                self.metrics.coalesce()
+                if tracer.enabled:
+                    tracer.count("service.coalesced")
 
-        job = self._inflight.get(key)
-        if job is None:
-            job = _Job(key, instance_to_json(instance), alg,
-                       asyncio.get_running_loop().create_future())
+            if timeout is None:
+                timeout = self.config.default_timeout
             try:
-                self._queue.put_nowait(job)
-            except asyncio.QueueFull:
-                self.metrics.reject()
-                raise ServiceOverloadedError(
-                    f"request queue full ({self.config.queue_depth}); retry later"
+                payload = await asyncio.wait_for(asyncio.shield(job.future), timeout)
+            except asyncio.TimeoutError:
+                self.metrics.timeout()
+                raise ServiceTimeoutError(
+                    f"no result for {alg} within {timeout:g}s (key {key[:12]}...)"
                 ) from None
-            self._inflight[key] = job
-        else:
-            self.metrics.coalesce()
+            return self._respond(payload, key, t0, cache_hit=False,
+                                 trace_id=trace_id, parent=req.sid)
 
-        if timeout is None:
-            timeout = self.config.default_timeout
-        try:
-            payload = await asyncio.wait_for(asyncio.shield(job.future), timeout)
-        except asyncio.TimeoutError:
-            self.metrics.timeout()
-            raise ServiceTimeoutError(
-                f"no result for {alg} within {timeout:g}s (key {key[:12]}...)"
-            ) from None
-        return self._respond(payload, key, t0, cache_hit=False)
-
-    def submit_cached(self, key: str) -> dict | None:
+    def submit_cached(self, key: str, trace_id: str | None = None) -> dict | None:
         """Answer request ``key`` from the cache, or ``None`` if absent.
 
         Fast path for callers that already know the request key (the
@@ -261,21 +307,35 @@ class SchedulingEngine:
             raise ServiceClosedError("engine is not accepting requests")
         if key not in self.cache:
             return None
+        tracer = self.tracer
+        if trace_id is None and tracer.enabled:
+            trace_id = self._next_trace_id()
         self.metrics.request()
         t0 = time.perf_counter()
-        payload = self.cache.get(key)
-        self.metrics.cache_hit()
-        return self._respond(payload, key, t0, cache_hit=True)
+        with tracer.span("service.request", detach=True,
+                         trace_id=trace_id, fast_path=True) as req:
+            payload = self.cache.get(key)
+            self.metrics.cache_hit()
+            with tracer.span("cache.hit", parent=req.sid, trace_id=trace_id):
+                pass
+            return self._respond(payload, key, t0, cache_hit=True,
+                                 trace_id=trace_id, parent=req.sid)
 
-    def _respond(self, payload: dict, key: str, t0: float, cache_hit: bool) -> dict:
-        latency_ms = (time.perf_counter() - t0) * 1e3
-        self.metrics.complete(latency_ms)
-        return {
-            **payload,
-            "cache_hit": cache_hit,
-            "fingerprint": key,
-            "server_ms": latency_ms,
-        }
+    def _respond(self, payload: dict, key: str, t0: float, cache_hit: bool,
+                 trace_id: str | None = None, parent: int | None = None) -> dict:
+        tracer = self.tracer
+        with tracer.span("service.encode", parent=parent, trace_id=trace_id):
+            latency_ms = (time.perf_counter() - t0) * 1e3
+            self.metrics.complete(latency_ms)
+            out = {
+                **payload,
+                "cache_hit": cache_hit,
+                "fingerprint": key,
+                "server_ms": latency_ms,
+            }
+            if trace_id is not None:
+                out["trace_id"] = trace_id
+            return out
 
     # ------------------------------------------------------------------
     # dispatch
@@ -305,10 +365,28 @@ class SchedulingEngine:
 
     async def _run_job(self, job: _Job) -> None:
         loop = asyncio.get_running_loop()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_span("queue.wait", job.enqueued, time.perf_counter(),
+                               parent=job.sid, alg=job.alg, trace_id=job.trace_id)
         try:
-            payload = await loop.run_in_executor(
-                self._pool, protocol.compute_schedule_payload, job.text, job.alg
-            )
+            if tracer.enabled:
+                # The traced compute function builds a local tracer in
+                # the worker (process or thread) and ships its export
+                # back with the payload; absorbing it under the
+                # service.compute span yields one merged request tree.
+                with tracer.span("service.compute", parent=job.sid,
+                                 alg=job.alg, trace_id=job.trace_id) as cs:
+                    payload, worker_trace = await loop.run_in_executor(
+                        self._pool, protocol.compute_schedule_payload_traced,
+                        job.text, job.alg, job.trace_id,
+                    )
+                tracer.absorb(worker_trace, parent=cs.sid)
+                tracer.count("service.computes")
+            else:
+                payload = await loop.run_in_executor(
+                    self._pool, protocol.compute_schedule_payload, job.text, job.alg
+                )
         except asyncio.CancelledError:
             self._inflight.pop(job.key, None)
             if not job.future.done():
@@ -344,5 +422,12 @@ class SchedulingEngine:
         return self.metrics.snapshot(**self._gauges())
 
     def render_metrics(self) -> str:
-        """Prometheus-style exposition text."""
-        return self.metrics.render(**self._gauges())
+        """Prometheus-style exposition text.
+
+        When this engine traces, the tracer's counters and gauges are
+        appended to the same exposition (``repro_obs_*`` metrics), so
+        ``GET /metrics`` is the one unified scrape target.
+        """
+        tracer = self.tracer
+        extra = to_prometheus(tracer) if tracer.enabled else ""
+        return self.metrics.render(extra=extra, **self._gauges())

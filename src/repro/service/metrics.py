@@ -151,11 +151,13 @@ class ServiceMetrics:
             p99_ms=percentile(lat, 99),
         )
 
-    def render(self, **gauges) -> str:
+    def render(self, extra: str = "", **gauges) -> str:
         """Prometheus-style text form of :meth:`snapshot`.
 
         Counter names carry the conventional ``_total`` suffix; gauges
-        and summaries keep their snapshot names.
+        and summaries keep their snapshot names.  ``extra`` is appended
+        verbatim — the engine uses it to unify its tracer's counters
+        (:func:`repro.obs.to_prometheus`) into the same exposition.
         """
         stats = self.snapshot(**gauges)
         counters = {
@@ -175,4 +177,7 @@ class ServiceMetrics:
         for name, value in stats.as_dict().items():
             metric = f"repro_service_{name}" + ("_total" if name in counters else "")
             lines.append(f"{metric} {value:g}")
-        return "\n".join(lines) + "\n"
+        text = "\n".join(lines) + "\n"
+        if extra:
+            text += extra if extra.endswith("\n") else extra + "\n"
+        return text

@@ -150,14 +150,50 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
     fingerprint-keyed memo, so a warm request for known content (same
     instance, different scheduler; or evicted from the response cache)
     reuses the compiled flat-array form instead of rebuilding it.
+
+    Each stage runs under a span of the current tracer (the no-op
+    default unless the caller installed one — see
+    :func:`compute_schedule_payload_traced`), and the lowering memo's
+    hit/miss deltas land in ``worker.lowering_hits``/``_misses``.
     """
+    from repro.obs import get_tracer
     from repro.schedule.validation import validate
     from repro.schedulers.registry import get_scheduler
 
-    instance = _LOWERED.get(instance_text)
-    schedule = get_scheduler(alg).schedule(instance)
-    validate(schedule, instance)
-    return schedule_payload(schedule, instance, alg)
+    tracer = get_tracer()
+    hits0, misses0 = _LOWERED.hits, _LOWERED.misses
+    with tracer.span("worker.parse", alg=alg):
+        instance = _LOWERED.get(instance_text)
+    if tracer.enabled:
+        tracer.count("worker.lowering_hits", _LOWERED.hits - hits0)
+        tracer.count("worker.lowering_misses", _LOWERED.misses - misses0)
+    with tracer.span("worker.schedule", alg=alg, tasks=instance.num_tasks):
+        schedule = get_scheduler(alg).schedule(instance)
+    with tracer.span("worker.validate", alg=alg):
+        validate(schedule, instance)
+    with tracer.span("worker.encode", alg=alg):
+        return schedule_payload(schedule, instance, alg)
+
+
+def compute_schedule_payload_traced(
+    instance_text: str, alg: str, trace_id: str | None = None
+) -> tuple[dict, dict]:
+    """Traced cold path: compute the payload *and* export the worker trace.
+
+    Runs :func:`compute_schedule_payload` (through the module global, so
+    test monkeypatches still apply on the in-thread path) under a fresh
+    local :class:`~repro.obs.Tracer`, wrapped in one ``worker.compute``
+    root span carrying the request's ``trace_id``.  Returns ``(payload,
+    trace_export)``; the engine absorbs the export into its own tracer
+    and caches only the payload — cached responses stay request-pure.
+    """
+    from repro.obs import Tracer, use_tracer
+
+    local = Tracer(name="service-worker")
+    with use_tracer(local):
+        with local.span("worker.compute", alg=alg, trace_id=trace_id):
+            payload = compute_schedule_payload(instance_text, alg)
+    return payload, local.export()
 
 
 def payload_to_schedule(payload: dict, machine) -> Schedule:
@@ -198,6 +234,7 @@ class ScheduleResult:
     cache_hit: bool = False
     fingerprint: str = ""
     server_ms: float = 0.0
+    trace_id: str = ""
     payload: dict = field(default_factory=dict, repr=False)
 
     @classmethod
@@ -214,6 +251,7 @@ class ScheduleResult:
             cache_hit=bool(payload.get("cache_hit", False)),
             fingerprint=str(payload.get("fingerprint", "")),
             server_ms=float(payload.get("server_ms", 0.0)),
+            trace_id=str(payload.get("trace_id", "")),
             payload=payload,
         )
 
@@ -225,16 +263,24 @@ class ScheduleResult:
 # ----------------------------------------------------------------------
 # request document
 # ----------------------------------------------------------------------
-def make_request_doc(instance_doc: dict, alg: str, timeout: float | None = None) -> dict:
-    """Assemble the body of a ``POST /v1/schedule`` request."""
+def make_request_doc(instance_doc: dict, alg: str, timeout: float | None = None,
+                     trace_id: str | None = None) -> dict:
+    """Assemble the body of a ``POST /v1/schedule`` request.
+
+    ``trace_id`` is an opaque client-chosen correlation id; the server
+    echoes it in the response and stamps it on every span the request
+    produces, so one id follows the request client -> server -> worker.
+    """
     doc = {"protocol": PROTOCOL, "alg": alg, "instance": instance_doc}
     if timeout is not None:
         doc["timeout"] = float(timeout)
+    if trace_id is not None:
+        doc["trace_id"] = str(trace_id)
     return doc
 
 
-def parse_request_doc(doc: object) -> tuple[Instance, str, float | None]:
-    """Validate a request document into ``(instance, alg, timeout)``.
+def parse_request_doc(doc: object) -> tuple[Instance, str, float | None, str | None]:
+    """Validate a request document into ``(instance, alg, timeout, trace_id)``.
 
     Raises :class:`~repro.service.errors.RequestError` on any shape or
     content problem, including an unknown scheduler name — rejecting bad
@@ -268,4 +314,7 @@ def parse_request_doc(doc: object) -> tuple[Instance, str, float | None]:
             raise RequestError(f"invalid timeout {timeout!r}") from None
         if timeout <= 0:
             raise RequestError(f"timeout must be > 0, got {timeout}")
-    return instance, alg, timeout
+    trace_id = doc.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise RequestError(f"trace_id must be a string, got {trace_id!r}")
+    return instance, alg, timeout, trace_id

@@ -199,8 +199,9 @@ class ScheduleServer:
                 doc = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise RequestError(f"invalid JSON body: {exc}") from None
-            instance, alg, timeout = parse_request_doc(doc)
-            payload = await self.engine.submit(instance, alg, timeout=timeout)
+            instance, alg, timeout, trace_id = parse_request_doc(doc)
+            payload = await self.engine.submit(instance, alg, timeout=timeout,
+                                               trace_id=trace_id)
             self._remember_exact(body_key, payload["fingerprint"])
         except ServiceError as exc:
             kind = "rejected" if exc.status == 429 else "error"

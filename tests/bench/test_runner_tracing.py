@@ -1,0 +1,73 @@
+"""Sweep-runner observability: traced == untraced, worker traces merge."""
+
+from __future__ import annotations
+
+from repro.bench import workloads as W
+from repro.bench.runner import run_sweep
+from repro.obs import Tracer, set_tracer, span_tree, validate_trace
+
+FACTORY = W.SweepFactory(kind="random", param="num_tasks")
+SCHEDULERS = ("HEFT", "CPOP")
+
+
+def _sweep(workers: int, tracer=None):
+    return run_sweep(
+        SCHEDULERS,
+        "num_tasks",
+        [10, 14],
+        FACTORY,
+        reps=2,
+        metric="slr",
+        seed=5,
+        check=True,
+        workers=workers,
+        tracer=tracer,
+    )
+
+
+def test_traced_sweep_is_bit_identical_to_untraced():
+    plain = _sweep(workers=1)
+    traced = _sweep(workers=1, tracer=Tracer())
+    assert traced.series == plain.series  # exact float equality
+    assert traced.raw == plain.raw
+
+
+def test_serial_sweep_merges_replication_spans():
+    tracer = Tracer()
+    _sweep(workers=1, tracer=tracer)
+    assert validate_trace(tracer) == []
+    tree = span_tree(tracer)
+    (run_span,) = [s for s in tree[None] if s["name"] == "sweep.run"]
+    reps = [s for s in tree[run_span["id"]] if s["name"] == "sweep.replication"]
+    assert len(reps) == 4  # 2 x-points * 2 reps, all under one sweep.run
+    sched = [s for s in tracer.spans() if s["name"] == "sweep.sched"]
+    assert len(sched) == 4 * len(SCHEDULERS)
+    assert {s["attrs"]["alg"] for s in sched} == set(SCHEDULERS)
+    assert {s["name"] for s in tracer.spans()} >= {"sweep.validate", "sched.run"}
+    assert tracer.counters()["sweep.replications"] == 4
+
+
+def test_parallel_sweep_trace_matches_serial_shape():
+    serial_tracer, parallel_tracer = Tracer(), Tracer()
+    serial = _sweep(workers=1, tracer=serial_tracer)
+    parallel = _sweep(workers=2, tracer=parallel_tracer)
+    assert parallel.series == serial.series  # tracing changes nothing
+    for tracer in (serial_tracer, parallel_tracer):
+        assert validate_trace(tracer) == []
+    names_serial = sorted(s["name"] for s in serial_tracer.spans())
+    names_parallel = sorted(s["name"] for s in parallel_tracer.spans())
+    assert names_parallel == names_serial  # identical merged structure
+    # Worker spans keep their origin pid: the parallel trace shows more
+    # than one process, the serial trace exactly one.
+    assert len({s["pid"] for s in parallel_tracer.spans()}) > 1
+    assert len({s["pid"] for s in serial_tracer.spans()}) == 1
+
+
+def test_module_default_tracer_enables_sweep_tracing():
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        _sweep(workers=1)
+    finally:
+        set_tracer(None)
+    assert any(s["name"] == "sweep.run" for s in tracer.spans())

@@ -89,3 +89,12 @@ def make_topcuoglu_instance() -> Instance:
 @pytest.fixture
 def topcuoglu_instance() -> Instance:
     return make_topcuoglu_instance()
+
+
+@pytest.fixture(autouse=True)
+def _reset_module_tracer():
+    """No test leaks an installed tracer into the next one."""
+    yield
+    from repro.obs import set_tracer
+
+    set_tracer(None)

@@ -1,0 +1,170 @@
+"""Exporter behaviour: JSONL, Chrome trace_event (golden), Prometheus,
+well-formedness validation and file output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    render_trace,
+    span_tree,
+    to_chrome,
+    to_jsonl,
+    to_prometheus,
+    trace_format_for_path,
+    validate_trace,
+    write_trace,
+)
+
+FIXTURE = Path(__file__).parent / "golden_chrome_trace.json"
+
+
+def _golden_tracer() -> Tracer:
+    """A fully deterministic trace: injected integer clock, fixed shape.
+
+    Regenerate the committed fixture after an intentional format change
+    with::
+
+        PYTHONPATH=src python -c "import json; from tests.obs.test_export \
+import _golden_tracer; from repro.obs import to_chrome; print(json.dumps(\
+to_chrome(_golden_tracer(), normalize_ids=True), indent=1))" \
+> tests/obs/golden_chrome_trace.json
+    """
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += 1.0
+        return state["t"]
+
+    tracer = Tracer(name="golden", clock=clock)
+    with tracer.span("sched.run", alg="HEFT", tasks=3):
+        with tracer.span("sched.rank"):
+            pass
+        with tracer.span("sched.place"):
+            for task in ("a", "b", "c"):
+                with tracer.span("sched.insert", task=task):
+                    pass
+    tracer.count("sched.tasks_placed", 3)
+    tracer.gauge("trace.depth", 3)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def test_chrome_export_matches_golden_fixture():
+    doc = to_chrome(_golden_tracer(), normalize_ids=True)
+    # Round-trip through JSON so number formatting matches the file.
+    assert json.loads(json.dumps(doc)) == json.loads(FIXTURE.read_text())
+
+
+def test_chrome_events_are_rebased_complete_events():
+    doc = to_chrome(_golden_tracer())
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert events, "no span events exported"
+    assert min(e["ts"] for e in events) == 0.0  # rebased to earliest span
+    assert all(e["dur"] >= 0.0 for e in events)
+    assert all(e["cat"] == "repro" for e in events)
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert meta and meta[0]["name"] == "process_name"
+
+
+def test_chrome_attrs_fall_back_to_str():
+    tracer = Tracer()
+    with tracer.span("s", weird=object()):
+        pass
+    doc = to_chrome(tracer)
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert isinstance(event["args"]["weird"], str)
+    json.dumps(doc)  # the whole document must be JSON-serialisable
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def test_jsonl_lines_parse_and_order_by_start():
+    text = to_jsonl(_golden_tracer())
+    lines = [json.loads(line) for line in text.strip().split("\n")]
+    spans = [l for l in lines if l["type"] == "span"]
+    assert [s["name"] for s in spans] == [
+        "sched.run", "sched.rank", "sched.place",
+        "sched.insert", "sched.insert", "sched.insert",
+    ]
+    assert spans == sorted(spans, key=lambda s: s["t0"])
+    assert lines[-2] == {"type": "counters", "values": {"sched.tasks_placed": 3}}
+    assert lines[-1] == {"type": "gauges", "values": {"trace.depth": 3}}
+
+
+def test_jsonl_of_empty_trace_is_empty():
+    assert to_jsonl(Tracer()) == ""
+
+
+# ----------------------------------------------------------------------
+# Prometheus
+# ----------------------------------------------------------------------
+def test_prometheus_counters_and_gauges():
+    text = to_prometheus(_golden_tracer())
+    assert "repro_obs_sched_tasks_placed_total 3\n" in text
+    assert "repro_obs_trace_depth 3" in text  # gauge: no _total suffix
+    assert to_prometheus(Tracer()) == ""  # empty trace -> empty exposition
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def _span(sid, name, t0, t1, parent=None):
+    return {"name": name, "id": sid, "parent": parent, "pid": 1, "tid": 1,
+            "t0": t0, "t1": t1, "attrs": {}}
+
+
+def test_validate_trace_flags_duplicate_ids():
+    trace = {"spans": [_span(1, "a", 0, 1), _span(1, "b", 0, 1)]}
+    assert any("duplicate span id 1" in p for p in validate_trace(trace))
+
+
+def test_validate_trace_flags_negative_duration():
+    trace = {"spans": [_span(1, "a", 5.0, 4.0)]}
+    assert any("negative duration" in p for p in validate_trace(trace))
+
+
+def test_validate_trace_flags_child_escaping_parent():
+    trace = {"spans": [_span(1, "parent", 0.0, 1.0),
+                       _span(2, "child", 0.5, 2.0, parent=1)]}
+    assert any("escapes parent" in p for p in validate_trace(trace))
+
+
+def test_validate_trace_accepts_sound_trace():
+    assert validate_trace(_golden_tracer()) == []
+
+
+def test_span_tree_orphans_become_roots():
+    trace = {"spans": [_span(2, "orphan", 0.0, 1.0, parent=99)]}
+    tree = span_tree(trace)
+    assert [s["name"] for s in tree[None]] == ["orphan"]
+
+
+# ----------------------------------------------------------------------
+# file output
+# ----------------------------------------------------------------------
+def test_trace_format_for_path():
+    assert trace_format_for_path("x.jsonl") == "jsonl"
+    assert trace_format_for_path("x.json") == "chrome"
+    assert trace_format_for_path("trace") == "chrome"
+
+
+def test_render_trace_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown trace format"):
+        render_trace(Tracer(), "xml")
+
+
+def test_write_trace_infers_format_from_suffix(tmp_path):
+    tracer = _golden_tracer()
+    chrome = write_trace(tracer, tmp_path / "t.json")
+    jsonl = write_trace(tracer, tmp_path / "t.jsonl")
+    assert "traceEvents" in json.loads(chrome.read_text())
+    first = json.loads(jsonl.read_text().splitlines()[0])
+    assert first["type"] == "span"

@@ -1,0 +1,258 @@
+"""Tracer core behaviour: nesting, exceptions, threads, bounds, merging."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_tree,
+    use_tracer,
+    validate_trace,
+)
+
+
+def _by_name(tracer, name):
+    return [s for s in tracer.spans() if s["name"] == name]
+
+
+# ----------------------------------------------------------------------
+# nesting and ordering
+# ----------------------------------------------------------------------
+def test_span_nesting_and_completion_order():
+    tracer = Tracer()
+    with tracer.span("outer", alg="X"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("sibling"):
+            pass
+    spans = tracer.spans()
+    # Completion order: children finish before the parent.
+    assert [s["name"] for s in spans] == ["inner", "sibling", "outer"]
+    outer = spans[2]
+    assert outer["parent"] is None
+    assert outer["attrs"] == {"alg": "X"}
+    assert spans[0]["parent"] == outer["id"]
+    assert spans[1]["parent"] == outer["id"]
+    assert validate_trace(tracer) == []
+
+
+def test_deep_nesting_parents_chain():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+    c, b, a = tracer.spans()
+    assert c["parent"] == b["id"] and b["parent"] == a["id"] and a["parent"] is None
+    tree = span_tree(tracer)
+    assert [s["name"] for s in tree[None]] == ["a"]
+    assert [s["name"] for s in tree[a["id"]]] == ["b"]
+
+
+def test_explicit_parent_and_detach_skip_the_stack():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("linked", parent=root.sid):
+            # An explicit-parent span is not on the stack: a nested
+            # implicit span attaches to "root", not to "linked".
+            with tracer.span("implicit"):
+                pass
+        with tracer.span("free", detach=True):
+            pass
+    by = {s["name"]: s for s in tracer.spans()}
+    assert by["linked"]["parent"] == by["root"]["id"]
+    assert by["implicit"]["parent"] == by["root"]["id"]
+    assert by["free"]["parent"] is None
+
+
+def test_set_attaches_attributes():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        span.set(makespan=12.5, alg="HEFT")
+    (entry,) = tracer.spans()
+    assert entry["attrs"] == {"makespan": 12.5, "alg": "HEFT"}
+
+
+def test_record_span_retroactive_interval():
+    tracer = Tracer(clock=lambda: 100.0)
+    sid = tracer.record_span("queue.wait", 1.0, 3.5, alg="IMP")
+    (entry,) = tracer.spans()
+    assert entry["id"] == sid
+    assert (entry["t0"], entry["t1"]) == (1.0, 3.5)
+    assert entry["attrs"] == {"alg": "IMP"}
+
+
+# ----------------------------------------------------------------------
+# exception safety
+# ----------------------------------------------------------------------
+def test_exception_records_span_with_error_attr():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    (entry,) = tracer.spans()
+    assert entry["attrs"]["error"] == "ValueError"
+    # The stack was unwound: the next span is a root again.
+    with tracer.span("after"):
+        pass
+    assert _by_name(tracer, "after")[0]["parent"] is None
+
+
+def test_exception_does_not_override_explicit_error_attr():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom") as span:
+            span.set(error="custom")
+            raise RuntimeError
+    assert tracer.spans()[0]["attrs"]["error"] == "custom"
+
+
+def test_use_tracer_restores_previous_on_exception():
+    tracer = Tracer()
+    before = get_tracer()
+    with pytest.raises(KeyError):
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            raise KeyError
+    assert get_tracer() is before
+
+
+# ----------------------------------------------------------------------
+# counters, gauges, bounds
+# ----------------------------------------------------------------------
+def test_counters_aggregate_and_gauges_overwrite():
+    tracer = Tracer()
+    tracer.count("decodes")
+    tracer.count("decodes", 4)
+    tracer.gauge("depth", 3.0)
+    tracer.gauge("depth", 1.0)
+    assert tracer.counters() == {"decodes": 5}
+    assert tracer.gauges() == {"depth": 1.0}
+
+
+def test_max_spans_bound_drops_oldest():
+    tracer = Tracer(max_spans=3)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s["name"] for s in tracer.spans()] == ["s2", "s3", "s4"]
+    assert tracer.dropped_spans == 2
+
+
+def test_clear_resets_everything():
+    tracer = Tracer(max_spans=1)
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    tracer.count("c")
+    tracer.clear()
+    assert tracer.spans() == [] and tracer.counters() == {}
+    assert tracer.dropped_spans == 0
+
+
+# ----------------------------------------------------------------------
+# thread safety
+# ----------------------------------------------------------------------
+def test_threads_record_independent_subtrees():
+    tracer = Tracer()
+    n_threads, n_spans = 8, 25
+
+    def work(k: int) -> None:
+        with tracer.span(f"root-{k}"):
+            for i in range(n_spans):
+                with tracer.span(f"leaf-{k}"):
+                    tracer.count("leaves")
+
+    threads = [threading.Thread(target=work, args=(k,)) for k in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    spans = tracer.spans()
+    assert len(spans) == n_threads * (n_spans + 1)
+    assert tracer.counters() == {"leaves": n_threads * n_spans}
+    roots = {s["name"]: s["id"] for s in spans if s["parent"] is None}
+    assert len(roots) == n_threads
+    # Every leaf nests under its own thread's root, never a foreign one.
+    for s in spans:
+        if s["name"].startswith("leaf-"):
+            k = s["name"].split("-")[1]
+            assert s["parent"] == roots[f"root-{k}"]
+    assert validate_trace(tracer) == []
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def test_absorb_remaps_ids_and_reparents_roots():
+    worker = Tracer(name="worker")
+    with worker.span("w.outer"):
+        with worker.span("w.inner"):
+            pass
+    worker.count("decodes", 7)
+    worker.gauge("depth", 2.0)
+
+    main = Tracer(name="main")
+    with main.span("host") as host:
+        pass
+    main.count("decodes", 3)
+    id_map = main.absorb(worker.export(), parent=host.sid)
+
+    by = {s["name"]: s for s in main.spans()}
+    assert by["w.outer"]["parent"] == by["host"]["id"]
+    assert by["w.inner"]["parent"] == by["w.outer"]["id"]
+    assert by["w.outer"]["id"] == id_map[worker.spans()[1]["id"]]
+    assert len({s["id"] for s in main.spans()}) == 3  # ids stay unique
+    assert main.counters() == {"decodes": 10}
+    assert main.gauges() == {"depth": 2.0}
+
+
+def test_absorb_without_parent_keeps_foreign_roots_as_roots():
+    worker = Tracer()
+    with worker.span("w"):
+        pass
+    main = Tracer()
+    main.absorb(worker.export())
+    assert main.spans()[0]["parent"] is None
+
+
+# ----------------------------------------------------------------------
+# the no-op default
+# ----------------------------------------------------------------------
+def test_null_tracer_is_inert_and_shared():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert NULL_TRACER.enabled is False
+    a = NULL_TRACER.span("x", parent=3, detach=True, alg="HEFT")
+    b = NULL_TRACER.span("y")
+    assert a is b  # one preallocated handle, no per-span allocation
+    with a as span:
+        span.set(ignored=True)
+    assert span.sid is None
+    NULL_TRACER.count("n")
+    NULL_TRACER.gauge("g", 1.0)
+    assert NULL_TRACER.spans() == [] and NULL_TRACER.counters() == {}
+    assert NULL_TRACER.export()["spans"] == []
+    assert NULL_TRACER.absorb({"spans": [{"id": 1}]}) == {}
+
+
+def test_module_default_is_null_and_resettable():
+    set_tracer(None)
+    assert get_tracer() is NULL_TRACER
+    tracer = Tracer()
+    set_tracer(tracer)
+    assert get_tracer() is tracer
+    set_tracer(None)
+    assert get_tracer() is NULL_TRACER
+
+
+def test_max_spans_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(max_spans=0)

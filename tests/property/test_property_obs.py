@@ -1,0 +1,69 @@
+"""Property: tracing is observationally free.
+
+Turning the tracer on must not change a single placement of a single
+scheduler — the observability layer reads timestamps and counts events
+but never participates in any scheduling decision.  Checked for every
+registered scheduler over hypothesis-drawn seeded instances (tiny, so
+the exact branch-and-bound scheduler also terminates), together with
+well-formedness of every produced span tree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import workloads as W
+from repro.obs import Tracer, use_tracer, validate_trace
+from repro.schedulers.registry import all_scheduler_names, get_scheduler
+from repro.utils.rng import as_generator
+
+SCHEDULERS = all_scheduler_names()
+
+
+def _tiny_instance(seed: int):
+    return W.random_instance(as_generator(seed), num_tasks=8, num_procs=3)
+
+
+def _placements(schedule):
+    return sorted(
+        (str(p.task), str(p.proc), p.start, p.end, p.duplicate)
+        for p in schedule.all_placements()
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    alg=st.sampled_from(SCHEDULERS),
+)
+@settings(max_examples=30, deadline=None)
+def test_tracing_on_equals_tracing_off(seed: int, alg: str):
+    instance = _tiny_instance(seed)
+    baseline = get_scheduler(alg).schedule(instance)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        traced = get_scheduler(alg).schedule(instance)
+    assert traced.makespan == baseline.makespan  # exact float equality
+    assert _placements(traced) == _placements(baseline)
+    assert validate_trace(tracer) == []
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_span_trees_are_well_formed(seed: int):
+    """Parents contain children, durations non-negative, ids unique —
+    across a mixed run exercising list, improved and compiled paths."""
+    instance = _tiny_instance(seed)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        for alg in ("HEFT", "CPOP", "IMP", "GA"):
+            get_scheduler(alg).schedule(instance)
+    spans = tracer.spans()
+    assert spans, "instrumented schedulers recorded no spans"
+    assert validate_trace(tracer) == []
+    ids = [s["id"] for s in spans]
+    assert len(ids) == len(set(ids))
+    known = set(ids)
+    for span in spans:
+        assert span["parent"] is None or span["parent"] in known
+        assert span["t1"] >= span["t0"]

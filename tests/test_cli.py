@@ -119,3 +119,68 @@ class TestDemoAndExperiment:
 
         with pytest.raises(ExperimentError):
             main(["experiment", "E99"])
+
+
+class TestTrace:
+    @pytest.fixture
+    def dag_path(self, tmp_path):
+        dag = random_dag(12, seed=4)
+        path = tmp_path / "g.json"
+        dio.save_json(dag, path)
+        return str(path)
+
+    def test_trace_chrome_to_stdout(self, dag_path, capsys):
+        import json
+
+        assert main(["trace", "heft", dag_path, "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        # Ranking, placement and per-task insertion are all covered.
+        assert {"sched.run", "sched.rank", "sched.place", "sched.insert"} <= names
+        inserts = [e for e in doc["traceEvents"] if e["name"] == "sched.insert"]
+        assert len(inserts) == 12
+
+    def test_trace_writes_jsonl_file(self, dag_path, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "HEFT", dag_path, "--out", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "wrote" in summary and "spans" in summary
+        first = json.loads(out.read_text().splitlines()[0])
+        assert first["type"] == "span" and first["name"] == "sched.run"
+
+    def test_trace_accepts_instance_document(self, tmp_path, capsys):
+        import json
+
+        from repro.instance import make_instance
+        from repro.instance_io import instance_to_json
+
+        instance = make_instance(random_dag(8, seed=6), num_procs=3, seed=6)
+        path = tmp_path / "inst.json"
+        path.write_text(instance_to_json(instance))
+        assert main(["trace", "cpop", str(path), "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(e["name"] == "sched.run" for e in doc["traceEvents"])
+
+    def test_schedule_trace_out_flag(self, dag_path, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sched.json"
+        rc = main(["schedule", "--dag", dag_path, "--alg", "IMP",
+                   "--trace-out", str(out)])
+        assert rc == 0
+        assert "trace" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert any(e["name"] == "imp.pass" for e in doc["traceEvents"])
+
+    def test_tracing_does_not_change_the_reported_makespan(self, dag_path,
+                                                           tmp_path, capsys):
+        assert main(["schedule", "--dag", dag_path, "--alg", "HEFT"]) == 0
+        plain = capsys.readouterr().out
+        out = tmp_path / "t.json"
+        assert main(["schedule", "--dag", dag_path, "--alg", "HEFT",
+                     "--trace-out", str(out)]) == 0
+        traced = capsys.readouterr().out
+        line = [l for l in plain.splitlines() if l.startswith("makespan")]
+        assert line and line[0] in traced
