@@ -1,0 +1,186 @@
+"""Resilience benchmark: goodput and recovery under worker-kill chaos.
+
+Drives the real engine (process-pool workers) through a fixed workload
+three ways:
+
+* **baseline** — no faults, for the goodput reference;
+* **chaos** — a fault plan kills a worker at ``worker.start`` for ~10%
+  of the workload's requests; the engine must heal (quarantine +
+  respawn + re-execute) while the workload keeps flowing;
+* **recovery probe** — a single request against a pool whose first
+  compute is fatal, isolating the cost of one heal cycle (respawn +
+  re-warm + re-execution) from steady-state throughput.
+
+Goodput counts *successful* responses only; with self-healing, chaos
+goodput must stay > 0 with zero caller-visible errors.  Writes
+``BENCH_resilience.json`` at the repo root.  Run directly to
+regenerate:
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+The pytest wrapper runs a smaller protocol and enforces the PR's
+acceptance floor: every request under chaos completes (no errors), at
+least one respawn actually happened, and chaos goodput stays within a
+sane fraction of baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import workloads as W
+from repro.service import (
+    EngineConfig,
+    FaultPlan,
+    FaultRule,
+    SchedulingEngine,
+)
+from repro.utils.rng import as_generator
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_resilience.json"
+
+#: Benchmark protocol: ~10% of requests meet a fatal worker, two pool
+#: workers, DAGs big enough that a kill lands mid-load.
+PROTOCOL = dict(num_instances=20, num_tasks=60, num_procs=6, workers=2,
+                kill_fraction=0.1, alg="HEFT")
+
+
+def _instances(n: int, num_tasks: int, num_procs: int, seed_base: int = 4000):
+    return [
+        W.random_instance(as_generator(seed_base + i), num_tasks=num_tasks, num_procs=num_procs)
+        for i in range(n)
+    ]
+
+
+async def _drive(engine: SchedulingEngine, instances, alg: str, timeout: float) -> dict:
+    """Submit the whole workload concurrently; count outcomes."""
+    t0 = time.perf_counter()
+    outcomes = await asyncio.gather(
+        *[engine.submit(inst, alg, timeout=timeout) for inst in instances],
+        return_exceptions=True,
+    )
+    wall_s = time.perf_counter() - t0
+    completed = sum(1 for o in outcomes if isinstance(o, dict))
+    failures = [type(o).__name__ for o in outcomes if not isinstance(o, dict)]
+    return {
+        "wall_s": wall_s,
+        "completed": completed,
+        "failed": len(failures),
+        "failure_types": sorted(set(failures)),
+        "goodput_rps": completed / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+async def _run_pass(instances, alg: str, workers: int,
+                    fault_plan: FaultPlan | None = None) -> dict:
+    engine = SchedulingEngine(EngineConfig(
+        workers=workers, fault_plan=fault_plan, max_respawns=8,
+        respawn_window=300.0, queue_depth=256, default_timeout=300.0,
+        cache_size=4 * len(instances),
+    ))
+    await engine.start()
+    try:
+        outcome = await _drive(engine, instances, alg, timeout=300.0)
+        stats = engine.stats()
+        outcome["respawns"] = stats.respawns
+        outcome["reexecutions"] = stats.retries
+        outcome["errors"] = stats.errors
+        return outcome
+    finally:
+        await engine.stop(drain=False)
+
+
+async def _recovery_probe(instance, alg: str, workers: int, token_dir: str) -> dict:
+    """Wall time of one request whose first compute kills its worker,
+    minus the same request on a healthy pool: the cost of one heal."""
+    healthy = await _run_pass([instance], alg, workers)
+    plan = FaultPlan((
+        FaultRule(point="worker.start", action="kill", times=1, token_dir=token_dir),
+    ))
+    hurt = await _run_pass([instance], alg, workers, fault_plan=plan)
+    return {
+        "healthy_s": healthy["wall_s"],
+        "healed_s": hurt["wall_s"],
+        "recovery_overhead_s": max(0.0, hurt["wall_s"] - healthy["wall_s"]),
+        "respawns": hurt["respawns"],
+        "completed": hurt["completed"],
+    }
+
+
+async def run_benchmark(num_instances: int, num_tasks: int, num_procs: int,
+                        workers: int, kill_fraction: float, alg: str) -> dict:
+    instances = _instances(num_instances, num_tasks, num_procs)
+    kills = max(1, math.floor(num_instances * kill_fraction))
+    baseline = await _run_pass(instances, alg, workers)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tokens:
+        plan = FaultPlan((
+            FaultRule(point="worker.start", action="kill", times=kills,
+                      token_dir=tokens),
+        ))
+        chaos = await _run_pass(instances, alg, workers, fault_plan=plan)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tokens:
+        recovery = await _recovery_probe(instances[0], alg, workers, tokens)
+    return {
+        "config": {
+            "num_instances": num_instances,
+            "num_tasks": num_tasks,
+            "num_procs": num_procs,
+            "workers": workers,
+            "kills": kills,
+            "alg": alg,
+        },
+        "baseline": baseline,
+        "chaos": chaos,
+        "goodput_ratio": (chaos["goodput_rps"] / baseline["goodput_rps"]
+                          if baseline["goodput_rps"] > 0 else 0.0),
+        "recovery": recovery,
+    }
+
+
+def generate() -> dict:
+    doc = {
+        "benchmark": "repro.service goodput + recovery under worker-kill chaos",
+        "results": asyncio.run(run_benchmark(**PROTOCOL)),
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# pytest wrapper (soft-threshold CI gate, smaller protocol)
+# ----------------------------------------------------------------------
+def test_chaos_goodput_floor():
+    result = asyncio.run(run_benchmark(
+        num_instances=8, num_tasks=40, num_procs=4, workers=2,
+        kill_fraction=0.15, alg="HEFT",
+    ))
+    chaos = result["chaos"]
+    assert chaos["failed"] == 0, f"chaos failures: {chaos['failure_types']}"
+    assert chaos["completed"] == 8, "every request must survive worker kills"
+    assert chaos["errors"] == 0, "worker death must never surface as WorkerError"
+    assert chaos["respawns"] >= 1, "the kill plan must have forced a respawn"
+    assert chaos["goodput_rps"] > 0
+    assert result["recovery"]["completed"] == 1
+    assert result["recovery"]["respawns"] >= 1
+
+
+if __name__ == "__main__":
+    doc = generate()
+    res = doc["results"]
+    base, chaos, rec = res["baseline"], res["chaos"], res["recovery"]
+    print(f"baseline goodput {base['goodput_rps']:7.2f} rps "
+          f"({base['completed']}/{res['config']['num_instances']} ok)")
+    print(f"chaos    goodput {chaos['goodput_rps']:7.2f} rps "
+          f"({chaos['completed']}/{res['config']['num_instances']} ok, "
+          f"{chaos['respawns']} respawns, {chaos['reexecutions']} re-executions)")
+    print(f"goodput ratio under ~{res['config']['kills']} kills: "
+          f"{res['goodput_ratio']:.2f}x of baseline")
+    print(f"recovery overhead: {rec['recovery_overhead_s']:.2f} s "
+          f"(healthy {rec['healthy_s']:.2f} s -> healed {rec['healed_s']:.2f} s)")
+    print(f"wrote {OUT}")

@@ -311,6 +311,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         batch_size=args.batch_size,
         default_timeout=args.timeout,
+        max_respawns=args.max_respawns,
+        respawn_window=args.respawn_window,
     )
     # The daemon always traces: the span store is bounded, the no-op
     # question doesn't arise (requests are I/O-scale, not decode-scale),
@@ -337,7 +339,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats = server.engine.stats()
         print(
             f"drained: {stats.completed} completed, {stats.cache_hits} cache hits, "
-            f"{stats.rejected} rejected, {stats.timeouts} timeouts",
+            f"{stats.rejected} rejected, {stats.timeouts} timeouts, "
+            f"{stats.respawns} pool respawns",
             flush=True,
         )
         if args.trace_out:
@@ -352,13 +355,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.instance import make_instance
-    from repro.service import ServiceClient
+    from repro.service import RetryPolicy, ServiceClient
 
     dag = _load_dag(args.dag)
     instance = make_instance(
         dag, num_procs=args.procs, heterogeneity=args.heterogeneity, seed=args.seed
     )
-    client = ServiceClient.at(args.endpoint, request_timeout=args.timeout)
+    policy = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    client = ServiceClient.at(args.endpoint, request_timeout=args.timeout,
+                              retry_policy=policy)
     result = client.schedule_sync(instance, alg=args.alg, timeout=args.timeout)
     print(f"algorithm  : {result.alg}")
     print(f"dag        : {dag.name} ({dag.num_tasks} tasks, {dag.num_edges} edges)")
@@ -366,6 +371,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"cache hit  : {'yes' if result.cache_hit else 'no'}")
     print(f"makespan   : {result.makespan:.4f}")
     print(f"server ms  : {result.server_ms:.3f}")
+    if client.retry_stats.retries:
+        print(f"retries    : {client.retry_stats.retries} "
+              f"({client.retry_stats.backoff_s:.3f}s backoff)")
     if args.gantt:
         print()
         print(result.to_schedule(instance.machine).gantt())
@@ -506,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bounded request queue (full -> 429)")
     p_serve.add_argument("--batch-size", type=int, default=8,
                          help="max requests dispatched per batch")
+    p_serve.add_argument("--max-respawns", type=int, default=3,
+                         help="worker-pool respawns allowed per window before "
+                              "the engine closes (default 3)")
+    p_serve.add_argument("--respawn-window", type=float, default=60.0,
+                         help="sliding window (seconds) the respawn budget "
+                              "applies to (default 60)")
     p_serve.add_argument("--timeout", type=float, default=30.0,
                          help="default per-request timeout (seconds)")
     p_serve.add_argument("--trace-spans", type=int, default=100_000,
@@ -518,6 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_instance_args(p_submit)
     p_submit.add_argument("--endpoint", default="127.0.0.1:8787",
                           help="service endpoint host:port")
+    p_submit.add_argument("--retries", type=int, default=3,
+                          help="client retries on backpressure/connection "
+                               "failures (0 disables; default 3)")
     p_submit.add_argument("--timeout", type=float, default=60.0,
                           help="request timeout (seconds)")
     p_submit.add_argument("--gantt", action="store_true",

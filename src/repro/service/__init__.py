@@ -42,15 +42,24 @@ from repro.service.errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    TransportError,
     WorkerError,
 )
+from repro.service.faults import FaultInjected, FaultPlan, FaultRule
 from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.protocol import ScheduleResult, compute_schedule_payload
+from repro.service.resilience import Deadline, RetryPolicy, RetryStats
 from repro.service.server import ScheduleServer
 
 __all__ = [
+    "Deadline",
     "EngineConfig",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
     "RequestError",
+    "RetryPolicy",
+    "RetryStats",
     "ScheduleCache",
     "ScheduleResult",
     "ScheduleServer",
@@ -62,6 +71,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceStats",
     "ServiceTimeoutError",
+    "TransportError",
     "WorkerError",
     "compute_schedule_payload",
     "parse_endpoint",

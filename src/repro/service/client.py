@@ -7,6 +7,20 @@ for a local daemon.  Server-side failures come back as the same
 exception types the in-process engine raises — a caller can move
 between ``engine.submit(...)`` and ``client.schedule(...)`` without
 changing its error handling.
+
+Fault tolerance (see :mod:`repro.service.resilience`):
+
+* Every ``schedule`` call carries one :class:`Deadline` for its whole
+  life — connect, send, wait, read all spend from the same budget, and
+  the server receives it (``X-Repro-Deadline``) so the engine-side wait
+  shrinks by the time already burned in transport and queueing.
+* With a :class:`RetryPolicy` installed, retryable failures — 429
+  backpressure, connection refused/reset, a connection dropped
+  mid-response — are retried under decorrelated-jitter backoff,
+  honoring the server's ``Retry-After`` hint, within the policy's
+  retry count, backoff budget and the request deadline.  Safe by
+  construction: the schedule computation is pure and content-addressed,
+  so a duplicate submission is at worst a cache hit.
 """
 
 from __future__ import annotations
@@ -17,16 +31,19 @@ from collections import OrderedDict
 
 from repro.instance import Instance
 from repro.instance_io import instance_to_json
+from repro.obs import get_tracer
 from repro.service.errors import (
     RequestError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    TransportError,
     WorkerError,
 )
 from repro.service.metrics import ServiceStats
 from repro.service.protocol import ScheduleResult, make_request_doc
+from repro.service.resilience import Deadline, RetryPolicy, RetryStats, _RetryState
 
 _ERROR_BY_STATUS = {
     400: RequestError,
@@ -38,6 +55,11 @@ _ERROR_BY_STATUS = {
     504: ServiceTimeoutError,
 }
 
+#: Failures worth retrying: backpressure, refused/reset connections and
+#: transport-level breakage.  ``OSError`` covers ``ConnectionRefusedError``
+#: and ``TimeoutError`` (both are subclasses in 3.10+).
+RETRYABLE = (ServiceOverloadedError, TransportError, OSError)
+
 #: Encoded request bodies memoised per client (instance fingerprint x
 #: alg x timeout).  Resubmitting an instance skips re-serialisation and
 #: sends byte-identical bodies, which the server's exact-body fast path
@@ -46,32 +68,63 @@ _BODY_CACHE_SIZE = 128
 
 
 def parse_endpoint(endpoint: str, default_port: int = 8787) -> tuple[str, int]:
-    """Parse ``host``, ``host:port`` or ``http://host:port`` strings."""
+    """Parse ``host``, ``host:port`` or ``http://host:port`` strings.
+
+    IPv6 literals use the standard bracket form (``[::1]:8787``); a
+    bare multi-colon literal (``::1``) is accepted as a host with the
+    default port, since no port split is unambiguous there.
+    """
     text = endpoint.strip()
     for prefix in ("http://", "https://"):
         if text.startswith(prefix):
             text = text[len(prefix):]
     text = text.rstrip("/")
-    host, _, port_text = text.partition(":")
-    if not host:
-        host = "127.0.0.1"
-    if not port_text:
-        return host, default_port
+    if text.startswith("["):
+        # Bracketed IPv6: [host] or [host]:port.
+        host, bracket, rest = text[1:].partition("]")
+        if not bracket or not host:
+            raise RequestError(f"invalid endpoint {endpoint!r}")
+        if not rest:
+            return host, default_port
+        if not rest.startswith(":"):
+            raise RequestError(f"invalid endpoint {endpoint!r}")
+        port_text = rest[1:]
+    elif text.count(":") > 1:
+        # Unbracketed IPv6 literal: all host, no port to split off.
+        return text, default_port
+    else:
+        host, _, port_text = text.partition(":")
+        if not host:
+            host = "127.0.0.1"
+        if not port_text:
+            return host, default_port
     try:
-        return host, int(port_text)
+        port = int(port_text)
     except ValueError:
         raise RequestError(f"invalid endpoint {endpoint!r}") from None
+    if not 0 <= port <= 65535:
+        raise RequestError(f"invalid endpoint {endpoint!r}: port out of range")
+    return host, port
 
 
 class ServiceClient:
-    """Talks to one running :class:`~repro.service.server.ScheduleServer`."""
+    """Talks to one running :class:`~repro.service.server.ScheduleServer`.
+
+    ``retry_policy=None`` (the default) preserves fail-fast semantics:
+    every error surfaces immediately.  Install a
+    :class:`~repro.service.resilience.RetryPolicy` to retry retryable
+    failures; :attr:`retry_stats` then accounts what the loop did.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 connect_timeout: float = 5.0, request_timeout: float = 120.0) -> None:
+                 connect_timeout: float = 5.0, request_timeout: float = 120.0,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        self.retry_policy = retry_policy
+        self.retry_stats = RetryStats()
         self._body_cache: OrderedDict[tuple, bytes] = OrderedDict()
 
     @classmethod
@@ -83,18 +136,38 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _stage_timeout(self, deadline: Deadline | None, default: float) -> float:
+        """Per-I/O-stage timeout: the deadline's remainder when one is
+        carried, else the stage default.  Raising here (instead of
+        waiting out a doomed stage) is what makes the deadline end-to-end."""
+        if deadline is None:
+            return default
+        remaining = deadline.remaining()
+        if remaining <= 0:
+            raise ServiceTimeoutError(
+                f"request deadline expired ({-remaining:g}s past)"
+            )
+        return remaining
+
     async def _request(self, method: str, path: str,
-                       body: bytes | None = None) -> tuple[int, bytes]:
+                       body: bytes | None = None,
+                       deadline: Deadline | None = None,
+                       ) -> tuple[int, dict[str, str], bytes]:
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.connect_timeout
+            asyncio.open_connection(self.host, self.port),
+            self._stage_timeout(deadline, self.connect_timeout),
         )
         try:
             payload = body or b""
+            deadline_header = (
+                f"X-Repro-Deadline: {deadline.at!r}\r\n" if deadline is not None else ""
+            )
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{deadline_header}"
                 "Connection: close\r\n\r\n"
             )
             writer.write(head.encode("latin-1") + payload)
@@ -103,18 +176,28 @@ class ServiceClient:
             # read-to-EOF: pool workers forked on the server side may hold
             # an inherited copy of this socket, delaying EOF indefinitely.
             header = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), self.request_timeout
+                reader.readuntil(b"\r\n\r\n"),
+                self._stage_timeout(deadline, self.request_timeout),
             )
-            content_length = 0
+            headers: dict[str, str] = {}
             for line in header.split(b"\r\n")[1:]:
                 name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    content_length = int(value.strip())
+                if name:
+                    headers[name.strip().lower()] = value.strip()
+            try:
+                content_length = int(headers.get("content-length", "0"))
+            except ValueError:
+                raise TransportError(
+                    f"malformed Content-Length header "
+                    f"{headers.get('content-length')!r} from "
+                    f"{self.host}:{self.port}"
+                ) from None
             answer = await asyncio.wait_for(
-                reader.readexactly(content_length), self.request_timeout
+                reader.readexactly(content_length),
+                self._stage_timeout(deadline, self.request_timeout),
             )
         except asyncio.IncompleteReadError as exc:
-            raise ServiceError(
+            raise TransportError(
                 f"connection to {self.host}:{self.port} closed mid-response"
             ) from exc
         finally:
@@ -127,22 +210,30 @@ class ServiceClient:
         try:
             status = int(status_line.split()[1])
         except (IndexError, ValueError):
-            raise ServiceError(f"malformed status line {status_line!r}") from None
-        return status, answer
+            raise TransportError(f"malformed status line {status_line!r}") from None
+        return status, headers, answer
 
     async def _request_json(self, method: str, path: str,
                             doc: dict | None = None,
-                            body: bytes | None = None) -> dict:
+                            body: bytes | None = None,
+                            deadline: Deadline | None = None) -> dict:
         if body is None and doc is not None:
             body = json.dumps(doc).encode("utf-8")
-        status, payload = await self._request(method, path, body)
+        status, headers, payload = await self._request(method, path, body,
+                                                       deadline=deadline)
         try:
             answer = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             answer = {"status": "error", "error": payload.decode("latin-1", "replace")}
         if status != 200:
             exc_type = _ERROR_BY_STATUS.get(status, WorkerError)
-            raise exc_type(answer.get("error", f"HTTP {status}"))
+            exc = exc_type(answer.get("error", f"HTTP {status}"))
+            if status == 429:
+                try:
+                    exc.retry_after = float(headers["retry-after"])
+                except (KeyError, ValueError):
+                    pass
+            raise exc
         return answer
 
     # ------------------------------------------------------------------
@@ -169,12 +260,40 @@ class ServiceClient:
                        trace_id: str | None = None) -> ScheduleResult:
         """Submit one instance; returns the placement result.
 
-        ``trace_id`` (optional) is echoed back in the result and stamped
-        on every server/worker span this request produces.
+        ``timeout`` bounds the whole call — including every retry the
+        client's :class:`RetryPolicy` takes — via one deadline that is
+        also propagated to the server.  ``trace_id`` (optional) is
+        echoed back in the result and stamped on every server/worker
+        span this request produces.
         """
         body = self._schedule_body(instance, alg, timeout, trace_id)
-        answer = await self._request_json("POST", "/v1/schedule", body=body)
-        return ScheduleResult.from_payload(answer["result"])
+        deadline = Deadline.after(timeout if timeout is not None else self.request_timeout)
+        policy = self.retry_policy
+        if policy is None:
+            answer = await self._request_json("POST", "/v1/schedule", body=body,
+                                              deadline=deadline)
+            return ScheduleResult.from_payload(answer["result"])
+        tracer = get_tracer()
+        state = _RetryState(policy, self.retry_stats, deadline)
+        while True:
+            self.retry_stats.attempts += 1
+            try:
+                answer = await self._request_json("POST", "/v1/schedule", body=body,
+                                                  deadline=deadline)
+                return ScheduleResult.from_payload(answer["result"])
+            except RETRYABLE as exc:
+                retry_after = getattr(exc, "retry_after", None)
+                if tracer.enabled:
+                    with tracer.span("client.backoff", detach=True, alg=alg,
+                                     cause=type(exc).__name__,
+                                     retry_after=retry_after or 0.0):
+                        retried = await state.backoff(retry_after)
+                else:
+                    retried = await state.backoff(retry_after)
+                if not retried:
+                    raise
+                if tracer.enabled:
+                    tracer.count("client.retries")
 
     async def stats(self) -> ServiceStats:
         """Fetch the server's counter snapshot."""
@@ -183,7 +302,7 @@ class ServiceClient:
 
     async def metrics_text(self) -> str:
         """Fetch the Prometheus-style exposition text."""
-        status, payload = await self._request("GET", "/metrics")
+        status, _, payload = await self._request("GET", "/metrics")
         if status != 200:
             raise ServiceError(f"GET /metrics -> HTTP {status}")
         return payload.decode("utf-8")

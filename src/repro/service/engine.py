@@ -47,13 +47,14 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.instance import Instance
 from repro.instance_io import instance_to_json
 from repro.obs import NullTracer, Tracer, get_tracer, to_prometheus
-from repro.service import protocol
+from repro.service import faults, protocol
 from repro.service.cache import ScheduleCache, request_key
 from repro.service.errors import (
     ServiceClosedError,
@@ -62,6 +63,7 @@ from repro.service.errors import (
     WorkerError,
 )
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import Deadline
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,15 @@ class EngineConfig:
     queue_depth: int = 64
     batch_size: int = 8
     default_timeout: float = 30.0
+    #: Pool self-healing: how many pool respawns are allowed within one
+    #: sliding ``respawn_window`` before the engine declares itself
+    #: unrecoverable and closes (crash-looping workers would otherwise
+    #: burn CPU forever re-warming doomed pools).
+    max_respawns: int = 3
+    respawn_window: float = 60.0
+    #: Chaos-testing hook: a picklable fault plan installed in every
+    #: pool worker (including respawned pools).  ``None`` in production.
+    fault_plan: "faults.FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -83,6 +94,10 @@ class EngineConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.default_timeout <= 0:
             raise ValueError(f"default_timeout must be > 0, got {self.default_timeout}")
+        if self.max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.respawn_window <= 0:
+            raise ValueError(f"respawn_window must be > 0, got {self.respawn_window}")
 
 
 def _warm_worker() -> None:
@@ -95,6 +110,11 @@ def _warm_worker() -> None:
     import repro.schedulers.registry  # noqa: F401  (import is the warmup)
 
     time.sleep(0.05)
+
+
+def _init_worker(plan: "faults.FaultPlan | None") -> None:
+    """Pool-worker initializer: arm the fault plan (a no-op when None)."""
+    faults.install(plan)
 
 
 class _Job:
@@ -139,7 +159,11 @@ class SchedulingEngine:
         self._inflight: dict[str, _Job] = {}
         self._running: set[asyncio.Task] = set()
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_generation = 0
+        self._respawn_lock: asyncio.Lock | None = None
+        self._respawn_times: deque[float] = deque()
         self._dispatcher: asyncio.Task | None = None
+        self._stop: asyncio.Event | None = None
         self._closed = False
         self._started = False
 
@@ -158,12 +182,24 @@ class SchedulingEngine:
         if self._started:
             return
         if self.config.workers > 0:
-            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
-            warmups = [self._pool.submit(_warm_worker) for _ in range(self.config.workers)]
-            await asyncio.gather(*[asyncio.wrap_future(f) for f in warmups])
+            self._pool = await self._spawn_pool()
+        self._stop = asyncio.Event()
+        self._respawn_lock = asyncio.Lock()
+        self._respawn_times.clear()
         self._dispatcher = asyncio.create_task(self._dispatch_loop(), name="repro-dispatcher")
         self._started = True
         self._closed = False
+
+    async def _spawn_pool(self) -> ProcessPoolExecutor:
+        """Fork and warm one worker pool (initial start and respawns)."""
+        pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_init_worker,
+            initargs=(self.config.fault_plan,),
+        )
+        warmups = [pool.submit(_warm_worker) for _ in range(self.config.workers)]
+        await asyncio.gather(*[asyncio.wrap_future(f) for f in warmups])
+        return pool
 
     async def stop(self, drain: bool = True, drain_timeout: float = 30.0) -> None:
         """Stop the engine.
@@ -180,11 +216,13 @@ class SchedulingEngine:
             deadline = time.monotonic() + drain_timeout
             while (self._inflight or not self._queue.empty()) and time.monotonic() < deadline:
                 await asyncio.sleep(0.01)
+        if self._stop is not None:
+            # A dedicated stop event, never an in-band queue sentinel: a
+            # bounded queue can be full at stop time, and a sentinel
+            # that cannot be enqueued (or re-enqueued by the batch loop)
+            # would crash the dispatcher and deadlock shutdown.
+            self._stop.set()
         if self._dispatcher is not None:
-            try:
-                self._queue.put_nowait(None)  # wake the dispatcher so it can exit
-            except asyncio.QueueFull:
-                self._dispatcher.cancel()
             try:
                 await asyncio.wait_for(self._dispatcher, timeout=5.0)
             except (asyncio.TimeoutError, asyncio.CancelledError):
@@ -213,6 +251,11 @@ class SchedulingEngine:
         return self._closed
 
     @property
+    def pool_generation(self) -> int:
+        """How many pools this engine has had (0 = the original)."""
+        return self._pool_generation
+
+    @property
     def tracer(self) -> Tracer | NullTracer:
         """This engine's tracer: the injected one, else the module default."""
         return self._tracer if self._tracer is not None else get_tracer()
@@ -226,7 +269,8 @@ class SchedulingEngine:
     # ------------------------------------------------------------------
     async def submit(self, instance: Instance, alg: str,
                      timeout: float | None = None,
-                     trace_id: str | None = None) -> dict:
+                     trace_id: str | None = None,
+                     deadline: "Deadline | float | None" = None) -> dict:
         """Schedule ``instance`` with scheduler ``alg``; return the payload.
 
         The returned dict is a fresh copy carrying ``cache_hit``,
@@ -235,6 +279,14 @@ class SchedulingEngine:
         :class:`ServiceOverloadedError` (queue full),
         :class:`ServiceTimeoutError` (deadline), :class:`WorkerError`
         (computation failed) or :class:`ServiceClosedError` (draining).
+
+        ``deadline`` (a :class:`~repro.service.resilience.Deadline` or
+        an absolute ``time.monotonic()`` float) is the one end-to-end
+        expiry the request carries from the client: the effective wait
+        here is ``min(timeout, deadline.remaining())``, so time already
+        spent in transport or in the queue is never double-counted.  A
+        request that arrives past its deadline is answered 504 without
+        occupying queue space (a cache hit still answers — it is free).
 
         All request spans use explicit parents (``parent=``/``detach``)
         rather than the tracer's thread-local nesting: the event-loop
@@ -263,6 +315,19 @@ class SchedulingEngine:
                                      trace_id=trace_id, parent=req.sid)
             self.metrics.cache_miss()
 
+            if timeout is None:
+                timeout = self.config.default_timeout
+            if deadline is not None:
+                if isinstance(deadline, float | int):
+                    deadline = Deadline(float(deadline))
+                timeout = min(timeout, deadline.remaining())
+                if timeout <= 0:
+                    self.metrics.timeout()
+                    raise ServiceTimeoutError(
+                        f"deadline expired before {alg} could be scheduled "
+                        f"({-timeout:g}s past)"
+                    )
+
             job = self._inflight.get(key)
             if job is None:
                 job = _Job(key, instance_to_json(instance), alg,
@@ -273,17 +338,17 @@ class SchedulingEngine:
                     self._queue.put_nowait(job)
                 except asyncio.QueueFull:
                     self.metrics.reject()
-                    raise ServiceOverloadedError(
+                    exc = ServiceOverloadedError(
                         f"request queue full ({self.config.queue_depth}); retry later"
-                    ) from None
+                    )
+                    exc.retry_after = self.retry_after_hint()
+                    raise exc from None
                 self._inflight[key] = job
             else:
                 self.metrics.coalesce()
                 if tracer.enabled:
                     tracer.count("service.coalesced")
 
-            if timeout is None:
-                timeout = self.config.default_timeout
             try:
                 payload = await asyncio.wait_for(asyncio.shield(job.future), timeout)
             except asyncio.TimeoutError:
@@ -293,6 +358,16 @@ class SchedulingEngine:
                 ) from None
             return self._respond(payload, key, t0, cache_hit=False,
                                  trace_id=trace_id, parent=req.sid)
+
+    def retry_after_hint(self) -> float:
+        """Load-aware backoff suggestion (seconds) for 429 responses.
+
+        Scales with how much queued work each worker has to chew
+        through; clamped so clients neither hammer a saturated daemon
+        nor stall for ages after a transient spike.
+        """
+        per_worker = self._queue.qsize() / max(1, self.config.workers)
+        return min(2.0, max(0.05, 0.05 * per_worker))
 
     def submit_cached(self, key: str, trace_id: str | None = None) -> dict | None:
         """Answer request ``key`` from the cache, or ``None`` if absent.
@@ -341,69 +416,195 @@ class SchedulingEngine:
     # dispatch
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
-        """Pull jobs off the queue in batches and fan them out."""
-        while True:
-            job = await self._queue.get()
-            if job is None:
-                return
-            batch = [job]
-            while len(batch) < self.config.batch_size:
+        """Pull jobs off the queue in batches and fan them out.
+
+        Shutdown is signalled by the dedicated ``self._stop`` event —
+        never by an in-band queue sentinel, which a full bounded queue
+        could refuse to (re-)enqueue, crashing this task and
+        deadlocking :meth:`stop`.  Both blocking points (queue get,
+        slot acquire) race the event, so a hard stop interrupts the
+        dispatcher wherever it is waiting.
+        """
+        stop = self._stop
+        stop_wait = asyncio.create_task(stop.wait())
+        try:
+            while True:
+                if stop.is_set() and self._queue.empty():
+                    return
+                getter = asyncio.create_task(self._queue.get())
+                await asyncio.wait({getter, stop_wait},
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if not getter.done():
+                    getter.cancel()
+                    try:
+                        await getter
+                    except asyncio.CancelledError:
+                        pass
+                    return  # hard stop; stop() fails whatever is queued
+                batch = [getter.result()]
+                while len(batch) < self.config.batch_size:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                self.metrics.batch(len(batch))
+                for item in batch:
+                    if not await self._acquire_slot(stop_wait):
+                        return  # hard stop mid-batch; stop() owns the futures
+                    # The dispatcher owns the slot lifecycle end to end:
+                    # acquired here, released in the done-callback.  A
+                    # release inside _run_job's ``finally`` would leak
+                    # the slot if the task were cancelled before its
+                    # first await (the coroutine never enters ``try``).
+                    task = asyncio.create_task(self._run_job(item))
+                    self._running.add(task)
+                    task.add_done_callback(self._job_task_done)
+        finally:
+            if not stop_wait.done():
+                stop_wait.cancel()
                 try:
-                    nxt = self._queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    break
-                if nxt is None:
-                    self._queue.put_nowait(None)  # re-arm the stop signal
-                    break
-                batch.append(nxt)
-            self.metrics.batch(len(batch))
-            for item in batch:
-                await self._slots.acquire()
-                task = asyncio.create_task(self._run_job(item))
-                self._running.add(task)
-                task.add_done_callback(self._running.discard)
+                    await stop_wait
+                except asyncio.CancelledError:
+                    pass
+
+    async def _acquire_slot(self, stop_wait: asyncio.Task) -> bool:
+        """Acquire one dispatch slot, or give up when stop trips first."""
+        acquire = asyncio.create_task(self._slots.acquire())
+        await asyncio.wait({acquire, stop_wait},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if acquire.done() and not acquire.cancelled():
+            return True
+        acquire.cancel()
+        try:
+            await acquire
+        except asyncio.CancelledError:
+            pass
+        return False
+
+    def _job_task_done(self, task: asyncio.Task) -> None:
+        self._running.discard(task)
+        self._slots.release()
 
     async def _run_job(self, job: _Job) -> None:
+        """Execute one job, healing the worker pool on worker death.
+
+        ``BrokenProcessPool`` (a worker was OOM-killed, segfaulted, or
+        chaos-killed) fails *every* future in flight on that pool; the
+        computation itself is pure and content-addressed, so each
+        affected job is transparently re-executed on a respawned pool
+        instead of surfacing :class:`WorkerError` to its waiters.  The
+        respawn budget (``max_respawns`` per ``respawn_window``) bounds
+        how long a crash-looping workload can grind before the engine
+        declares itself unrecoverable.
+        """
         loop = asyncio.get_running_loop()
         tracer = self.tracer
         if tracer.enabled:
             tracer.record_span("queue.wait", job.enqueued, time.perf_counter(),
                                parent=job.sid, alg=job.alg, trace_id=job.trace_id)
-        try:
-            if tracer.enabled:
-                # The traced compute function builds a local tracer in
-                # the worker (process or thread) and ships its export
-                # back with the payload; absorbing it under the
-                # service.compute span yields one merged request tree.
-                with tracer.span("service.compute", parent=job.sid,
-                                 alg=job.alg, trace_id=job.trace_id) as cs:
-                    payload, worker_trace = await loop.run_in_executor(
-                        self._pool, protocol.compute_schedule_payload_traced,
-                        job.text, job.alg, job.trace_id,
+        attempt = 0
+        while True:
+            generation = self._pool_generation
+            try:
+                if tracer.enabled:
+                    # The traced compute function builds a local tracer in
+                    # the worker (process or thread) and ships its export
+                    # back with the payload; absorbing it under the
+                    # service.compute span yields one merged request tree.
+                    with tracer.span("service.compute", parent=job.sid,
+                                     alg=job.alg, trace_id=job.trace_id,
+                                     attempt=attempt) as cs:
+                        payload, worker_trace = await loop.run_in_executor(
+                            self._pool, protocol.compute_schedule_payload_traced,
+                            job.text, job.alg, job.trace_id,
+                        )
+                    tracer.absorb(worker_trace, parent=cs.sid)
+                    tracer.count("service.computes")
+                else:
+                    payload = await loop.run_in_executor(
+                        self._pool, protocol.compute_schedule_payload, job.text, job.alg
                     )
-                tracer.absorb(worker_trace, parent=cs.sid)
-                tracer.count("service.computes")
-            else:
-                payload = await loop.run_in_executor(
-                    self._pool, protocol.compute_schedule_payload, job.text, job.alg
-                )
-        except asyncio.CancelledError:
-            self._inflight.pop(job.key, None)
-            if not job.future.done():
-                job.future.set_exception(ServiceClosedError("computation cancelled"))
-            raise
-        except Exception as exc:
-            self.metrics.error()
-            self._inflight.pop(job.key, None)
-            if not job.future.done():
-                job.future.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
-            return
-        finally:
-            self._slots.release()
+                break
+            except asyncio.CancelledError:
+                self._inflight.pop(job.key, None)
+                if not job.future.done():
+                    job.future.set_exception(ServiceClosedError("computation cancelled"))
+                raise
+            except BrokenExecutor as exc:
+                if not await self._heal_pool(generation, exc):
+                    self.metrics.error()
+                    self._inflight.pop(job.key, None)
+                    if not job.future.done():
+                        job.future.set_exception(ServiceClosedError(
+                            "worker pool broken and respawn budget exhausted "
+                            f"({self.config.max_respawns} per "
+                            f"{self.config.respawn_window:g}s); engine closed"
+                        ))
+                    return
+                attempt += 1
+                self.metrics.retry()
+                if tracer.enabled:
+                    tracer.count("service.reexecutions")
+                continue
+            except Exception as exc:
+                self.metrics.error()
+                self._inflight.pop(job.key, None)
+                if not job.future.done():
+                    job.future.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
+                return
         self.cache.put(job.key, payload)
         self._inflight.pop(job.key, None)
         if not job.future.done():
             job.future.set_result(payload)
+
+    async def _heal_pool(self, failed_generation: int, cause: BaseException) -> bool:
+        """Quarantine a broken pool and respawn a fresh, warmed one.
+
+        Every job that died with the pool races in here; the lock makes
+        the first one respawn and the rest observe the already-advanced
+        generation and simply retry.  Returns ``False`` — and closes
+        the engine — once the respawn budget for the sliding window is
+        spent (or a respawn itself fails).
+        """
+        tracer = self.tracer
+        lock = self._respawn_lock
+        if lock is None:  # engine never started; nothing to heal
+            return False
+        async with lock:
+            if self._closed and not self._started:
+                return False
+            if self._pool_generation != failed_generation:
+                return True  # a sibling job already healed this pool
+            now = time.monotonic()
+            while self._respawn_times and now - self._respawn_times[0] > self.config.respawn_window:
+                self._respawn_times.popleft()
+            if len(self._respawn_times) >= self.config.max_respawns:
+                if tracer.enabled:
+                    tracer.count("pool.respawns_exhausted")
+                self._closed = True
+                return False
+            self._respawn_times.append(now)
+            try:
+                with tracer.span("pool.respawn", detach=True,
+                                 generation=self._pool_generation + 1,
+                                 cause=type(cause).__name__):
+                    if self.config.workers > 0:
+                        old = self._pool
+                        if old is not None:
+                            # Quarantine: never wait on a broken pool's
+                            # workers, just tear its bookkeeping down.
+                            old.shutdown(wait=False, cancel_futures=True)
+                        self._pool = await self._spawn_pool()
+            except Exception:
+                if tracer.enabled:
+                    tracer.count("pool.respawn_failures")
+                self._closed = True
+                return False
+            self._pool_generation += 1
+            self.metrics.respawn()
+            if tracer.enabled:
+                tracer.count("pool.respawns")
+            return True
 
     # ------------------------------------------------------------------
     # observability

@@ -26,9 +26,24 @@ class RequestError(ServiceError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The bounded request queue is full — backpressure, retry later."""
+    """The bounded request queue is full — backpressure, retry later.
+
+    ``retry_after`` (seconds) is the server's load-aware backoff hint;
+    the server surfaces it as a ``Retry-After`` header on the 429 and
+    the client's :class:`~repro.service.resilience.RetryPolicy` treats
+    it as a floor under its jittered delay.
+    """
 
     status = 429
+    retry_after: float | None = None
+
+
+class TransportError(ServiceError):
+    """The connection failed mid-exchange (closed early, malformed
+    framing).  Client-side only — safe to retry, since the schedule
+    computation is pure and content-addressed."""
+
+    status = 502
 
 
 class ServiceTimeoutError(ServiceError):

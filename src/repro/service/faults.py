@@ -1,0 +1,162 @@
+"""Fault-injection harness for chaos-testing the service path.
+
+A :class:`FaultPlan` is a picklable set of :class:`FaultRule`\\ s.  The
+engine ships the plan to every pool worker through the executor
+initializer (including respawned pools), and the worker-side compute
+path calls :func:`fire` at named points.  A matching rule then
+
+* ``"kill"``  — dies abruptly (``os._exit``), the way an OOM-kill or a
+  segfaulting native dependency takes a worker down.  The executor
+  surfaces this as ``BrokenProcessPool`` and the engine's self-healing
+  path takes over;
+* ``"raise"`` — raises :class:`FaultInjected`, modelling a scheduling
+  bug (maps to :class:`~repro.service.errors.WorkerError`);
+* ``"delay"`` — sleeps ``delay_s``, modelling a stall.
+
+Each rule fires at most ``times`` in total.  In one process that is a
+module counter; across a *pool* of processes (and across respawns,
+where every fresh worker re-installs the plan) the count must be
+shared, so rules carry an optional ``token_dir``: firing claims one
+``O_CREAT | O_EXCL`` token file, which is atomic across processes.
+Chaos tests point ``token_dir`` at a tmp dir; without it a kill rule
+would take down every respawned pool and no budget would ever suffice.
+
+The harness is intentionally dependency-free and always importable —
+installing no plan costs one ``None`` check per fire point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear",
+    "fire",
+    "install",
+]
+
+#: Fire points the service path exposes (kept in one place so tests and
+#: plans cannot drift from the instrumented code).
+POINTS = (
+    "worker.start",    # entering compute_schedule_payload, before parsing
+    "worker.finish",   # after validation, before encoding the payload
+)
+
+_ACTIONS = ("kill", "raise", "delay")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``"raise"`` rule inside the worker."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injectable fault: *where*, *what*, and *how many times*."""
+
+    point: str
+    action: str
+    times: int = 1
+    delay_s: float = 0.0
+    message: str = "injected fault"
+    exit_code: int = 1
+    #: Directory for cross-process once-only tokens; required whenever
+    #: the plan runs in a process pool (workers re-install the plan).
+    token_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise ValueError(f"unknown fire point {self.point!r}; known: {POINTS}")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}; known: {_ACTIONS}")
+        if self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def token_stem(self) -> str:
+        """Stable per-rule filename stem for the token files."""
+        ident = f"{self.point}|{self.action}|{self.times}|{self.delay_s}|{self.message}"
+        return "fault-" + hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable bundle of fault rules."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+
+_ACTIVE: FaultPlan | None = None
+#: In-process fire counts (per rule) for rules without a token_dir.
+_FIRED: dict[FaultRule, int] = {}
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Activate ``plan`` in this process (``None`` deactivates).
+
+    Used directly by in-process tests, and as the pool-worker
+    initializer by the engine.  Installation resets the in-process fire
+    counts; token-dir counts live on disk and persist by design.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+    _FIRED.clear()
+
+
+def clear() -> None:
+    """Deactivate fault injection in this process."""
+    install(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan currently installed in this process, if any."""
+    return _ACTIVE
+
+
+def _claim(rule: FaultRule) -> bool:
+    """Atomically claim one firing of ``rule``; ``False`` = spent."""
+    if rule.times <= 0:
+        return False
+    if rule.token_dir is not None:
+        stem = os.path.join(rule.token_dir, rule.token_stem())
+        for i in range(rule.times):
+            try:
+                fd = os.open(f"{stem}.{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False  # token dir gone: fail safe, do not fire
+            os.close(fd)
+            return True
+        return False
+    fired = _FIRED.get(rule, 0)
+    if fired >= rule.times:
+        return False
+    _FIRED[rule] = fired + 1
+    return True
+
+
+def fire(point: str) -> None:
+    """Trigger any active rules bound to ``point`` (worker-side hook)."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    for rule in plan.rules:
+        if rule.point != point or not _claim(rule):
+            continue
+        if rule.action == "delay":
+            time.sleep(rule.delay_s)
+        elif rule.action == "raise":
+            raise FaultInjected(rule.message)
+        elif rule.action == "kill":
+            os._exit(rule.exit_code)

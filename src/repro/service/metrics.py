@@ -48,6 +48,8 @@ class ServiceStats:
     cache_size: int = 0
     cache_evictions: int = 0
     coalesced: int = 0
+    retries: int = 0
+    respawns: int = 0
     batches: int = 0
     batched_jobs: int = 0
     queue_depth: int = 0
@@ -80,6 +82,8 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
+        self.retries = 0
+        self.respawns = 0
         self.batches = 0
         self.batched_jobs = 0
         self._latencies_ms: deque[float] = deque(maxlen=reservoir_size)
@@ -113,6 +117,14 @@ class ServiceMetrics:
     def coalesce(self) -> None:
         self.coalesced += 1
 
+    def retry(self) -> None:
+        """One transparent re-execution of an in-flight job (pool heal)."""
+        self.retries += 1
+
+    def respawn(self) -> None:
+        """One successful worker-pool respawn."""
+        self.respawns += 1
+
     def batch(self, size: int) -> None:
         self.batches += 1
         self.batched_jobs += size
@@ -140,6 +152,8 @@ class ServiceMetrics:
             cache_size=cache_size,
             cache_evictions=cache_evictions,
             coalesced=self.coalesced,
+            retries=self.retries,
+            respawns=self.respawns,
             batches=self.batches,
             batched_jobs=self.batched_jobs,
             queue_depth=queue_depth,
@@ -170,6 +184,8 @@ class ServiceMetrics:
             "cache_misses",
             "cache_evictions",
             "coalesced",
+            "retries",
+            "respawns",
             "batches",
             "batched_jobs",
         }

@@ -159,7 +159,9 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
     from repro.obs import get_tracer
     from repro.schedule.validation import validate
     from repro.schedulers.registry import get_scheduler
+    from repro.service import faults
 
+    faults.fire("worker.start")
     tracer = get_tracer()
     hits0, misses0 = _LOWERED.hits, _LOWERED.misses
     with tracer.span("worker.parse", alg=alg):
@@ -171,6 +173,7 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
         schedule = get_scheduler(alg).schedule(instance)
     with tracer.span("worker.validate", alg=alg):
         validate(schedule, instance)
+    faults.fire("worker.finish")
     with tracer.span("worker.encode", alg=alg):
         return schedule_payload(schedule, instance, alg)
 

@@ -1,0 +1,193 @@
+"""Fault-tolerance primitives shared by the service client and engine.
+
+Three small, composable pieces:
+
+* :class:`Deadline` — one absolute point in time a request must finish
+  by, carried client → server → engine on the shared ``CLOCK_MONOTONIC``
+  timebase (the same property :meth:`repro.obs.Tracer.absorb` relies
+  on).  Every stage spends from the *same* budget, so queue and
+  transport time shrink the compute wait instead of being double
+  counted by per-stage timeouts.
+* :class:`RetryPolicy` — exponential backoff with decorrelated jitter
+  (AWS architecture-blog variant: each delay is drawn from
+  ``uniform(base, prev * 3)``, capped) plus a hard retry-count bound
+  and a cumulative backoff budget.  The rng, the sleeper and the clock
+  are injectable, so backoff schedules are golden-testable.
+* :class:`RetryStats` — the client-side counter bundle a
+  :class:`~repro.service.client.ServiceClient` exposes after retrying.
+
+The engine's pool-respawn budget reuses the same sliding-window idea
+inline (see ``SchedulingEngine._heal_pool``); it is deliberately not a
+class here because the window lives on the engine's monotonic clock and
+its contents are two lines of deque maintenance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+__all__ = ["Deadline", "RetryPolicy", "RetryStats"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute ``time.monotonic()`` timestamp a request expires at.
+
+    On Linux ``time.monotonic()`` is ``CLOCK_MONOTONIC``, which is
+    system-wide: a deadline stamped by the client process is directly
+    comparable inside the server and its pool workers on the same host
+    — exactly the local-daemon deployment the service targets.
+    """
+
+    at: float
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError(f"deadline must be in the future, got {seconds!r}s")
+        return cls(clock() + seconds)
+
+    def remaining(self, clock: Callable[[], float] = time.monotonic) -> float:
+        """Seconds left before expiry (negative once past)."""
+        return self.at - clock()
+
+    def expired(self, clock: Callable[[], float] = time.monotonic) -> bool:
+        return self.remaining(clock) <= 0
+
+
+@dataclass
+class RetryStats:
+    """What one client's retry loop has done so far."""
+
+    attempts: int = 0       #: request attempts, including the first
+    retries: int = 0        #: attempts beyond the first
+    giveups: int = 0        #: retryable failures re-raised (budget spent)
+    backoff_s: float = 0.0  #: cumulative seconds slept between attempts
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "backoff_s": self.backoff_s,
+        }
+
+
+class RetryPolicy:
+    """Decorrelated-jitter backoff with a retry budget.
+
+    Parameters
+    ----------
+    max_retries:
+        Attempts beyond the first before the failure is re-raised.
+    base_delay / max_delay:
+        Bounds of each drawn delay, seconds.
+    budget_s:
+        Cap on *cumulative* backoff sleep across one request's retries;
+        a retry whose delay would overdraw the budget is not taken.
+    seed / rng:
+        Deterministic jitter for tests (``rng`` wins if both given).
+    sleep / clock:
+        Injectable async sleeper and monotonic clock, for golden-timing
+        tests that never actually wait.
+    """
+
+    def __init__(self, max_retries: int = 3, base_delay: float = 0.05,
+                 max_delay: float = 2.0, budget_s: float = 30.0,
+                 seed: int | None = None,
+                 rng: random.Random | None = None,
+                 sleep: Callable[[float], Awaitable[None]] | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError(
+                f"need 0 < base_delay <= max_delay, got {base_delay}/{max_delay}"
+            )
+        if budget_s < 0:
+            raise ValueError(f"budget_s must be >= 0, got {budget_s}")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.budget_s = budget_s
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.sleep = sleep if sleep is not None else asyncio.sleep
+        self.clock = clock
+
+    def next_delay(self, prev_delay: float,
+                   retry_after: float | None = None) -> float:
+        """Draw the next backoff delay.
+
+        ``prev_delay`` is the previous delay (pass :attr:`base_delay`
+        before the first retry).  ``retry_after`` — the server's
+        ``Retry-After`` hint — acts as a floor: the server knows how
+        loaded it is better than our jitter does.
+        """
+        prev = max(prev_delay, self.base_delay)
+        delay = min(self.max_delay, self.rng.uniform(self.base_delay, prev * 3))
+        if retry_after is not None and retry_after > 0:
+            delay = max(delay, min(retry_after, self.max_delay))
+        return delay
+
+    def schedule(self, retry_afters: tuple[float | None, ...] = ()) -> list[float]:
+        """The full backoff schedule this policy would follow.
+
+        Purely functional over the policy's rng state: used by golden
+        tests and by operators previewing a configuration.  Entry ``i``
+        uses ``retry_afters[i]`` as its server hint when provided.
+        """
+        delays: list[float] = []
+        prev = self.base_delay
+        spent = 0.0
+        for i in range(self.max_retries):
+            hint = retry_afters[i] if i < len(retry_afters) else None
+            delay = self.next_delay(prev, hint)
+            if spent + delay > self.budget_s:
+                break
+            delays.append(delay)
+            spent += delay
+            prev = delay
+        return delays
+
+
+@dataclass
+class _RetryState:
+    """Book-keeping of one in-progress retry loop (client internal)."""
+
+    policy: RetryPolicy
+    stats: RetryStats
+    deadline: Deadline | None = None
+    prev_delay: float = field(default=0.0)
+    spent_s: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        self.prev_delay = self.policy.base_delay
+
+    def admits(self, delay: float) -> bool:
+        """Whether one more retry sleeping ``delay`` fits every budget."""
+        if self.stats.retries >= self.policy.max_retries:
+            return False
+        if self.spent_s + delay > self.policy.budget_s:
+            return False
+        if self.deadline is not None and self.deadline.remaining(self.policy.clock) <= delay:
+            return False
+        return True
+
+    async def backoff(self, retry_after: float | None = None) -> bool:
+        """Sleep before the next attempt; ``False`` means give up."""
+        delay = self.policy.next_delay(self.prev_delay, retry_after)
+        if not self.admits(delay):
+            self.stats.giveups += 1
+            return False
+        await self.policy.sleep(delay)
+        self.prev_delay = delay
+        self.spent_s += delay
+        self.stats.retries += 1
+        self.stats.backoff_s += delay
+        return True

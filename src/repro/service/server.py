@@ -43,6 +43,12 @@ MAX_BODY = 64 * 1024 * 1024
 #: key).  Each entry is two hex digests, so this is a few hundred kB.
 EXACT_MAP_SIZE = 4096
 
+#: Request header carrying the client's absolute ``time.monotonic()``
+#: deadline.  A header (not a body field) so that byte-identical bodies
+#: stay byte-identical across requests — the exact-body fast path and
+#: the client's body memo both depend on that.
+DEADLINE_HEADER = "x-repro-deadline"
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -116,9 +122,11 @@ class ScheduleServer:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            status, content_type, payload = await self._route(method, path, body)
-            await self._write_response(writer, status, content_type, payload)
+            method, path, body, headers = request
+            status, content_type, payload, extra = await self._route(
+                method, path, body, headers
+            )
+            await self._write_response(writer, status, content_type, payload, extra)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away mid-request
         finally:
@@ -129,7 +137,7 @@ class ScheduleServer:
                 pass
 
     async def _read_request(self, reader: asyncio.StreamReader):
-        """Parse one HTTP/1.x request; returns (method, path, body)."""
+        """Parse one HTTP/1.x request; returns (method, path, body, headers)."""
         try:
             request_line = await reader.readline()
         except (asyncio.LimitOverrunError, ValueError):
@@ -140,24 +148,29 @@ class ScheduleServer:
         if len(parts) < 2:
             return None
         method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
         content_length = 0
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     content_length = 0
         if content_length > MAX_BODY:
-            return method, path, b"\x00too-large"
+            return method, path, b"\x00too-large", headers
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return method, path, body, headers
 
-    async def _route(self, method: str, path: str, body: bytes):
-        """Dispatch one request; returns (status, content-type, bytes)."""
+    async def _route(self, method: str, path: str, body: bytes,
+                     headers: dict[str, str] | None = None):
+        """Dispatch one request; returns (status, content-type, bytes,
+        extra response headers)."""
+        headers = headers or {}
         if body.startswith(b"\x00too-large"):
             return self._json(413, {"status": "error", "error": "request body too large"})
         path = path.split("?", 1)[0]
@@ -168,7 +181,8 @@ class ScheduleServer:
         if path == "/metrics":
             if method != "GET":
                 return self._json(405, {"status": "error", "error": "use GET"})
-            return 200, "text/plain; version=0.0.4", self.engine.render_metrics().encode()
+            return (200, "text/plain; version=0.0.4",
+                    self.engine.render_metrics().encode(), {})
         if path == "/v1/stats":
             if method != "GET":
                 return self._json(405, {"status": "error", "error": "use GET"})
@@ -183,11 +197,12 @@ class ScheduleServer:
         if path == "/v1/schedule":
             if method != "POST":
                 return self._json(405, {"status": "error", "error": "use POST"})
-            return await self._handle_schedule(body)
+            return await self._handle_schedule(body, headers)
         return self._json(404, {"status": "error", "error": f"no such route {path}"})
 
-    async def _handle_schedule(self, body: bytes):
+    async def _handle_schedule(self, body: bytes, headers: dict[str, str]):
         try:
+            deadline = self._parse_deadline(headers)
             body_key = hashlib.sha256(body).hexdigest()
             known_key = self._exact.get(body_key)
             if known_key is not None:
@@ -201,12 +216,32 @@ class ScheduleServer:
                 raise RequestError(f"invalid JSON body: {exc}") from None
             instance, alg, timeout, trace_id = parse_request_doc(doc)
             payload = await self.engine.submit(instance, alg, timeout=timeout,
-                                               trace_id=trace_id)
+                                               trace_id=trace_id, deadline=deadline)
             self._remember_exact(body_key, payload["fingerprint"])
         except ServiceError as exc:
             kind = "rejected" if exc.status == 429 else "error"
-            return self._json(exc.status, {"status": kind, "error": str(exc)})
+            extra = {}
+            if exc.status == 429:
+                hint = getattr(exc, "retry_after", None)
+                if hint is None:
+                    hint = self.engine.retry_after_hint()
+                extra["Retry-After"] = f"{hint:g}"
+            return self._json(exc.status, {"status": kind, "error": str(exc)}, extra)
         return self._json(200, {"status": "ok", "result": payload})
+
+    @staticmethod
+    def _parse_deadline(headers: dict[str, str]) -> float | None:
+        """The client's absolute-monotonic deadline, if it sent one."""
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise RequestError(
+                f"invalid {DEADLINE_HEADER} header {raw!r}: "
+                "expected an absolute monotonic timestamp"
+            ) from None
 
     def _remember_exact(self, body_key: str, request_key: str) -> None:
         self._exact[body_key] = request_key
@@ -215,17 +250,23 @@ class ScheduleServer:
             self._exact.popitem(last=False)
 
     @staticmethod
-    def _json(status: int, doc: dict):
-        return status, "application/json", json.dumps(doc).encode("utf-8")
+    def _json(status: int, doc: dict, extra_headers: dict[str, str] | None = None):
+        return (status, "application/json", json.dumps(doc).encode("utf-8"),
+                extra_headers or {})
 
     @staticmethod
     async def _write_response(writer: asyncio.StreamWriter, status: int,
-                              content_type: str, payload: bytes) -> None:
+                              content_type: str, payload: bytes,
+                              extra_headers: dict[str, str] | None = None) -> None:
         reason = _REASONS.get(status, "Unknown")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extras}"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + payload)

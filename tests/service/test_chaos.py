@@ -1,0 +1,139 @@
+"""Chaos suite: real pool workers dying mid-load.
+
+These tests fork genuine ``ProcessPoolExecutor`` workers and murder one
+with an ``os._exit`` fault (the observable signature of an OOM-kill or
+a segfaulting native dependency), then assert the acceptance property
+of the self-healing engine: **every** request completes, and each
+payload is bit-identical to a fault-free computation — worker death is
+invisible to callers except in the respawn counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.instance_io import instance_to_json
+from repro.service import protocol
+from repro.service.engine import EngineConfig, SchedulingEngine
+from repro.service.errors import ServiceClosedError
+from repro.service.faults import FaultPlan, FaultRule
+from repro.utils.rng import as_generator
+
+
+def _instances(n: int, num_tasks: int = 10):
+    return [
+        W.random_instance(as_generator(seed), num_tasks=num_tasks, num_procs=3)
+        for seed in range(n)
+    ]
+
+
+def _canonical(payload: dict) -> str:
+    """The engine-independent part of a payload, as comparable JSON."""
+    return json.dumps(
+        {k: payload[k] for k in ("alg", "makespan", "num_duplicates", "placements")},
+        sort_keys=True,
+    )
+
+
+def test_worker_killed_mid_load_is_invisible_to_callers(tmp_path):
+    """Acceptance: 2 workers, one killed mid-batch; all submissions
+    (including coalesced duplicates) succeed with payloads bit-identical
+    to a fault-free run, and the engine logs exactly one respawn wave."""
+    instances = _instances(6)
+    expected = {
+        i: _canonical(protocol.compute_schedule_payload(instance_to_json(inst), "HEFT"))
+        for i, inst in enumerate(instances)
+    }
+    plan = FaultPlan((
+        FaultRule(point="worker.start", action="kill", times=1,
+                  token_dir=str(tmp_path)),
+    ))
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(
+            workers=2, fault_plan=plan, max_respawns=3,
+            default_timeout=120.0, queue_depth=64,
+        ))
+        await engine.start()
+        try:
+            # Two waiters per instance: coalesced siblings must survive
+            # the worker death too.
+            waiters = [
+                engine.submit(inst, "HEFT", timeout=120.0)
+                for inst in instances for _ in range(2)
+            ]
+            results = await asyncio.gather(*waiters)
+            for slot, payload in enumerate(results):
+                assert _canonical(payload) == expected[slot // 2], (
+                    f"instance {slot // 2} diverged from the fault-free run"
+                )
+            stats = engine.stats()
+            assert stats.respawns >= 1, "the kill must have triggered a respawn"
+            assert stats.errors == 0, "worker death must not surface as WorkerError"
+            assert stats.retries >= 1, "in-flight jobs must have been re-executed"
+            assert engine.pool_generation >= 1
+            assert not engine.draining
+        finally:
+            await engine.stop()
+
+    asyncio.run(scenario())
+
+
+def test_respawn_budget_exhaustion_fails_clean(tmp_path):
+    """A crash-looping pool (every worker start is fatal) must exhaust
+    its respawn budget and surface a clean ServiceClosedError — never a
+    hang, never a raw BrokenProcessPool."""
+    plan = FaultPlan((
+        FaultRule(point="worker.start", action="kill", times=50,
+                  token_dir=str(tmp_path)),
+    ))
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(
+            workers=2, fault_plan=plan, max_respawns=1,
+            default_timeout=120.0,
+        ))
+        await engine.start()
+        try:
+            with pytest.raises(ServiceClosedError, match="respawn budget exhausted"):
+                await asyncio.wait_for(
+                    engine.submit(_instances(1)[0], "HEFT"), timeout=60.0
+                )
+            assert engine.draining
+            assert engine.stats().respawns == 1
+        finally:
+            await engine.stop(drain=False)
+
+    asyncio.run(scenario())
+
+
+def test_engine_keeps_serving_after_heal(tmp_path):
+    """Post-heal the engine is a fully ordinary engine: fresh submissions
+    compute on the respawned pool and caching still works."""
+    plan = FaultPlan((
+        FaultRule(point="worker.start", action="kill", times=1,
+                  token_dir=str(tmp_path)),
+    ))
+    inst_a, inst_b = _instances(2)
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(
+            workers=2, fault_plan=plan, max_respawns=3, default_timeout=120.0,
+        ))
+        await engine.start()
+        try:
+            first = await engine.submit(inst_a, "HEFT", timeout=120.0)
+            assert engine.stats().respawns == 1
+            later = await engine.submit(inst_b, "HEFT", timeout=120.0)
+            assert later["placements"]
+            again = await engine.submit(inst_a, "HEFT", timeout=120.0)
+            assert again["cache_hit"] is True
+            assert _canonical(again) == _canonical(first)
+        finally:
+            await engine.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,138 @@
+"""Client transport edges: endpoint parsing (including IPv6 literals)
+and defensive handling of malformed HTTP responses.
+
+The malformed-response tests run a tiny hand-rolled asyncio server that
+speaks deliberately broken HTTP — every defect must surface as a typed
+:class:`TransportError` (retryable, mapped like any other ServiceError),
+never as a naked ``ValueError`` from ``int()`` or a stray
+``IncompleteReadError``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.client import ServiceClient, parse_endpoint
+from repro.service.errors import RequestError, ServiceError, TransportError
+
+
+# ----------------------------------------------------------------------
+# endpoint parsing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("endpoint", "expected"),
+    [
+        ("localhost", ("localhost", 8787)),
+        ("localhost:123", ("localhost", 123)),
+        (":9999", ("127.0.0.1", 9999)),
+        ("http://127.0.0.1:8787/", ("127.0.0.1", 8787)),
+        ("https://scheduler.internal", ("scheduler.internal", 8787)),
+        ("  10.0.0.7:80  ", ("10.0.0.7", 80)),
+        # Regression: "[::1]:8787".partition(":") used to yield host "[".
+        ("[::1]:8787", ("::1", 8787)),
+        ("[::1]", ("::1", 8787)),
+        ("http://[fe80::1%eth0]:9000/", ("fe80::1%eth0", 9000)),
+        ("::1", ("::1", 8787)),
+        ("2001:db8::42", ("2001:db8::42", 8787)),
+    ],
+)
+def test_parse_endpoint(endpoint, expected):
+    assert parse_endpoint(endpoint) == expected
+
+
+@pytest.mark.parametrize(
+    "endpoint",
+    [
+        "[::1",            # unclosed bracket
+        "[]:8787",         # empty bracketed host
+        "[::1]8787",       # junk after bracket
+        "host:port",       # non-numeric port
+        "host:70000",      # port out of range
+        "host:-1",
+    ],
+)
+def test_parse_endpoint_rejects(endpoint):
+    with pytest.raises(RequestError):
+        parse_endpoint(endpoint)
+
+
+def test_client_at_uses_parsed_endpoint():
+    client = ServiceClient.at("[::1]:9000")
+    assert (client.host, client.port) == ("::1", 9000)
+
+
+# ----------------------------------------------------------------------
+# malformed responses
+# ----------------------------------------------------------------------
+async def _misbehaving_server(raw_response: bytes) -> tuple[asyncio.Server, int]:
+    """A server that answers every connection with ``raw_response``."""
+
+    async def handle(reader, writer):
+        await reader.readline()  # wait for the request to start
+        writer.write(raw_response)
+        await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def _fetch_with(raw_response: bytes):
+    async def scenario():
+        server, port = await _misbehaving_server(raw_response)
+        try:
+            client = ServiceClient(port=port, request_timeout=5.0)
+            await client._request("GET", "/healthz")
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return scenario
+
+
+def test_malformed_content_length_is_transport_error():
+    # Regression: int("banana") used to escape as a raw ValueError.
+    with pytest.raises(TransportError, match="malformed Content-Length"):
+        asyncio.run(
+            _fetch_with(
+                b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n{}"
+            )()
+        )
+
+
+def test_connection_closed_mid_response_is_transport_error():
+    # Headers promise 9999 bytes, the peer hangs up after two.
+    with pytest.raises(TransportError, match="closed mid-response"):
+        asyncio.run(
+            _fetch_with(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 9999\r\n\r\n{}"
+            )()
+        )
+
+
+def test_malformed_status_line_is_transport_error():
+    with pytest.raises(TransportError, match="malformed status line"):
+        asyncio.run(_fetch_with(b"HTTP/1.1\r\n\r\n")())
+
+
+def test_transport_error_is_a_service_error():
+    """Callers that already catch ServiceError keep working."""
+    assert issubclass(TransportError, ServiceError)
+    assert TransportError("x").status == 502
+
+
+def test_missing_content_length_defaults_to_empty_body():
+    async def scenario():
+        server, port = await _misbehaving_server(b"HTTP/1.1 200 OK\r\n\r\n")
+        try:
+            client = ServiceClient(port=port)
+            status, headers, body = await client._request("GET", "/healthz")
+            assert status == 200
+            assert body == b""
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())

@@ -1,0 +1,155 @@
+"""Fault-injection harness: rule validation, firing semantics, and the
+cross-process once-only token protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.service import faults, protocol
+from repro.service.engine import EngineConfig, SchedulingEngine
+from repro.service.errors import WorkerError
+from repro.service.faults import FaultInjected, FaultPlan, FaultRule
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _instance(seed: int = 3):
+    return W.random_instance(as_generator(seed), num_tasks=6, num_procs=3)
+
+
+# ----------------------------------------------------------------------
+# rule validation
+# ----------------------------------------------------------------------
+def test_rule_rejects_unknown_point_and_action():
+    with pytest.raises(ValueError, match="point"):
+        FaultRule(point="worker.nope", action="raise")
+    with pytest.raises(ValueError, match="action"):
+        FaultRule(point="worker.start", action="explode")
+
+
+def test_rule_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        FaultRule(point="worker.start", action="raise", times=-1)
+    with pytest.raises(ValueError):
+        FaultRule(point="worker.start", action="delay", delay_s=-1.0)
+    # times=0 is a valid *disabled* rule: it never claims, never fires.
+    off = FaultRule(point="worker.start", action="raise", times=0)
+    faults.install(FaultPlan((off,)))
+    faults.fire("worker.start")
+
+
+def test_points_cover_worker_entry_and_exit():
+    assert set(faults.POINTS) == {"worker.start", "worker.finish"}
+
+
+def test_token_stem_is_stable_and_distinct():
+    a = FaultRule(point="worker.start", action="raise")
+    b = FaultRule(point="worker.start", action="raise")
+    c = FaultRule(point="worker.finish", action="raise")
+    assert a.token_stem() == b.token_stem()
+    assert a.token_stem() != c.token_stem()
+
+
+# ----------------------------------------------------------------------
+# firing
+# ----------------------------------------------------------------------
+def test_fire_is_noop_without_plan():
+    faults.fire("worker.start")  # must not raise
+
+
+def test_raise_action_fires_exactly_times():
+    plan = FaultPlan((FaultRule(point="worker.start", action="raise", times=2),))
+    faults.install(plan)
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+    faults.fire("worker.start")  # budget spent: no-op from now on
+    faults.fire("worker.finish")  # different point: never armed
+
+
+def test_install_resets_in_process_counters():
+    plan = FaultPlan((FaultRule(point="worker.start", action="raise", times=1),))
+    faults.install(plan)
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+    faults.install(plan)  # re-install re-arms
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+
+
+def test_delay_action_sleeps():
+    plan = FaultPlan((FaultRule(point="worker.finish", action="delay",
+                                delay_s=0.05, times=1),))
+    faults.install(plan)
+    t0 = time.monotonic()
+    faults.fire("worker.finish")
+    assert time.monotonic() - t0 >= 0.04
+    t1 = time.monotonic()
+    faults.fire("worker.finish")  # spent: immediate
+    assert time.monotonic() - t1 < 0.04
+
+
+def test_token_dir_claims_across_installs(tmp_path):
+    """Token files make ``times`` a *global* budget: a respawned worker
+    re-installing the same plan must not restart the count — otherwise a
+    kill rule would murder every replacement pool too."""
+    rule = FaultRule(point="worker.start", action="raise", times=2,
+                     token_dir=str(tmp_path))
+    plan = FaultPlan((rule,))
+    faults.install(plan)
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+    faults.install(plan)  # simulates a freshly-initialised worker process
+    with pytest.raises(FaultInjected):
+        faults.fire("worker.start")
+    faults.install(plan)
+    faults.fire("worker.start")  # third claim fails: budget globally spent
+    tokens = sorted(p.name for p in tmp_path.iterdir())
+    assert tokens == [f"{rule.token_stem()}.0", f"{rule.token_stem()}.1"]
+
+
+# ----------------------------------------------------------------------
+# wiring into the compute path
+# ----------------------------------------------------------------------
+def test_compute_path_fires_worker_points():
+    from repro.instance_io import instance_to_json
+
+    plan = FaultPlan((FaultRule(point="worker.start", action="raise", times=1),))
+    faults.install(plan)
+    with pytest.raises(FaultInjected):
+        protocol.compute_schedule_payload(instance_to_json(_instance()), "HEFT")
+    # Budget spent: the same call now computes normally.
+    payload = protocol.compute_schedule_payload(instance_to_json(_instance()), "HEFT")
+    assert payload["placements"]
+
+
+def test_engine_surfaces_injected_raise_as_worker_error():
+    """A *raise* fault is an ordinary worker exception — it must map to
+    WorkerError (500), not trigger a pool respawn."""
+
+    async def scenario():
+        plan = FaultPlan((FaultRule(point="worker.start", action="raise", times=1),))
+        engine = SchedulingEngine(EngineConfig(workers=0))
+        faults.install(plan)  # workers=0 computes in-process
+        await engine.start()
+        try:
+            with pytest.raises(WorkerError, match="FaultInjected"):
+                await engine.submit(_instance(), "HEFT")
+            stats = engine.stats()
+            assert stats.errors == 1
+            assert stats.respawns == 0
+        finally:
+            await engine.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,246 @@
+"""Client retry loop: golden backoff schedules under a seeded rng, the
+Retry-After floor, retry budgets, and end-to-end retry-until-success
+against a server that sheds load."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.service.client import ServiceClient
+from repro.service.engine import EngineConfig, SchedulingEngine
+from repro.service.errors import ServiceOverloadedError, ServiceTimeoutError
+from repro.service.resilience import Deadline, RetryPolicy, RetryStats, _RetryState
+from repro.service.server import ScheduleServer
+from repro.utils.rng import as_generator
+
+
+def _instance(seed: int = 5):
+    return W.random_instance(as_generator(seed), num_tasks=6, num_procs=3)
+
+
+def _recording_sleep(log: list):
+    async def sleep(delay: float) -> None:
+        log.append(delay)
+
+    return sleep
+
+
+# ----------------------------------------------------------------------
+# policy unit behaviour
+# ----------------------------------------------------------------------
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=1.0, max_delay=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(budget_s=-1.0)
+
+
+def test_golden_backoff_schedule_seed_42():
+    """Pinned decorrelated-jitter sequence: any change to the draw order
+    or the jitter formula shows up as a diff against these literals."""
+    policy = RetryPolicy(max_retries=4, base_delay=0.05, max_delay=2.0,
+                         budget_s=30.0, seed=42)
+    assert policy.schedule() == pytest.approx(
+        [0.113942679846, 0.057298839664, 0.08352511653, 0.094770571836]
+    )
+
+
+def test_golden_schedule_with_retry_after_floors():
+    policy = RetryPolicy(max_retries=3, base_delay=0.05, max_delay=2.0,
+                         budget_s=30.0, seed=42)
+    # The 0.3s server hint floors the first two draws; the third draw is
+    # decorrelated from the (floored) previous delay.
+    assert policy.schedule(retry_afters=(0.3, 0.3, None)) == pytest.approx(
+        [0.3, 0.3, 0.283774920614]
+    )
+
+
+def test_retry_after_floor_and_cap():
+    policy = RetryPolicy(seed=0, base_delay=0.05, max_delay=2.0)
+    assert policy.next_delay(0.05, retry_after=1.5) >= 1.5
+    # An absurd server hint is still capped by max_delay.
+    assert policy.next_delay(0.05, retry_after=60.0) == pytest.approx(2.0)
+
+
+def test_schedule_truncated_by_budget():
+    policy = RetryPolicy(max_retries=10, base_delay=1.0, max_delay=2.0,
+                         budget_s=2.5, seed=1)
+    delays = policy.schedule()
+    assert sum(delays) <= 2.5
+    assert len(delays) < 10
+
+
+def test_retry_state_respects_deadline_with_injected_clock():
+    now = {"t": 0.0}
+    clock = lambda: now["t"]  # noqa: E731
+    policy = RetryPolicy(max_retries=10, base_delay=1.0, max_delay=1.0,
+                         budget_s=100.0, seed=0, clock=clock)
+    state = _RetryState(policy, RetryStats(), Deadline(5.0))
+    assert state.admits(1.0)
+    now["t"] = 4.5  # sleeping 1.0s would overshoot the deadline
+    assert not state.admits(1.0)
+
+
+def test_retry_state_gives_up_after_max_retries():
+    async def scenario():
+        slept: list[float] = []
+        policy = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.02,
+                             seed=3, sleep=_recording_sleep(slept))
+        stats = RetryStats()
+        state = _RetryState(policy, stats)
+        assert await state.backoff() is True
+        assert await state.backoff() is True
+        assert await state.backoff() is False
+        assert stats.retries == 2
+        assert stats.giveups == 1
+        assert stats.backoff_s == pytest.approx(sum(slept))
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# end-to-end: client retries against a shedding server
+# ----------------------------------------------------------------------
+async def _boot(**config):
+    engine = SchedulingEngine(EngineConfig(workers=0, **config))
+    server = ScheduleServer(engine, port=0)
+    await server.start()
+    return server
+
+
+def test_client_retries_429_until_success_with_golden_delays():
+    async def scenario():
+        server = await _boot()
+        engine = server.engine
+        real_submit = engine.submit
+        calls = {"n": 0}
+
+        async def shedding_submit(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                exc = ServiceOverloadedError("queue full (forced)")
+                exc.retry_after = 0.3
+                raise exc
+            return await real_submit(*args, **kwargs)
+
+        engine.submit = shedding_submit
+        try:
+            slept: list[float] = []
+            policy = RetryPolicy(max_retries=3, base_delay=0.05, max_delay=2.0,
+                                 budget_s=30.0, seed=42,
+                                 sleep=_recording_sleep(slept))
+            client = ServiceClient(port=server.port, retry_policy=policy)
+            result = await client.schedule(_instance(), "HEFT")
+            assert result.makespan > 0
+            assert client.retry_stats.attempts == 3
+            assert client.retry_stats.retries == 2
+            assert client.retry_stats.giveups == 0
+            # The server's Retry-After: 0.3 floors both jitter draws —
+            # the same golden sequence as RetryPolicy.schedule((0.3, 0.3)).
+            assert slept == pytest.approx([0.3, 0.3])
+        finally:
+            await server.stop(drain=False)
+
+    asyncio.run(scenario())
+
+
+def test_client_without_policy_fails_fast_and_carries_retry_after():
+    async def scenario():
+        server = await _boot()
+
+        async def shedding_submit(*args, **kwargs):
+            exc = ServiceOverloadedError("queue full (forced)")
+            exc.retry_after = 0.123
+            raise exc
+
+        server.engine.submit = shedding_submit
+        try:
+            client = ServiceClient(port=server.port)
+            with pytest.raises(ServiceOverloadedError) as info:
+                await client.schedule(_instance(), "HEFT")
+            # Round-tripped through the HTTP Retry-After header.
+            assert info.value.retry_after == pytest.approx(0.123)
+            assert client.retry_stats.retries == 0
+        finally:
+            await server.stop(drain=False)
+
+    asyncio.run(scenario())
+
+
+def test_client_gives_up_when_policy_exhausted():
+    async def scenario():
+        server = await _boot()
+
+        async def always_shedding(*args, **kwargs):
+            raise ServiceOverloadedError("queue full (forced)")
+
+        server.engine.submit = always_shedding
+        try:
+            slept: list[float] = []
+            policy = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.02,
+                                 seed=1, sleep=_recording_sleep(slept))
+            client = ServiceClient(port=server.port, retry_policy=policy)
+            with pytest.raises(ServiceOverloadedError):
+                await client.schedule(_instance(), "HEFT")
+            assert client.retry_stats.attempts == 3  # 1 first try + 2 retries
+            assert client.retry_stats.retries == 2
+            assert client.retry_stats.giveups == 1
+            assert len(slept) == 2
+        finally:
+            await server.stop(drain=False)
+
+    asyncio.run(scenario())
+
+
+def test_client_retries_connection_refused():
+    async def scenario():
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()  # nobody listens here any more
+
+        slept: list[float] = []
+        policy = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.02,
+                             seed=2, sleep=_recording_sleep(slept))
+        client = ServiceClient(port=free_port, retry_policy=policy)
+        with pytest.raises(OSError):
+            await client.schedule(_instance(), "HEFT")
+        assert client.retry_stats.attempts == 3
+        assert client.retry_stats.retries == 2
+
+    asyncio.run(scenario())
+
+
+def test_retry_loop_never_outlives_request_deadline():
+    """timeout= bounds the whole call, retries included: a policy with a
+    huge retry count must still give up at the request deadline."""
+
+    async def scenario():
+        server = await _boot()
+
+        async def always_shedding(*args, **kwargs):
+            raise ServiceOverloadedError("queue full (forced)")
+
+        server.engine.submit = always_shedding
+        try:
+            policy = RetryPolicy(max_retries=1000, base_delay=0.2, max_delay=0.5,
+                                 seed=4)
+            client = ServiceClient(port=server.port, retry_policy=policy)
+            with pytest.raises((ServiceOverloadedError, ServiceTimeoutError)):
+                await asyncio.wait_for(
+                    client.schedule(_instance(), "HEFT", timeout=0.5), 10.0
+                )
+            assert client.retry_stats.giveups == 1
+        finally:
+            await server.stop(drain=False)
+
+    asyncio.run(scenario())
