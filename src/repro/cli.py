@@ -313,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         max_respawns=args.max_respawns,
         respawn_window=args.respawn_window,
+        cache_dir=args.cache_dir,
     )
     # The daemon always traces: the span store is bounded, the no-op
     # question doesn't arise (requests are I/O-scale, not decode-scale),
@@ -335,6 +336,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"queue={config.queue_depth})",
             flush=True,
         )
+        report = server.engine.recovery_report
+        if report is not None:
+            print(
+                f"cache: recovered {report['recovered']} persisted schedules "
+                f"from {config.cache_dir} "
+                f"(skipped={report['skipped']}, undecodable={report['undecodable']})",
+                flush=True,
+            )
         await server.serve_until_shutdown()
         stats = server.engine.stats()
         print(
@@ -363,7 +372,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     policy = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     client = ServiceClient.at(args.endpoint, request_timeout=args.timeout,
-                              retry_policy=policy)
+                              retry_policy=policy, wire=args.wire)
     result = client.schedule_sync(instance, alg=args.alg, timeout=args.timeout)
     print(f"algorithm  : {result.alg}")
     print(f"dag        : {dag.name} ({dag.num_tasks} tasks, {dag.num_edges} edges)")
@@ -510,6 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pool processes (0 = in-process thread)")
     p_serve.add_argument("--cache-size", type=int, default=256,
                          help="schedule cache capacity (entries)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist the schedule cache to an append-only "
+                              "segment file in DIR; a restarted daemon "
+                              "recovers it and comes back warm")
     p_serve.add_argument("--queue-depth", type=int, default=64,
                          help="bounded request queue (full -> 429)")
     p_serve.add_argument("--batch-size", type=int, default=8,
@@ -537,6 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "failures (0 disables; default 3)")
     p_submit.add_argument("--timeout", type=float, default=60.0,
                           help="request timeout (seconds)")
+    p_submit.add_argument("--wire", choices=("bin", "json"), default="bin",
+                          help="wire format for the request/response "
+                               "(binary is the default and falls back to "
+                               "JSON against an older server)")
     p_submit.add_argument("--gantt", action="store_true",
                           help="print an ASCII Gantt chart of the result")
     p_submit.set_defaults(fn=_cmd_submit)

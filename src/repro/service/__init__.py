@@ -33,7 +33,7 @@ Quickstart (daemon)::
     $ repro-sched submit --dag graph.json --alg IMP --endpoint 127.0.0.1:8787
 """
 
-from repro.service.cache import ScheduleCache, request_key
+from repro.service.cache import ScheduleCache, SegmentStore, request_key
 from repro.service.client import ServiceClient, parse_endpoint
 from repro.service.engine import EngineConfig, SchedulingEngine
 from repro.service.errors import (
@@ -43,6 +43,8 @@ from repro.service.errors import (
     ServiceOverloadedError,
     ServiceTimeoutError,
     TransportError,
+    WireFormatError,
+    WireVersionError,
     WorkerError,
 )
 from repro.service.faults import FaultInjected, FaultPlan, FaultRule
@@ -50,8 +52,10 @@ from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.protocol import ScheduleResult, compute_schedule_payload
 from repro.service.resilience import Deadline, RetryPolicy, RetryStats
 from repro.service.server import ScheduleServer
+from repro.service.wire import BINARY_CONTENT_TYPE, WIRE_VERSION
 
 __all__ = [
+    "BINARY_CONTENT_TYPE",
     "Deadline",
     "EngineConfig",
     "FaultInjected",
@@ -64,6 +68,7 @@ __all__ = [
     "ScheduleResult",
     "ScheduleServer",
     "SchedulingEngine",
+    "SegmentStore",
     "ServiceClient",
     "ServiceClosedError",
     "ServiceError",
@@ -72,6 +77,9 @@ __all__ = [
     "ServiceStats",
     "ServiceTimeoutError",
     "TransportError",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "WireVersionError",
     "WorkerError",
     "compute_schedule_payload",
     "parse_endpoint",

@@ -11,11 +11,22 @@ The cache is used from a single event loop, so plain dict operations
 need no locking; it still keeps its own hit/miss/eviction counters so a
 :class:`ScheduleCache` is observable on its own (the engine-level
 metrics aggregate over it).
+
+:class:`SegmentStore` is the disk half: an append-only segment file of
+CRC-checked, wire-encoded payload records that a restarted daemon
+replays to come back warm.  Content addressing is what makes it this
+simple — entries are immutable and keyed by what was asked, so there is
+no invalidation, no compaction urgency, and replaying a duplicate
+record is harmless (last write wins, both are identical).
 """
 
 from __future__ import annotations
 
 import hashlib
+import mmap
+import os
+import struct
+import zlib
 from collections import OrderedDict
 
 from repro.instance import Instance
@@ -23,7 +34,18 @@ from repro.instance import Instance
 
 def request_key(instance: Instance, alg: str) -> str:
     """Cache key of one request: content fingerprint x scheduler config."""
-    digest = hashlib.sha256(instance.fingerprint().encode("ascii"))
+    return request_key_from_fingerprint(instance.fingerprint(), alg)
+
+
+def request_key_from_fingerprint(fingerprint: str, alg: str) -> str:
+    """:func:`request_key` from an already-known content fingerprint.
+
+    The binary wire format carries the client's fingerprint in the
+    request, so a warm hit derives its cache key without decoding the
+    instance at all.  Safe as a *lookup* path because entries are only
+    ever stored under keys the server computes from decoded instances.
+    """
+    digest = hashlib.sha256(fingerprint.encode("ascii"))
     digest.update(b"\x00")
     digest.update(alg.encode("utf-8"))
     return digest.hexdigest()
@@ -80,3 +102,152 @@ class ScheduleCache:
             f"ScheduleCache(size={len(self)}/{self.capacity}, "
             f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )
+
+
+# ----------------------------------------------------------------------
+# persistent segment store
+# ----------------------------------------------------------------------
+#: Segment file header: magic + format version.
+_SEG_MAGIC = b"RPSG"
+_SEG_VERSION = 1
+_SEG_HEADER = struct.Struct("<4sB")
+
+#: Per-record frame: magic, 32-byte raw request-key digest, payload
+#: length, CRC-32 of the payload bytes.  The payload is the wire-encoded
+#: form of the cached response payload (``wire.encode_payload``).
+_REC_MAGIC = b"RPRC"
+_REC_HEADER = struct.Struct("<4s32sII")
+
+#: Refuse to believe a record longer than this — a corrupt length field
+#: must not make recovery try to skip gigabytes of nothing.
+_MAX_RECORD = 256 * 1024 * 1024
+
+
+class SegmentStore:
+    """Append-only, CRC-checked, crash-tolerant store of cache entries.
+
+    One segment file (``schedules.seg`` under ``cache_dir``) holds every
+    payload the daemon has ever computed, framed as::
+
+        file    magic b"RPSG" | version u8 | records...
+        record  magic b"RPRC" | key sha-256 (32 raw bytes)
+                | length u32 | crc32 u32 | payload bytes
+
+    Writes append one frame and ``fsync`` — a crash can only lose or
+    truncate the *tail* record, never corrupt an earlier one.  Recovery
+    (:meth:`recover`) maps the file read-only and walks the frames,
+    stopping at the first bad magic, short frame, oversized length or
+    CRC mismatch; everything before that point is intact by induction.
+    The corrupt tail is truncated away so subsequent appends produce a
+    well-formed file again.  A file with a bad *header* is rotated to
+    ``*.corrupt`` and a fresh segment started — never silently deleted.
+
+    The store does not interpret payload bytes; the engine pairs it with
+    a :class:`ScheduleCache` and decodes on recovery.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.dir = os.fspath(cache_dir)
+        self.path = os.path.join(self.dir, "schedules.seg")
+        os.makedirs(self.dir, exist_ok=True)
+        self.appended = 0
+        self._fh = None
+
+    # -- writing -------------------------------------------------------
+    def _file(self):
+        if self._fh is None:
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(_SEG_HEADER.pack(_SEG_MAGIC, _SEG_VERSION))
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        return self._fh
+
+    def append(self, key: str, payload_bytes: bytes) -> None:
+        """Durably append one entry (``key`` is a :func:`request_key` hex
+        digest, ``payload_bytes`` its wire-encoded payload)."""
+        fh = self._file()
+        frame = _REC_HEADER.pack(
+            _REC_MAGIC, bytes.fromhex(key), len(payload_bytes),
+            zlib.crc32(payload_bytes),
+        )
+        fh.write(frame)
+        fh.write(payload_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery ------------------------------------------------------
+    def recover(self) -> tuple[dict[str, bytes], dict[str, int]]:
+        """Replay the segment into ``{key_hex: payload_bytes}``.
+
+        Returns ``(entries, report)`` where the report counts
+        ``recovered`` records, ``skipped`` bad tail records (0 or 1 —
+        the scan stops at the first), whether the file was
+        ``truncated`` back to its last good frame, and ``rotated`` when
+        the whole file header was unusable.  Duplicate keys keep the
+        last record, matching append order.
+        """
+        report = {"recovered": 0, "skipped": 0, "truncated": 0, "rotated": 0}
+        entries: dict[str, bytes] = {}
+        if not os.path.exists(self.path):
+            return entries, report
+        size = os.path.getsize(self.path)
+        if size < _SEG_HEADER.size:
+            if size:
+                self._rotate(report)
+            return entries, report
+        with open(self.path, "rb") as fh:
+            with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+                view = memoryview(mapped)
+                try:
+                    magic, version = _SEG_HEADER.unpack_from(view, 0)
+                    if magic != _SEG_MAGIC or version != _SEG_VERSION:
+                        raise ValueError("bad segment header")
+                except (struct.error, ValueError):
+                    view.release()
+                    self._rotate(report)
+                    return entries, report
+                off = _SEG_HEADER.size
+                good_end = off
+                while off + _REC_HEADER.size <= size:
+                    rec_magic, raw_key, length, crc = _REC_HEADER.unpack_from(view, off)
+                    body_start = off + _REC_HEADER.size
+                    if (
+                        rec_magic != _REC_MAGIC
+                        or length > _MAX_RECORD
+                        or body_start + length > size
+                    ):
+                        break
+                    body = view[body_start:body_start + length]
+                    if zlib.crc32(body) != crc:
+                        body.release()
+                        break
+                    entries[raw_key.hex()] = bytes(body)
+                    body.release()
+                    report["recovered"] += 1
+                    off = body_start + length
+                    good_end = off
+                view.release()
+        if good_end < size:
+            report["skipped"] = 1
+            report["truncated"] = 1
+            self.close()
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+        return entries, report
+
+    def _rotate(self, report: dict[str, int]) -> None:
+        """Move an unusable segment aside and note it in the report."""
+        self.close()
+        os.replace(self.path, self.path + ".corrupt")
+        report["rotated"] = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SegmentStore({self.path!r}, appended={self.appended})"

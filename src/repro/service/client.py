@@ -1,12 +1,18 @@
 """Async (and sync-wrapped) client for the scheduling service.
 
 :class:`ServiceClient` speaks the minimal HTTP/1.1 dialect of
-:mod:`repro.service.server` over one connection per request
-(``Connection: close``), which keeps both ends trivial and is plenty
-for a local daemon.  Server-side failures come back as the same
-exception types the in-process engine raises — a caller can move
-between ``engine.submit(...)`` and ``client.schedule(...)`` without
-changing its error handling.
+:mod:`repro.service.server`.  Schedule requests default to the binary
+wire format (``wire="bin"``): bodies and responses are the packed-array
+messages of :mod:`repro.service.wire`, and the connection is kept alive
+across requests, which removes JSON encode/decode *and* the per-request
+TCP connect from the warm path.  ``wire="json"`` forces the original
+one-connection-per-request JSON dialect; a binary client talking to an
+old JSON-only server downgrades itself automatically (the server
+rejects the unreadable body with 400, which the client recognises and
+retries as JSON — once, permanently).  Server-side failures come back
+as the same exception types the in-process engine raises — a caller
+can move between ``engine.submit(...)`` and ``client.schedule(...)``
+without changing its error handling.
 
 Fault tolerance (see :mod:`repro.service.resilience`):
 
@@ -42,8 +48,18 @@ from repro.service.errors import (
     WorkerError,
 )
 from repro.service.metrics import ServiceStats
-from repro.service.protocol import ScheduleResult, make_request_doc
+from repro.service.protocol import (
+    ScheduleResult,
+    WireScheduleResult,
+    make_request_doc,
+)
 from repro.service.resilience import Deadline, RetryPolicy, RetryStats, _RetryState
+from repro.service.wire import (
+    BINARY_CONTENT_TYPE,
+    ResponseView,
+    encode_instance,
+    encode_request,
+)
 
 _ERROR_BY_STATUS = {
     400: RequestError,
@@ -118,14 +134,27 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
                  connect_timeout: float = 5.0, request_timeout: float = 120.0,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 wire: str = "bin") -> None:
+        if wire not in ("bin", "json"):
+            raise ValueError(f"wire must be 'bin' or 'json', got {wire!r}")
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
         self.retry_policy = retry_policy
         self.retry_stats = RetryStats()
+        self.wire = wire
         self._body_cache: OrderedDict[tuple, bytes] = OrderedDict()
+        # (fingerprint, alg) pairs the server has answered: those go
+        # compact (content-addressed, no instance blob) from then on.
+        self._acked: OrderedDict[tuple, bool] = OrderedDict()
+        # The kept-alive connection of the binary path, tagged with the
+        # event loop that owns it: asyncio transports are loop-bound,
+        # and the sync wrappers create a fresh loop per call, so a
+        # connection must never be reused across loops.
+        self._conn: tuple[asyncio.AbstractEventLoop, asyncio.StreamReader,
+                          asyncio.StreamWriter] | None = None
 
     @classmethod
     def at(cls, endpoint: str, **kwargs) -> "ServiceClient":
@@ -149,69 +178,167 @@ class ServiceClient:
             )
         return remaining
 
-    async def _request(self, method: str, path: str,
-                       body: bytes | None = None,
-                       deadline: Deadline | None = None,
-                       ) -> tuple[int, dict[str, str], bytes]:
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port),
-            self._stage_timeout(deadline, self.connect_timeout),
-        )
+    def _drop_conn(self) -> None:
+        """Discard the kept-alive connection, whatever loop owns it.
+
+        Same-loop: a normal transport close.  Cross-loop (a sync
+        wrapper's previous ``asyncio.run`` owned it): the transport API
+        is off-limits, so the underlying socket is closed directly —
+        its loop is already gone and will never flush anything.
+        """
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        loop, _, writer = conn
         try:
-            payload = body or b""
-            deadline_header = (
-                f"X-Repro-Deadline: {deadline.at!r}\r\n" if deadline is not None else ""
-            )
-            head = (
-                f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {self.host}:{self.port}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                f"{deadline_header}"
-                "Connection: close\r\n\r\n"
-            )
-            writer.write(head.encode("latin-1") + payload)
-            await writer.drain()
-            # Read headers, then exactly Content-Length body bytes.  Never
-            # read-to-EOF: pool workers forked on the server side may hold
-            # an inherited copy of this socket, delaying EOF indefinitely.
-            header = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"),
-                self._stage_timeout(deadline, self.request_timeout),
-            )
-            headers: dict[str, str] = {}
-            for line in header.split(b"\r\n")[1:]:
-                name, _, value = line.decode("latin-1").partition(":")
-                if name:
-                    headers[name.strip().lower()] = value.strip()
+            same_loop = asyncio.get_running_loop() is loop
+        except RuntimeError:
+            same_loop = False
+        if same_loop:
+            writer.close()
+            return
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
             try:
-                content_length = int(headers.get("content-length", "0"))
-            except ValueError:
-                raise TransportError(
-                    f"malformed Content-Length header "
-                    f"{headers.get('content-length')!r} from "
-                    f"{self.host}:{self.port}"
-                ) from None
-            answer = await asyncio.wait_for(
-                reader.readexactly(content_length),
-                self._stage_timeout(deadline, self.request_timeout),
-            )
+                sock.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    async def close(self) -> None:
+        """Close the kept-alive connection (if any).  Optional — every
+        exchange also survives the server closing it first."""
+        self._drop_conn()
+
+    async def _exchange(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter, head: bytes,
+                        payload: bytes, deadline: Deadline | None,
+                        ) -> tuple[int, dict[str, str], bytes]:
+        """One write-request/read-response on an open connection."""
+        writer.write(head + payload)
+        await writer.drain()
+        # Read headers, then exactly Content-Length body bytes.  Never
+        # read-to-EOF: pool workers forked on the server side may hold
+        # an inherited copy of this socket, delaying EOF indefinitely.
+        try:
+            # One timeout scope for the whole response: unlike two
+            # ``wait_for`` calls this spawns no wrapper tasks, which is
+            # a measurable win on the warm path.
+            async with asyncio.timeout(
+                self._stage_timeout(deadline, self.request_timeout)
+            ):
+                header = await reader.readuntil(b"\r\n\r\n")
+                headers: dict[str, str] = {}
+                for line in header.split(b"\r\n")[1:]:
+                    name, _, value = line.decode("latin-1").partition(":")
+                    if name:
+                        headers[name.strip().lower()] = value.strip()
+                try:
+                    content_length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    raise TransportError(
+                        f"malformed Content-Length header "
+                        f"{headers.get('content-length')!r} from "
+                        f"{self.host}:{self.port}"
+                    ) from None
+                answer = await reader.readexactly(content_length)
         except asyncio.IncompleteReadError as exc:
             raise TransportError(
                 f"connection to {self.host}:{self.port} closed mid-response"
             ) from exc
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
         status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
         try:
             status = int(status_line.split()[1])
         except (IndexError, ValueError):
             raise TransportError(f"malformed status line {status_line!r}") from None
         return status, headers, answer
+
+    async def _request(self, method: str, path: str,
+                       body: bytes | None = None,
+                       deadline: Deadline | None = None,
+                       content_type: str = "application/json",
+                       accept: str | None = None,
+                       keep_alive: bool = False,
+                       ) -> tuple[int, dict[str, str], bytes]:
+        payload = body or b""
+        deadline_header = (
+            f"X-Repro-Deadline: {deadline.at!r}\r\n" if deadline is not None else ""
+        )
+        accept_header = f"Accept: {accept}\r\n" if accept is not None else ""
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"{accept_header}"
+            f"{deadline_header}"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode("latin-1")
+
+        loop = asyncio.get_running_loop()
+        reader = writer = None
+        reused = False
+        if keep_alive and self._conn is not None:
+            if self._conn[0] is loop:
+                _, reader, writer = self._conn
+                self._conn = None  # in use; one outstanding request per conn
+                reused = True
+            else:
+                self._drop_conn()
+        try:
+            while True:
+                if reader is None:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(self.host, self.port),
+                        self._stage_timeout(deadline, self.connect_timeout),
+                    )
+                    reused = False
+                try:
+                    status, headers, answer = await self._exchange(
+                        reader, writer, head, payload, deadline
+                    )
+                    break
+                except (TransportError, ConnectionError, OSError):
+                    writer.close()
+                    reader = writer = None
+                    if reused:
+                        # A kept-alive connection the server has since
+                        # closed (restart, idle timeout) fails on first
+                        # use; one fresh connection retries the exchange.
+                        reused = False
+                        continue
+                    raise
+        except BaseException:
+            if writer is not None:
+                writer.close()
+            raise
+        if keep_alive and headers.get("connection", "").lower() == "keep-alive":
+            self._conn = (loop, reader, writer)
+        else:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        return status, headers, answer
+
+    @staticmethod
+    def _raise_for_status(status: int, headers: dict[str, str],
+                          payload: bytes) -> None:
+        """Map a non-200 response (always a JSON error doc) to its
+        engine-equivalent exception."""
+        try:
+            answer = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            answer = {"status": "error", "error": payload.decode("latin-1", "replace")}
+        exc_type = _ERROR_BY_STATUS.get(status, WorkerError)
+        exc = exc_type(answer.get("error", f"HTTP {status}"))
+        if status == 429:
+            try:
+                exc.retry_after = float(headers["retry-after"])
+            except (KeyError, ValueError):
+                pass
+        raise exc
 
     async def _request_json(self, method: str, path: str,
                             doc: dict | None = None,
@@ -221,33 +348,64 @@ class ServiceClient:
             body = json.dumps(doc).encode("utf-8")
         status, headers, payload = await self._request(method, path, body,
                                                        deadline=deadline)
-        try:
-            answer = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            answer = {"status": "error", "error": payload.decode("latin-1", "replace")}
         if status != 200:
-            exc_type = _ERROR_BY_STATUS.get(status, WorkerError)
-            exc = exc_type(answer.get("error", f"HTTP {status}"))
-            if status == 429:
-                try:
-                    exc.retry_after = float(headers["retry-after"])
-                except (KeyError, ValueError):
-                    pass
-            raise exc
-        return answer
+            self._raise_for_status(status, headers, payload)
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise TransportError(
+                f"malformed JSON response from {self.host}:{self.port}"
+            ) from None
+
+    async def _request_bin(self, body: bytes,
+                           deadline: Deadline | None = None) -> ResponseView:
+        """One binary schedule exchange; returns the zero-copy view."""
+        status, headers, payload = await self._request(
+            "POST", "/v1/schedule", body, deadline=deadline,
+            content_type=BINARY_CONTENT_TYPE, accept=BINARY_CONTENT_TYPE,
+            keep_alive=True,
+        )
+        if status != 200:
+            self._raise_for_status(status, headers, payload)
+        content_type = headers.get("content-type", "").split(";", 1)[0].strip().lower()
+        if content_type != BINARY_CONTENT_TYPE:
+            raise TransportError(
+                f"server answered a binary request with {content_type!r}"
+            )
+        return ResponseView(payload)
 
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
     def _schedule_body(self, instance: Instance, alg: str,
                        timeout: float | None,
-                       trace_id: str | None = None) -> bytes:
-        key = (instance.fingerprint(), alg, timeout, trace_id)
+                       trace_id: str | None = None,
+                       wire_format: str = "json",
+                       compact: bool = False) -> bytes:
+        key = (wire_format, compact, instance.fingerprint(), alg, timeout, trace_id)
         body = self._body_cache.get(key)
         if body is None:
-            doc = make_request_doc(json.loads(instance_to_json(instance)), alg,
-                                   timeout, trace_id=trace_id)
-            body = json.dumps(doc).encode("utf-8")
+            if wire_format == "bin" and compact:
+                body = encode_request(None, alg, timeout, trace_id=trace_id,
+                                      fingerprint=instance.fingerprint(),
+                                      compact=True)
+            elif wire_format == "bin":
+                # The instance blob dominates the encoding cost and is
+                # shared across algorithms, so it gets its own memo slot.
+                blob_key = ("bin-instance", instance.fingerprint())
+                blob = self._body_cache.get(blob_key)
+                if blob is None:
+                    blob = encode_instance(instance)
+                    self._body_cache[blob_key] = blob
+                else:
+                    self._body_cache.move_to_end(blob_key)
+                body = encode_request(instance, alg, timeout, trace_id=trace_id,
+                                      instance_bytes=blob,
+                                      fingerprint=instance.fingerprint())
+            else:
+                doc = make_request_doc(json.loads(instance_to_json(instance)), alg,
+                                       timeout, trace_id=trace_id)
+                body = json.dumps(doc).encode("utf-8")
             self._body_cache[key] = body
             while len(self._body_cache) > _BODY_CACHE_SIZE:
                 self._body_cache.popitem(last=False)
@@ -266,21 +424,17 @@ class ServiceClient:
         echoed back in the result and stamped on every server/worker
         span this request produces.
         """
-        body = self._schedule_body(instance, alg, timeout, trace_id)
         deadline = Deadline.after(timeout if timeout is not None else self.request_timeout)
         policy = self.retry_policy
         if policy is None:
-            answer = await self._request_json("POST", "/v1/schedule", body=body,
-                                              deadline=deadline)
-            return ScheduleResult.from_payload(answer["result"])
+            return await self._schedule_once(instance, alg, timeout, trace_id, deadline)
         tracer = get_tracer()
         state = _RetryState(policy, self.retry_stats, deadline)
         while True:
             self.retry_stats.attempts += 1
             try:
-                answer = await self._request_json("POST", "/v1/schedule", body=body,
-                                                  deadline=deadline)
-                return ScheduleResult.from_payload(answer["result"])
+                return await self._schedule_once(instance, alg, timeout, trace_id,
+                                                 deadline)
             except RETRYABLE as exc:
                 retry_after = getattr(exc, "retry_after", None)
                 if tracer.enabled:
@@ -294,6 +448,66 @@ class ServiceClient:
                     raise
                 if tracer.enabled:
                     tracer.count("client.retries")
+
+    async def _schedule_once(self, instance: Instance, alg: str,
+                             timeout: float | None, trace_id: str | None,
+                             deadline: Deadline) -> ScheduleResult:
+        """One schedule attempt in the client's current wire format.
+
+        A binary request a server answers with "invalid JSON body" is
+        the signature of a pre-wire JSON-only server reading binary
+        bytes as a document — downgrade to JSON permanently (this
+        client keeps talking JSON) and redo the attempt; any other
+        error is the request's own problem and surfaces unchanged.
+        """
+        if self.wire == "bin":
+            result = await self._schedule_bin(instance, alg, timeout, trace_id,
+                                              deadline)
+            if result is not None:
+                return result
+            # fell through: downgraded to JSON mid-attempt
+        body = self._schedule_body(instance, alg, timeout, trace_id)
+        answer = await self._request_json("POST", "/v1/schedule", body=body,
+                                          deadline=deadline)
+        return ScheduleResult.from_payload(answer["result"])
+
+    async def _schedule_bin(self, instance: Instance, alg: str,
+                            timeout: float | None, trace_id: str | None,
+                            deadline: Deadline) -> WireScheduleResult | None:
+        """One binary attempt; ``None`` means "downgraded, retry as JSON".
+
+        Once the server has answered for an ``(instance, alg)`` pair its
+        content-addressed cache holds the result, so subsequent requests
+        go *compact* — fingerprint only, no instance blob, a few dozen
+        bytes.  A compact miss (eviction, restart without the segment)
+        comes back as an ``unknown instance fingerprint`` error and the
+        full request is resent once, transparently.
+        """
+        acked_key = (instance.fingerprint(), alg)
+        compact = acked_key in self._acked
+        body = self._schedule_body(instance, alg, timeout, trace_id,
+                                   wire_format="bin", compact=compact)
+        try:
+            try:
+                view = await self._request_bin(body, deadline=deadline)
+            except RequestError as exc:
+                if compact and "unknown instance fingerprint" in str(exc):
+                    self._acked.pop(acked_key, None)
+                    body = self._schedule_body(instance, alg, timeout, trace_id,
+                                               wire_format="bin")
+                    view = await self._request_bin(body, deadline=deadline)
+                else:
+                    raise
+        except RequestError as exc:
+            if "invalid JSON body" not in str(exc):
+                raise
+            self.wire = "json"
+            return None
+        self._acked[acked_key] = True
+        self._acked.move_to_end(acked_key)
+        while len(self._acked) > _BODY_CACHE_SIZE:
+            self._acked.popitem(last=False)
+        return WireScheduleResult(view)
 
     async def stats(self) -> ServiceStats:
         """Fetch the server's counter snapshot."""

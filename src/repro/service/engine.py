@@ -55,7 +55,7 @@ from repro.instance import Instance
 from repro.instance_io import instance_to_json
 from repro.obs import NullTracer, Tracer, get_tracer, to_prometheus
 from repro.service import faults, protocol
-from repro.service.cache import ScheduleCache, request_key
+from repro.service.cache import ScheduleCache, SegmentStore, request_key
 from repro.service.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -84,6 +84,11 @@ class EngineConfig:
     #: Chaos-testing hook: a picklable fault plan installed in every
     #: pool worker (including respawned pools).  ``None`` in production.
     fault_plan: "faults.FaultPlan | None" = None
+    #: Directory for the persistent schedule cache (append-only segment
+    #: file).  ``None`` (the default) keeps the cache memory-only; set,
+    #: it makes a restarted daemon come back warm (``repro serve
+    #: --cache-dir``).
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -128,7 +133,7 @@ class _Job:
 
     __slots__ = ("key", "text", "alg", "future", "trace_id", "sid", "enqueued")
 
-    def __init__(self, key: str, text: str, alg: str, future: asyncio.Future,
+    def __init__(self, key: str, text: str | bytes, alg: str, future: asyncio.Future,
                  trace_id: str | None = None, sid: int | None = None,
                  enqueued: float = 0.0) -> None:
         self.key = key
@@ -151,6 +156,8 @@ class SchedulingEngine:
         self._tracer = tracer
         self._trace_seq = 0
         self.cache = ScheduleCache(self.config.cache_size)
+        self._store: SegmentStore | None = None
+        self.recovery_report: dict[str, int] | None = None
         self._queue: asyncio.Queue[_Job | None] = asyncio.Queue(maxsize=self.config.queue_depth)
         # One dispatch slot per pool worker: when every worker is busy
         # the dispatcher stalls, the queue genuinely fills, and submit()
@@ -181,6 +188,8 @@ class SchedulingEngine:
         """
         if self._started:
             return
+        if self.config.cache_dir is not None:
+            self._recover_cache()
         if self.config.workers > 0:
             self._pool = await self._spawn_pool()
         self._stop = asyncio.Event()
@@ -189,6 +198,30 @@ class SchedulingEngine:
         self._dispatcher = asyncio.create_task(self._dispatch_loop(), name="repro-dispatcher")
         self._started = True
         self._closed = False
+
+    def _recover_cache(self) -> None:
+        """Replay the persistent segment into the in-memory cache.
+
+        Records are wire-encoded payloads; a record that fails to decode
+        (e.g. written by a build with a different wire version) is
+        counted and skipped, never trusted.  Only the newest
+        ``cache_size`` entries are loaded — the segment is append-only
+        and can outgrow the LRU, and loading the tail end matches what
+        the LRU would have kept anyway.
+        """
+        from repro.service.wire import decode_payload
+
+        self._store = SegmentStore(self.config.cache_dir)
+        with self.tracer.span("cache.recover", detach=True) as span:
+            entries, report = self._store.recover()
+            report["undecodable"] = 0
+            for key, raw in list(entries.items())[-self.config.cache_size:]:
+                try:
+                    self.cache.put(key, decode_payload(raw))
+                except Exception:
+                    report["undecodable"] += 1
+            span.set(**report)
+            self.recovery_report = report
 
     async def _spawn_pool(self) -> ProcessPoolExecutor:
         """Fork and warm one worker pool (initial start and respawns)."""
@@ -244,6 +277,9 @@ class SchedulingEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=not drain)
             self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
         self._started = False
 
     @property
@@ -270,7 +306,8 @@ class SchedulingEngine:
     async def submit(self, instance: Instance, alg: str,
                      timeout: float | None = None,
                      trace_id: str | None = None,
-                     deadline: "Deadline | float | None" = None) -> dict:
+                     deadline: "Deadline | float | None" = None,
+                     encoded: bytes | None = None) -> dict:
         """Schedule ``instance`` with scheduler ``alg``; return the payload.
 
         The returned dict is a fresh copy carrying ``cache_hit``,
@@ -279,6 +316,11 @@ class SchedulingEngine:
         :class:`ServiceOverloadedError` (queue full),
         :class:`ServiceTimeoutError` (deadline), :class:`WorkerError`
         (computation failed) or :class:`ServiceClosedError` (draining).
+
+        ``encoded`` is the instance's binary wire form when the request
+        arrived that way: a cold job then ships those exact bytes to the
+        pool worker, which decodes packed arrays instead of re-parsing a
+        JSON document (the worker accepts either form).
 
         ``deadline`` (a :class:`~repro.service.resilience.Deadline` or
         an absolute ``time.monotonic()`` float) is the one end-to-end
@@ -330,7 +372,7 @@ class SchedulingEngine:
 
             job = self._inflight.get(key)
             if job is None:
-                job = _Job(key, instance_to_json(instance), alg,
+                job = _Job(key, encoded if encoded is not None else instance_to_json(instance), alg,
                            asyncio.get_running_loop().create_future(),
                            trace_id=trace_id, sid=req.sid,
                            enqueued=time.perf_counter())
@@ -553,9 +595,32 @@ class SchedulingEngine:
                     job.future.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
                 return
         self.cache.put(job.key, payload)
+        self._persist(job.key, payload)
         self._inflight.pop(job.key, None)
         if not job.future.done():
             job.future.set_result(payload)
+
+    def _persist(self, key: str, payload: dict) -> None:
+        """Durably append one computed payload to the segment store.
+
+        Persistence is best-effort relative to the request: the waiter
+        already has (or is about to get) the payload, so a full disk or
+        revoked cache dir degrades the daemon to memory-only caching
+        instead of failing requests.
+        """
+        if self._store is None:
+            return
+        from repro.service.wire import encode_payload
+
+        tracer = self.tracer
+        try:
+            with tracer.span("cache.persist", detach=True, key=key[:12]):
+                self._store.append(key, encode_payload(payload))
+        except OSError:
+            if tracer.enabled:
+                tracer.count("cache.persist_failures")
+            self._store.close()
+            self._store = None
 
     async def _heal_pool(self, failed_generation: int, cause: BaseException) -> bool:
         """Quarantine a broken pool and respawn a fresh, warmed one.

@@ -25,6 +25,20 @@ class RequestError(ServiceError):
     status = 400
 
 
+class WireFormatError(RequestError):
+    """A binary wire blob is malformed (bad magic, wrong kind, short
+    buffer, corrupt section).  A :class:`RequestError` — the server maps
+    it to 400 — but typed so codec callers can tell framing problems
+    from semantic ones."""
+
+
+class WireVersionError(WireFormatError):
+    """The blob's wire version byte is not the one this build speaks.
+
+    Raised *before* any section is decoded, so an old-format blob is
+    rejected loudly instead of being garbage-decoded."""
+
+
 class ServiceOverloadedError(ServiceError):
     """The bounded request queue is full — backpressure, retry later.
 

@@ -47,6 +47,9 @@ __all__ = [
 POINTS = (
     "worker.start",    # entering compute_schedule_payload, before parsing
     "worker.finish",   # after validation, before encoding the payload
+    "worker.encode",   # inside payload encoding — covers the response
+                       # serialisation stage itself (JSON *and* binary),
+                       # which worker.finish fires strictly before
 )
 
 _ACTIONS = ("kill", "raise", "delay")

@@ -22,6 +22,18 @@ from dataclasses import dataclass, field
 
 from repro.instance import Instance
 from repro.schedule.schedule import Schedule
+from repro.service.wire import (  # noqa: F401  (re-exported: wire lives here too)
+    BINARY_CONTENT_TYPE,
+    WIRE_VERSION,
+    decode_instance,
+    decode_payload,
+    decode_request,
+    decode_response,
+    encode_instance,
+    encode_payload,
+    encode_request,
+    encode_response,
+)
 from repro.utils.encoding import decode_id, encode_id
 
 #: Version tag of the request/response documents.
@@ -51,16 +63,26 @@ class _LoweredInstances:
         self.hits = 0
         self.misses = 0
 
-    def get(self, instance_text: str) -> Instance:
-        body_key = hashlib.sha256(instance_text.encode("utf-8")).hexdigest()
+    def get(self, instance_text: str | bytes) -> Instance:
+        """Lowered instance for a request body — JSON text or wire bytes.
+
+        Both forms share the fingerprint-keyed store, so a binary client
+        and a JSON client sending the same content hit the same lowered
+        instance (exactly as they share the response cache).
+        """
+        raw = instance_text if isinstance(instance_text, bytes) else instance_text.encode("utf-8")
+        body_key = hashlib.sha256(raw).hexdigest()
         fp = self._body_alias.get(body_key)
         if fp is not None and fp in self._by_fp:
             self.hits += 1
             self._by_fp.move_to_end(fp)
             return self._by_fp[fp]
-        from repro.instance_io import instance_from_json
+        if isinstance(instance_text, bytes):
+            instance = decode_instance(instance_text)
+        else:
+            from repro.instance_io import instance_from_json
 
-        instance = instance_from_json(instance_text)
+            instance = instance_from_json(instance_text)
         fp = instance.fingerprint()
         memoized = self._by_fp.get(fp)
         if memoized is not None:
@@ -142,8 +164,12 @@ def schedule_payload(schedule: Schedule, instance: Instance, alg: str) -> dict:
     }
 
 
-def compute_schedule_payload(instance_text: str, alg: str) -> dict:
+def compute_schedule_payload(instance_text: str | bytes, alg: str) -> dict:
     """Cold-path computation: parse, schedule, validate, serialise.
+
+    ``instance_text`` is either the JSON instance document or its binary
+    wire form (:func:`encode_instance` bytes) — binary bodies are
+    decoded straight from the packed arrays, no intermediate dict tree.
 
     Runs inside pool workers; imports are deferred so a worker process
     only pays for what it uses.  Parsing and lowering go through the
@@ -163,8 +189,9 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
 
     faults.fire("worker.start")
     tracer = get_tracer()
+    wire_format = "bin" if isinstance(instance_text, bytes) else "json"
     hits0, misses0 = _LOWERED.hits, _LOWERED.misses
-    with tracer.span("worker.parse", alg=alg):
+    with tracer.span("worker.parse", alg=alg, wire=wire_format):
         instance = _LOWERED.get(instance_text)
     if tracer.enabled:
         tracer.count("worker.lowering_hits", _LOWERED.hits - hits0)
@@ -174,12 +201,13 @@ def compute_schedule_payload(instance_text: str, alg: str) -> dict:
     with tracer.span("worker.validate", alg=alg):
         validate(schedule, instance)
     faults.fire("worker.finish")
-    with tracer.span("worker.encode", alg=alg):
+    with tracer.span("worker.encode", alg=alg, wire=wire_format):
+        faults.fire("worker.encode")
         return schedule_payload(schedule, instance, alg)
 
 
 def compute_schedule_payload_traced(
-    instance_text: str, alg: str, trace_id: str | None = None
+    instance_text: str | bytes, alg: str, trace_id: str | None = None
 ) -> tuple[dict, dict]:
     """Traced cold path: compute the payload *and* export the worker trace.
 
@@ -257,6 +285,55 @@ class ScheduleResult:
             trace_id=str(payload.get("trace_id", "")),
             payload=payload,
         )
+
+    def to_schedule(self, machine) -> Schedule:
+        """Materialise the placements onto ``machine``."""
+        return payload_to_schedule(self.payload, machine)
+
+
+class WireScheduleResult:
+    """A :class:`ScheduleResult` over a binary response, decoded lazily.
+
+    Scalars (makespan, algorithm, cache/trace metadata) come straight
+    from the response envelope and payload prefix, which the
+    :class:`~repro.service.wire.ResponseView` parsed in a few
+    microseconds.  ``placements`` and ``payload`` materialise from the
+    wire buffer on first access and are then memoised — a caller that
+    only reads the makespan never builds a placement dict at all.
+
+    Duck-types :class:`ScheduleResult` exactly: same attributes, same
+    value types, same ``to_schedule``.
+    """
+
+    __slots__ = ("alg", "instance", "makespan", "num_duplicates",
+                 "cache_hit", "fingerprint", "server_ms", "trace_id",
+                 "_view", "_placements")
+
+    def __init__(self, view) -> None:
+        self.alg = view.alg
+        self.instance = view.instance
+        self.makespan = view.makespan
+        self.num_duplicates = view.num_duplicates
+        self.cache_hit = view.cache_hit
+        self.fingerprint = view.fingerprint
+        self.server_ms = view.server_ms
+        self.trace_id = view.trace_id or ""
+        self._view = view
+        self._placements = None
+
+    @property
+    def payload(self) -> dict:
+        return self._view.payload
+
+    @property
+    def placements(self) -> tuple:
+        if self._placements is None:
+            self._placements = tuple(
+                (decode_id(r["task"]), decode_id(r["proc"]),
+                 r["start"], r["end"], r["duplicate"])
+                for r in self.payload["placements"]
+            )
+        return self._placements
 
     def to_schedule(self, machine) -> Schedule:
         """Materialise the placements onto ``machine``."""

@@ -23,6 +23,16 @@ digest to request key (skips parsing and fingerprinting altogether)
 backed by the engine's canonical content-addressed cache (catches the
 same instance serialised differently).  Both serve the identical stored
 payload, so hits are bit-identical either way.
+
+Wire negotiation: a ``POST /v1/schedule`` body is JSON unless its
+``Content-Type`` is :data:`~repro.service.wire.BINARY_CONTENT_TYPE`,
+and the response is JSON unless the request's ``Accept`` names the
+binary type — so existing JSON clients keep working unchanged while
+binary clients skip document building on both sides.  Errors are
+always JSON (they must stay debuggable from a shell).  Connections
+close after one exchange unless the client asks ``Connection:
+keep-alive``; the binary client does, which removes the per-request
+TCP connect from the warm path.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ import hashlib
 import json
 from collections import OrderedDict
 
+from repro.service import wire
+from repro.service.cache import request_key_from_fingerprint
 from repro.service.engine import SchedulingEngine
 from repro.service.errors import RequestError, ServiceError
 from repro.service.protocol import parse_request_doc
@@ -42,6 +54,11 @@ MAX_BODY = 64 * 1024 * 1024
 #: Entries kept in the exact-body fast-path map (body digest -> request
 #: key).  Each entry is two hex digests, so this is a few hundred kB.
 EXACT_MAP_SIZE = 4096
+
+#: Entries kept in the encoded-payload memo (request key -> wire bytes).
+#: Cached payloads are immutable, so a warm binary hit re-serves the
+#: same bytes instead of re-encoding.
+ENCODED_MAP_SIZE = 1024
 
 #: Request header carrying the client's absolute ``time.monotonic()``
 #: deadline.  A header (not a body field) so that byte-identical bodies
@@ -78,6 +95,11 @@ class ScheduleServer:
         # semantically-equal-but-differently-serialised requests still
         # hit through the canonical fingerprint path in the engine.
         self._exact: OrderedDict[str, str] = OrderedDict()
+        # Binary warm path: request key -> wire-encoded payload bytes.
+        self._encoded: OrderedDict[str, bytes] = OrderedDict()
+        # Live connections, so stop() can nudge parked keep-alive
+        # handlers (blocked reading the next request) to exit cleanly.
+        self._conns: set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -110,6 +132,11 @@ class ScheduleServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Closing the listener doesn't touch established connections:
+        # keep-alive handlers parked waiting for a next request would
+        # otherwise linger until the client goes away.  Feed them EOF.
+        for writer in list(self._conns):
+            writer.close()
         await self.engine.stop(drain=drain)
         self._shutdown.set()
 
@@ -118,49 +145,70 @@ class ScheduleServer:
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        self._conns.add(writer)
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                return
-            method, path, body, headers = request
-            status, content_type, payload, extra = await self._route(
-                method, path, body, headers
-            )
-            await self._write_response(writer, status, content_type, payload, extra)
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, path, body, headers = request
+                status, content_type, payload, extra = await self._route(
+                    method, path, body, headers
+                )
+                # Close after one exchange unless the client opted into
+                # keep-alive (the binary client does; legacy JSON
+                # clients never send the header and see the historical
+                # one-shot behaviour).  A stopping server always closes.
+                keep_alive = (
+                    headers.get("connection", "").lower() == "keep-alive"
+                    and self._server is not None
+                )
+                await self._write_response(writer, status, content_type, payload,
+                                           extra, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away mid-request
+        except asyncio.CancelledError:
+            # Loop teardown cancelled a parked keep-alive handler.
+            # Swallowing (not re-raising) keeps the stdlib streams
+            # done-callback from logging a spurious traceback.
+            pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
     async def _read_request(self, reader: asyncio.StreamReader):
-        """Parse one HTTP/1.x request; returns (method, path, body, headers)."""
+        """Parse one HTTP/1.x request; returns (method, path, body, headers).
+
+        The whole header block is read with a single ``readuntil`` —
+        one syscall-ish await instead of a per-line loop, which matters
+        on the keep-alive warm path where header parsing is a visible
+        fraction of the total exchange.
+        """
         try:
-            request_line = await reader.readline()
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # clean close (or trailing garbage) between requests
         except (asyncio.LimitOverrunError, ValueError):
             return None
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        parts = lines[0].split()
         if len(parts) < 2:
             return None
         method, path = parts[0].upper(), parts[1]
         headers: dict[str, str] = {}
-        content_length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    content_length = 0
+        try:
+            content_length = int(headers.get("content-length", 0))
+        except ValueError:
+            content_length = 0
         if content_length > MAX_BODY:
             return method, path, b"\x00too-large", headers
         body = await reader.readexactly(content_length) if content_length else b""
@@ -201,24 +249,62 @@ class ScheduleServer:
         return self._json(404, {"status": "error", "error": f"no such route {path}"})
 
     async def _handle_schedule(self, body: bytes, headers: dict[str, str]):
+        binary_request = (
+            headers.get("content-type", "").split(";", 1)[0].strip().lower()
+            == wire.BINARY_CONTENT_TYPE
+        )
+        binary_response = wire.BINARY_CONTENT_TYPE in headers.get("accept", "").lower()
+        tracer = self.engine.tracer
         try:
             deadline = self._parse_deadline(headers)
-            body_key = hashlib.sha256(body).hexdigest()
-            known_key = self._exact.get(body_key)
-            if known_key is not None:
-                payload = self.engine.submit_cached(known_key)
-                if payload is not None:
-                    self._exact.move_to_end(body_key)
-                    return self._json(200, {"status": "ok", "result": payload})
-            try:
-                doc = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise RequestError(f"invalid JSON body: {exc}") from None
-            instance, alg, timeout, trace_id = parse_request_doc(doc)
-            payload = await self.engine.submit(instance, alg, timeout=timeout,
-                                               trace_id=trace_id, deadline=deadline)
-            self._remember_exact(body_key, payload["fingerprint"])
+            if binary_request:
+                # Binary requests carry the instance's content address,
+                # so the warm path is a direct cache-key lookup — no
+                # body hashing, no instance decode.  The claimed
+                # fingerprint is only ever a lookup hint: entries are
+                # stored under server-computed keys, so a wrong claim
+                # misses and the request is computed honestly.
+                blob, alg, fingerprint, timeout, trace_id = wire.decode_request(body)
+                if fingerprint:
+                    payload = self.engine.submit_cached(
+                        request_key_from_fingerprint(fingerprint, alg)
+                    )
+                    if payload is not None:
+                        return self._respond_schedule(payload, binary_response)
+                if blob is None:
+                    # Compact request missed: the client optimistically
+                    # sent only the content address.  This exact error
+                    # text is the protocol's "send the full form" signal.
+                    raise RequestError(
+                        f"unknown instance fingerprint {fingerprint[:16]}..."
+                    )
+                with tracer.span("service.decode", detach=True, wire="bin"):
+                    self._check_alg(alg)
+                    instance = wire.decode_instance(blob)
+                payload = await self.engine.submit(instance, alg, timeout=timeout,
+                                                   trace_id=trace_id,
+                                                   deadline=deadline,
+                                                   encoded=bytes(blob))
+            else:
+                body_key = hashlib.sha256(body).hexdigest()
+                known_key = self._exact.get(body_key)
+                if known_key is not None:
+                    payload = self.engine.submit_cached(known_key)
+                    if payload is not None:
+                        self._exact.move_to_end(body_key)
+                        return self._respond_schedule(payload, binary_response)
+                with tracer.span("service.decode", detach=True, wire="json"):
+                    try:
+                        doc = json.loads(body.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise RequestError(f"invalid JSON body: {exc}") from None
+                    instance, alg, timeout, trace_id = parse_request_doc(doc)
+                payload = await self.engine.submit(instance, alg, timeout=timeout,
+                                                   trace_id=trace_id, deadline=deadline)
+                self._remember_exact(body_key, payload["fingerprint"])
         except ServiceError as exc:
+            # Errors are always JSON, whatever the negotiated format —
+            # a failed exchange must stay readable from curl.
             kind = "rejected" if exc.status == 429 else "error"
             extra = {}
             if exc.status == 429:
@@ -227,7 +313,44 @@ class ScheduleServer:
                     hint = self.engine.retry_after_hint()
                 extra["Retry-After"] = f"{hint:g}"
             return self._json(exc.status, {"status": kind, "error": str(exc)}, extra)
-        return self._json(200, {"status": "ok", "result": payload})
+        return self._respond_schedule(payload, binary_response)
+
+    @staticmethod
+    def _check_alg(alg: str) -> None:
+        """Reject unknown schedulers before they occupy queue space
+        (the JSON path does this inside ``parse_request_doc``)."""
+        from repro.schedulers.registry import all_scheduler_names
+
+        if not alg:
+            raise RequestError("request needs a scheduler name under 'alg'")
+        if alg not in all_scheduler_names():
+            raise RequestError(
+                f"unknown scheduler {alg!r}; known: {', '.join(all_scheduler_names())}"
+            )
+
+    def _respond_schedule(self, payload: dict, binary: bool):
+        """Serialise one successful schedule answer in the negotiated form."""
+        if not binary:
+            return self._json(200, {"status": "ok", "result": payload})
+        result = dict(payload)
+        cache_hit = bool(result.pop("cache_hit", False))
+        fingerprint = str(result.pop("fingerprint", ""))
+        server_ms = float(result.pop("server_ms", 0.0))
+        trace_id = result.pop("trace_id", None)
+        with self.engine.tracer.span("service.encode", detach=True, wire="bin"):
+            encoded = self._encoded.get(fingerprint)
+            if encoded is None:
+                encoded = wire.encode_payload(result)
+                self._encoded[fingerprint] = encoded
+                while len(self._encoded) > ENCODED_MAP_SIZE:
+                    self._encoded.popitem(last=False)
+            else:
+                self._encoded.move_to_end(fingerprint)
+            body = wire.encode_response(
+                encoded, cache_hit=cache_hit, fingerprint=fingerprint,
+                server_ms=server_ms, trace_id=trace_id,
+            )
+        return (200, wire.BINARY_CONTENT_TYPE, body, {})
 
     @staticmethod
     def _parse_deadline(headers: dict[str, str]) -> float | None:
@@ -257,17 +380,19 @@ class ScheduleServer:
     @staticmethod
     async def _write_response(writer: asyncio.StreamWriter, status: int,
                               content_type: str, payload: bytes,
-                              extra_headers: dict[str, str] | None = None) -> None:
+                              extra_headers: dict[str, str] | None = None,
+                              keep_alive: bool = False) -> None:
         reason = _REASONS.get(status, "Unknown")
         extras = "".join(
             f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
         )
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"{extras}"
-            "Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()

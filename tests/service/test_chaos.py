@@ -111,6 +111,61 @@ def test_respawn_budget_exhaustion_fails_clean(tmp_path):
     asyncio.run(scenario())
 
 
+def test_worker_killed_mid_encode_with_persistent_cache(tmp_path):
+    """A worker murdered *inside payload encoding* (the ``worker.encode``
+    fault site) while the engine persists to disk: every request must
+    still succeed bit-identically, and the segment must contain exactly
+    the successful computations — no partial or duplicate records from
+    the killed attempt — so a restarted engine comes back warm."""
+    from repro.service.cache import SegmentStore, request_key
+    from repro.service.wire import decode_payload
+
+    instances = _instances(4)
+    expected = {
+        request_key(inst, "HEFT"): _canonical(
+            protocol.compute_schedule_payload(instance_to_json(inst), "HEFT")
+        )
+        for inst in instances
+    }
+    token_dir = tmp_path / "tokens"
+    cache_dir = tmp_path / "cache"
+    token_dir.mkdir()
+    plan = FaultPlan((
+        FaultRule(point="worker.encode", action="kill", times=1,
+                  token_dir=str(token_dir)),
+    ))
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(
+            workers=2, fault_plan=plan, max_respawns=3,
+            default_timeout=120.0, queue_depth=64, cache_dir=str(cache_dir),
+        ))
+        await engine.start()
+        try:
+            results = await asyncio.gather(*[
+                engine.submit(inst, "HEFT", timeout=120.0) for inst in instances
+            ])
+            for inst, payload in zip(instances, results):
+                assert _canonical(payload) == expected[request_key(inst, "HEFT")]
+            stats = engine.stats()
+            assert stats.respawns >= 1
+            assert stats.errors == 0
+        finally:
+            await engine.stop()
+
+    asyncio.run(scenario())
+
+    store = SegmentStore(str(cache_dir))
+    entries, report = store.recover()
+    store.close()
+    assert report == {"recovered": 4, "skipped": 0, "truncated": 0, "rotated": 0}
+    assert set(entries) == set(expected)
+    for key, raw in entries.items():
+        assert _canonical(decode_payload(raw)) == expected[key], (
+            "persisted record diverged from the fault-free computation"
+        )
+
+
 def test_engine_keeps_serving_after_heal(tmp_path):
     """Post-heal the engine is a fully ordinary engine: fresh submissions
     compute on the respawned pool and caching still works."""

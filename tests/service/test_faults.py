@@ -49,7 +49,7 @@ def test_rule_rejects_bad_counts():
 
 
 def test_points_cover_worker_entry_and_exit():
-    assert set(faults.POINTS) == {"worker.start", "worker.finish"}
+    assert set(faults.POINTS) == {"worker.start", "worker.finish", "worker.encode"}
 
 
 def test_token_stem_is_stable_and_distinct():
@@ -132,6 +132,39 @@ def test_compute_path_fires_worker_points():
     # Budget spent: the same call now computes normally.
     payload = protocol.compute_schedule_payload(instance_to_json(_instance()), "HEFT")
     assert payload["placements"]
+
+
+def test_encode_stage_fault_fires_after_scheduling(tmp_path):
+    """The ``worker.encode`` site fires inside response serialisation —
+    strictly after ``worker.finish`` — so an encode fault means the
+    schedule itself was already computed and validated.  It must surface
+    as an ordinary worker exception, and the spent budget must leave the
+    very next call computing the same payload as a fault-free run."""
+    from repro.instance_io import instance_to_json
+
+    order: list[str] = []
+    plan = FaultPlan((
+        FaultRule(point="worker.finish", action="delay", delay_s=0.0, times=1),
+        FaultRule(point="worker.encode", action="raise", times=1),
+    ))
+    faults.install(plan)
+    original_fire = faults.fire
+
+    def recording_fire(point):
+        order.append(point)
+        original_fire(point)
+
+    text = instance_to_json(_instance())
+    try:
+        faults.fire = recording_fire
+        with pytest.raises(FaultInjected):
+            protocol.compute_schedule_payload(text, "HEFT")
+    finally:
+        faults.fire = original_fire
+    assert order.index("worker.finish") < order.index("worker.encode")
+    clean = protocol.compute_schedule_payload(text, "HEFT")
+    faults.clear()
+    assert clean == protocol.compute_schedule_payload(text, "HEFT")
 
 
 def test_engine_surfaces_injected_raise_as_worker_error():

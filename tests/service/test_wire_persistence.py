@@ -1,0 +1,303 @@
+"""Crash-restart suite for the persistent schedule cache.
+
+The segment store's contract is crash-shaped: every append is fsynced,
+so a killed daemon loses at most the record it was writing, and a
+restarted daemon replays everything before that point bit-identically.
+These tests exercise the contract at its edges — an abrupt ``os._exit``
+mid-service, a tail record truncated or CRC-corrupted on disk, a
+clobbered file header, and records a future build cannot decode — and
+assert recovery is loud (``cache.recover`` report / span) but lossless
+for every intact record.
+
+Engines run ``workers=0`` (thread compute) so recompute can be proven
+absent by monkeypatching the compute function to explode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.instance_io import instance_to_json
+from repro.obs import Tracer
+from repro.service import protocol
+from repro.service.cache import SegmentStore, request_key
+from repro.service.engine import EngineConfig, SchedulingEngine
+from repro.service.errors import WorkerError
+from repro.utils.rng import as_generator
+
+#: Response-envelope fields that legitimately differ between a cold
+#: response and a recovered warm hit.
+ENVELOPE = ("cache_hit", "fingerprint", "server_ms", "trace_id")
+
+
+def _instances(n: int, num_tasks: int = 10):
+    return [
+        W.random_instance(as_generator(900 + i), num_tasks=num_tasks, num_procs=3)
+        for i in range(n)
+    ]
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(
+        {k: v for k, v in payload.items() if k not in ENVELOPE}, sort_keys=True
+    )
+
+
+def _populate(cache_dir: str, instances, alg: str = "HEFT",
+              tracer: Tracer | None = None) -> list[dict]:
+    """Run a daemonless engine over ``instances``, persisting as it goes."""
+
+    async def scenario():
+        engine = SchedulingEngine(
+            EngineConfig(workers=0, cache_dir=cache_dir), tracer=tracer
+        )
+        await engine.start()
+        try:
+            return [await engine.submit(inst, alg) for inst in instances]
+        finally:
+            await engine.stop()
+
+    return asyncio.run(scenario())
+
+
+def _restart(cache_dir: str, instances, alg: str = "HEFT",
+             tracer: Tracer | None = None, forbid_compute: bool = False,
+             monkeypatch=None):
+    """Boot a fresh engine on ``cache_dir`` and re-request ``instances``.
+
+    ``forbid_compute=True`` replaces the worker compute function with a
+    tripwire, proving every answer came from the recovered segment.
+    """
+
+    async def scenario():
+        engine = SchedulingEngine(
+            EngineConfig(workers=0, cache_dir=cache_dir), tracer=tracer
+        )
+        await engine.start()
+        try:
+            payloads = [await engine.submit(inst, alg) for inst in instances]
+            return engine.recovery_report, payloads
+        finally:
+            await engine.stop()
+
+    if forbid_compute:
+        def _tripwire(text, alg):
+            raise AssertionError("warm restart recomputed a persisted schedule")
+
+        monkeypatch.setattr(protocol, "compute_schedule_payload", _tripwire)
+    return asyncio.run(scenario())
+
+
+def _segment(cache_dir) -> str:
+    return os.path.join(str(cache_dir), "schedules.seg")
+
+
+# ----------------------------------------------------------------------
+# the happy crash: restart comes back warm, bit-identical, no recompute
+# ----------------------------------------------------------------------
+def test_restart_answers_from_segment_without_recompute(tmp_path, monkeypatch):
+    instances = _instances(4)
+    before = _populate(str(tmp_path), instances)
+    report, after = _restart(str(tmp_path), instances, forbid_compute=True,
+                             monkeypatch=monkeypatch)
+    assert report == {"recovered": 4, "skipped": 0, "truncated": 0,
+                      "rotated": 0, "undecodable": 0}
+    for cold, warm in zip(before, after):
+        assert warm["cache_hit"] is True
+        assert _canonical(warm) == _canonical(cold)
+
+
+def test_killed_daemon_loses_nothing_already_fsynced(tmp_path, monkeypatch):
+    """A hard ``os._exit`` mid-service (no ``stop()``, no file close, no
+    flush) must not cost a single completed append: the child process
+    schedules and dies abruptly; the parent recovers every record."""
+    instances = _instances(3)
+    pid = os.fork()
+    if pid == 0:  # child: populate, then die the way a SIGKILL would land
+        try:
+            _populate(str(tmp_path), instances)
+            os._exit(0)
+        except BaseException:
+            os._exit(1)
+    _, status = os.waitpid(pid, 0)
+    assert os.waitstatus_to_exitcode(status) == 0
+    expected = [
+        protocol.compute_schedule_payload(instance_to_json(inst), "HEFT")
+        for inst in instances
+    ]
+    report, after = _restart(str(tmp_path), instances, forbid_compute=True,
+                             monkeypatch=monkeypatch)
+    assert report["recovered"] == 3
+    for cold, warm in zip(expected, after):
+        assert warm["cache_hit"] is True
+        assert _canonical(warm) == _canonical(cold)
+
+
+# ----------------------------------------------------------------------
+# damaged tails: recovery skips, truncates, reports — and keeps the rest
+# ----------------------------------------------------------------------
+def test_truncated_tail_record_is_skipped_and_reported(tmp_path):
+    instances = _instances(3)
+    before = _populate(str(tmp_path), instances)
+    seg = _segment(tmp_path)
+    os.truncate(seg, os.path.getsize(seg) - 5)  # crash mid-append
+
+    report, after = _restart(str(tmp_path), instances)
+    assert report["recovered"] == 2
+    assert report["skipped"] == 1 and report["truncated"] == 1
+    # The two intact records answer warm and bit-identical; the lost
+    # tail recomputes (content-addressed, so recompute == lost record).
+    assert [p["cache_hit"] for p in after] == [True, True, False]
+    for cold, warm in zip(before, after):
+        assert _canonical(warm) == _canonical(cold)
+
+    # The recompute re-persisted: the file is whole again, and the next
+    # restart recovers all three with no skip.
+    report2, _ = _restart(str(tmp_path), instances)
+    assert report2 == {"recovered": 3, "skipped": 0, "truncated": 0,
+                       "rotated": 0, "undecodable": 0}
+
+
+def test_corrupted_tail_crc_is_skipped(tmp_path):
+    instances = _instances(3)
+    before = _populate(str(tmp_path), instances)
+    seg = _segment(tmp_path)
+    size = os.path.getsize(seg)
+    with open(seg, "r+b") as fh:  # flip one payload byte of the tail record
+        fh.seek(size - 3)
+        byte = fh.read(1)
+        fh.seek(size - 3)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    report, after = _restart(str(tmp_path), instances)
+    assert report["recovered"] == 2
+    assert report["skipped"] == 1 and report["truncated"] == 1
+    assert [p["cache_hit"] for p in after] == [True, True, False]
+    for cold, warm in zip(before, after):
+        assert _canonical(warm) == _canonical(cold)
+
+
+def test_unusable_header_rotates_segment_aside(tmp_path):
+    instances = _instances(2)
+    _populate(str(tmp_path), instances)
+    seg = _segment(tmp_path)
+    with open(seg, "r+b") as fh:
+        fh.write(b"NOPE")  # clobber the file magic
+
+    report, after = _restart(str(tmp_path), instances)
+    assert report["rotated"] == 1 and report["recovered"] == 0
+    assert os.path.exists(seg + ".corrupt"), "evidence must be kept, not deleted"
+    assert all(p["cache_hit"] is False for p in after)
+    # The fresh segment is immediately serviceable again.
+    report2, after2 = _restart(str(tmp_path), instances)
+    assert report2["recovered"] == 2
+    assert all(p["cache_hit"] is True for p in after2)
+
+
+def test_undecodable_record_is_counted_not_trusted(tmp_path):
+    """A CRC-valid record whose payload the current wire build cannot
+    decode (e.g. written by a different wire version) is reported as
+    ``undecodable`` and never enters the cache."""
+    instances = _instances(2)
+    _populate(str(tmp_path), instances)
+    store = SegmentStore(str(tmp_path))
+    store.append("ab" * 32, b"not a wire payload")
+    store.close()
+
+    report, after = _restart(str(tmp_path), instances)
+    assert report["recovered"] == 3  # CRC-wise all records are intact...
+    assert report["undecodable"] == 1  # ...but one never reaches the cache
+    assert all(p["cache_hit"] is True for p in after)
+
+
+# ----------------------------------------------------------------------
+# observability: persist and recover are spans, not mysteries
+# ----------------------------------------------------------------------
+def test_persist_and_recover_emit_spans_with_report(tmp_path):
+    instances = _instances(2)
+    write_tracer = Tracer()
+    _populate(str(tmp_path), instances, tracer=write_tracer)
+    persists = [s for s in write_tracer.spans() if s["name"] == "cache.persist"]
+    assert len(persists) == 2
+    assert all(s["attrs"]["key"] for s in persists)
+
+    seg = _segment(tmp_path)
+    os.truncate(seg, os.path.getsize(seg) - 5)
+    read_tracer = Tracer()
+    report, _ = _restart(str(tmp_path), instances, tracer=read_tracer)
+    recovers = [s for s in read_tracer.spans() if s["name"] == "cache.recover"]
+    assert len(recovers) == 1
+    assert recovers[0]["attrs"] == dict(report)
+    assert recovers[0]["attrs"]["skipped"] == 1
+
+
+# ----------------------------------------------------------------------
+# failure hygiene around the persist site
+# ----------------------------------------------------------------------
+def test_encode_fault_never_persists_a_record(tmp_path):
+    """A failure inside payload encoding (``worker.encode`` fault site)
+    surfaces as WorkerError and leaves the segment without a record for
+    that key — a retry then computes, succeeds, and persists normally."""
+    from repro.service import faults
+    from repro.service.faults import FaultPlan, FaultRule
+
+    instance = _instances(1)[0]
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+        faults.install(FaultPlan((
+            FaultRule(point="worker.encode", action="raise", times=1),
+        )))
+        await engine.start()
+        try:
+            with pytest.raises(WorkerError, match="FaultInjected"):
+                await engine.submit(instance, "HEFT")
+            assert request_key(instance, "HEFT") not in engine.cache
+            retry = await engine.submit(instance, "HEFT")  # budget spent
+            assert retry["placements"]
+            return retry
+        finally:
+            faults.clear()
+            await engine.stop()
+
+    retried = asyncio.run(scenario())
+    store = SegmentStore(str(tmp_path))
+    entries, report = store.recover()
+    store.close()
+    assert report["recovered"] == 1  # only the successful retry persisted
+    assert list(entries) == [request_key(instance, "HEFT")]
+    from repro.service.wire import decode_payload
+
+    assert _canonical(decode_payload(entries[request_key(instance, "HEFT")])) \
+        == _canonical(retried)
+
+
+def test_persist_failure_degrades_to_memory_only(tmp_path):
+    """A dead cache dir mid-service must not fail requests: the engine
+    drops to memory-only caching and keeps answering."""
+    instances = _instances(2)
+
+    async def scenario():
+        engine = SchedulingEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+        await engine.start()
+        try:
+            first = await engine.submit(instances[0], "HEFT")
+            engine._store.close()
+            engine._store._fh = None
+            os.remove(_segment(tmp_path))
+            os.rmdir(str(tmp_path))  # revoke the cache dir entirely
+            second = await engine.submit(instances[1], "HEFT")
+            assert engine._store is None, "engine must shed the dead store"
+            again = await engine.submit(instances[1], "HEFT")
+            assert again["cache_hit"] is True
+            return first, second
+        finally:
+            await engine.stop()
+
+    first, second = asyncio.run(scenario())
+    assert first["placements"] and second["placements"]

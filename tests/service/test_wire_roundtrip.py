@@ -1,0 +1,214 @@
+"""Round-trip property layer for the binary wire format.
+
+Three layers of guarantees, from strongest to broadest:
+
+* **Corpus round-trips** — every member of the shared 56-instance
+  differential corpus survives ``decode(encode(x))`` with an identical
+  canonical JSON form and content fingerprint.
+* **Cross-wire identity** — for schedules, the dict decoded from the
+  binary payload equals the dict the JSON wire would deliver
+  (``json.loads(json.dumps(payload))``), checked across every
+  registered scheduler.
+* **Hypothesis sweeps** — randomly drawn instances, request field
+  combinations and synthetic payloads all round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+from repro.instance_io import instance_to_json
+from repro.schedulers.registry import all_scheduler_names, get_scheduler
+from repro.service import wire
+from repro.service.protocol import schedule_payload
+from tests.population import build_population
+
+CORPUS = build_population()
+
+#: One representative per corpus family, for the expensive
+#: every-scheduler sweeps.
+FAMILY_REPS = [CORPUS[0], CORPUS[14], CORPUS[28], CORPUS[42]]
+
+
+def _canonical(instance) -> str:
+    return instance_to_json(instance)
+
+
+def _json_wire(payload: dict) -> dict:
+    """What the JSON wire format delivers for ``payload``."""
+    return json.loads(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# instances: the full corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label, instance", CORPUS, ids=[l for l, _ in CORPUS])
+def test_corpus_instance_roundtrip(label, instance):
+    decoded = wire.decode_instance(wire.encode_instance(instance))
+    assert _canonical(decoded) == _canonical(instance)
+    assert decoded.fingerprint() == instance.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# schedules: every registered scheduler, binary == JSON after decode
+# ----------------------------------------------------------------------
+#: The branch-and-bound oracle refuses corpus-sized instances, so it
+#: gets purpose-built small ones (one heterogeneous, one homogeneous).
+SMALL_REPS = [
+    ("small-het", make_instance(random_dag(8, ccr=1.0, seed=71), num_procs=3,
+                                heterogeneity=0.5, seed=71)),
+    ("small-homog", make_instance(random_dag(10, ccr=4.0, seed=72), num_procs=2,
+                                  heterogeneity=0.0, seed=72)),
+]
+
+
+@pytest.mark.parametrize("alg", all_scheduler_names())
+def test_every_scheduler_payload_cross_wire_identical(alg):
+    for label, instance in (SMALL_REPS if alg == "OPT-BB" else FAMILY_REPS):
+        payload = schedule_payload(get_scheduler(alg).schedule(instance),
+                                   instance, alg)
+        decoded = wire.decode_payload(wire.encode_payload(payload))
+        assert decoded == _json_wire(payload), (
+            f"{alg} on {label}: binary decode differs from JSON wire"
+        )
+
+
+def test_corpus_payload_roundtrip_reference_scheduler():
+    for label, instance in CORPUS:
+        payload = schedule_payload(get_scheduler("IMP").schedule(instance),
+                                   instance, "IMP")
+        decoded = wire.decode_payload(wire.encode_payload(payload))
+        assert decoded == _json_wire(payload), label
+
+
+# ----------------------------------------------------------------------
+# requests and responses
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("timeout", [None, 0.25, 120.0])
+@pytest.mark.parametrize("trace_id", [None, "req-00000042"])
+def test_request_roundtrip_field_combinations(timeout, trace_id):
+    _, instance = CORPUS[3]
+    body = wire.encode_request(instance, "HEFT", timeout, trace_id=trace_id)
+    blob, alg, fingerprint, out_timeout, out_trace = wire.decode_request(body)
+    assert alg == "HEFT"
+    assert fingerprint == instance.fingerprint()
+    assert out_timeout == timeout
+    assert out_trace == trace_id
+    assert wire.decode_instance(blob).fingerprint() == instance.fingerprint()
+
+
+def test_compact_request_roundtrip_omits_instance():
+    _, instance = CORPUS[5]
+    body = wire.encode_request(None, "IMP", fingerprint=instance.fingerprint(),
+                               compact=True)
+    assert len(body) < 128
+    blob, alg, fingerprint, timeout, trace = wire.decode_request(body)
+    assert blob is None
+    assert (alg, fingerprint) == ("IMP", instance.fingerprint())
+
+
+def test_compact_request_requires_fingerprint():
+    body = wire.encode_request(None, "IMP", fingerprint="", compact=True)
+    with pytest.raises(wire.WireFormatError, match="fingerprint"):
+        wire.decode_request(body)
+
+
+def test_response_roundtrip_envelope_and_view():
+    label, instance = CORPUS[7]
+    payload = schedule_payload(get_scheduler("HEFT").schedule(instance),
+                               instance, "HEFT")
+    encoded = wire.encode_payload(payload)
+    body = wire.encode_response(encoded, cache_hit=True, fingerprint="f" * 64,
+                                server_ms=1.25, trace_id="req-7")
+    view = wire.ResponseView(body)
+    assert view.cache_hit is True
+    assert view.fingerprint == "f" * 64
+    assert view.server_ms == 1.25
+    assert view.trace_id == "req-7"
+    assert view.makespan == payload["makespan"]
+    assert view.num_placements == len(payload["placements"])
+    merged = dict(_json_wire(payload), cache_hit=True, fingerprint="f" * 64,
+                  server_ms=1.25, trace_id="req-7")
+    assert view.payload == merged
+    assert wire.decode_response(body) == merged
+
+
+# ----------------------------------------------------------------------
+# hypothesis sweeps
+# ----------------------------------------------------------------------
+instance_params = st.tuples(
+    st.integers(min_value=1, max_value=30),      # tasks
+    st.integers(min_value=1, max_value=6),       # procs
+    st.floats(min_value=0.0, max_value=8.0),     # ccr
+    st.floats(min_value=0.0, max_value=1.5),     # heterogeneity
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _build(params):
+    n, q, ccr, beta, seed = params
+    return make_instance(random_dag(n, ccr=ccr, seed=seed), num_procs=q,
+                         heterogeneity=beta, seed=seed)
+
+
+@given(instance_params)
+@settings(max_examples=60, deadline=None)
+def test_random_instance_roundtrip(params):
+    instance = _build(params)
+    decoded = wire.decode_instance(wire.encode_instance(instance))
+    assert _canonical(decoded) == _canonical(instance)
+    assert decoded.fingerprint() == instance.fingerprint()
+
+
+@given(instance_params, st.sampled_from(["HEFT", "CPOP", "TDS", "IMP"]))
+@settings(max_examples=40, deadline=None)
+def test_random_schedule_payload_cross_wire(params, alg):
+    instance = _build(params)
+    payload = schedule_payload(get_scheduler(alg).schedule(instance),
+                               instance, alg)
+    decoded = wire.decode_payload(wire.encode_payload(payload))
+    assert decoded == _json_wire(payload)
+
+
+_id = st.one_of(
+    st.integers(min_value=-2**63, max_value=2**63 - 1),
+    st.integers(min_value=2**63, max_value=2**80),
+    st.text(max_size=12),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(_id, _id,
+                  st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                  st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                  st.booleans()),
+        max_size=40,
+    ),
+    st.floats(min_value=0, max_value=1e12, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_synthetic_payload_roundtrip(rows, makespan):
+    from repro.utils.encoding import encode_id
+
+    payload = {
+        "alg": "X",
+        "instance": "synthetic",
+        "num_tasks": len(rows),
+        "num_procs": 3,
+        "makespan": makespan,
+        "num_duplicates": sum(1 for r in rows if r[4]),
+        "placements": [
+            {"task": encode_id(t), "proc": encode_id(p),
+             "start": s, "end": e, "duplicate": d}
+            for t, p, s, e, d in rows
+        ],
+    }
+    decoded = wire.decode_payload(wire.encode_payload(payload))
+    assert decoded == _json_wire(payload)
