@@ -11,6 +11,7 @@ Subcommands::
     repro-sched simulate --dag g.json --alg IMP --noise 0.3 [--contention]
     repro-sched compare --suite application --alg IMP --alg HEFT
     repro-sched serve --port 8787 --workers 4 --cache-size 256
+    repro-sched fleet --shards 4 --port 8800 --cache-dir /var/cache/repro
     repro-sched submit --dag g.json --alg IMP --endpoint 127.0.0.1:8787
     repro-sched demo                      # tiny end-to-end demonstration
 
@@ -330,8 +331,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(sig, server.request_shutdown)
             except NotImplementedError:  # pragma: no cover - non-unix
                 pass
+        # bound_port, not args.port: with --port 0 the kernel picks the
+        # port, and this line is how callers (FleetManager, scripts)
+        # discover it.
         print(
-            f"repro service listening on http://{args.host}:{server.port} "
+            f"repro service listening on http://{args.host}:{server.bound_port} "
             f"(workers={config.workers}, cache={config.cache_size}, "
             f"queue={config.queue_depth})",
             flush=True,
@@ -357,6 +361,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"trace: wrote {args.trace_out} "
                   f"({len(tracer.spans())} spans, {tracer.dropped_spans} dropped)",
                   flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.fleet import FleetManager
+
+    async def run() -> None:
+        manager = FleetManager(
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            queue_depth=args.queue_depth,
+            cache_dir=args.cache_dir,
+            vnodes=args.vnodes,
+            health_interval=args.health_interval,
+            max_respawns=args.max_respawns,
+            respawn_window=args.respawn_window,
+        )
+        await manager.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, manager.router.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        # Like serve: print the *bound* router port, so --port 0 works.
+        print(
+            f"repro fleet listening on http://{manager.endpoint} "
+            f"(shards={args.shards}, workers={args.workers}/shard, "
+            f"cache={args.cache_size}/shard)",
+            flush=True,
+        )
+        for name, shard in sorted(manager.shard_processes.items()):
+            segment = f", cache-dir={shard.cache_dir}" if shard.cache_dir else ""
+            print(f"  {name}: http://{args.host}:{shard.port} "
+                  f"(pid {shard.pid}{segment})", flush=True)
+        await manager.serve_until_shutdown()
+        stats = manager.router.stats
+        print(
+            f"fleet drained: {stats.requests} routed, {stats.proxied} proxied, "
+            f"{stats.retries} re-routed, {stats.quarantines} quarantines, "
+            f"{stats.readmissions} readmissions",
+            flush=True,
+        )
 
     asyncio.run(run())
     return 0
@@ -540,6 +595,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write the service trace on graceful shutdown")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded fleet: consistent-hash router + N serve daemons",
+    )
+    p_fleet.add_argument("--shards", type=int, default=4,
+                         help="backend serve daemons to spawn (default 4)")
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=8800,
+                         help="router TCP port (0 = ephemeral)")
+    p_fleet.add_argument("--workers", type=int, default=1,
+                         help="pool processes per shard (0 = in-process thread)")
+    p_fleet.add_argument("--cache-size", type=int, default=256,
+                         help="schedule cache capacity per shard (entries)")
+    p_fleet.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded request queue per shard (full -> 429)")
+    p_fleet.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="root for per-shard persistent cache segments "
+                              "(DIR/shard-N); respawned shards come back warm")
+    p_fleet.add_argument("--vnodes", type=int, default=128,
+                         help="virtual nodes per shard on the hash ring")
+    p_fleet.add_argument("--health-interval", type=float, default=0.5,
+                         help="seconds between shard health probes")
+    p_fleet.add_argument("--max-respawns", type=int, default=3,
+                         help="shard respawns allowed per window before the "
+                              "shard stays quarantined (default 3)")
+    p_fleet.add_argument("--respawn-window", type=float, default=30.0,
+                         help="sliding window (seconds) for the respawn budget")
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_submit = sub.add_parser("submit", help="submit a task graph to a running service")
     add_instance_args(p_submit)

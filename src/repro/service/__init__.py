@@ -19,6 +19,9 @@ Pieces
   HTTP endpoint and matching async client
 * :mod:`repro.service.protocol` — request/response documents and the
   picklable cold-path compute function
+* :mod:`repro.service.fleet` — horizontal scale-out: consistent-hash
+  router + multi-daemon manager (:class:`FleetRouter`,
+  :class:`FleetManager`, :class:`HashRing`)
 
 Quickstart (in-process)::
 
@@ -42,12 +45,19 @@ from repro.service.errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    StaleConnectionError,
     TransportError,
     WireFormatError,
     WireVersionError,
     WorkerError,
 )
 from repro.service.faults import FaultInjected, FaultPlan, FaultRule
+from repro.service.fleet import (
+    FleetManager,
+    FleetRouter,
+    FleetSpawnError,
+    HashRing,
+)
 from repro.service.metrics import ServiceMetrics, ServiceStats
 from repro.service.protocol import ScheduleResult, compute_schedule_payload
 from repro.service.resilience import Deadline, RetryPolicy, RetryStats
@@ -61,6 +71,10 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultRule",
+    "FleetManager",
+    "FleetRouter",
+    "FleetSpawnError",
+    "HashRing",
     "RequestError",
     "RetryPolicy",
     "RetryStats",
@@ -76,6 +90,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceStats",
     "ServiceTimeoutError",
+    "StaleConnectionError",
     "TransportError",
     "WIRE_VERSION",
     "WireFormatError",

@@ -44,6 +44,7 @@ from repro.service.errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    StaleConnectionError,
     TransportError,
     WorkerError,
 )
@@ -212,10 +213,29 @@ class ServiceClient:
     async def _exchange(self, reader: asyncio.StreamReader,
                         writer: asyncio.StreamWriter, head: bytes,
                         payload: bytes, deadline: Deadline | None,
+                        reused: bool = False,
                         ) -> tuple[int, dict[str, str], bytes]:
-        """One write-request/read-response on an open connection."""
-        writer.write(head + payload)
-        await writer.drain()
+        """One write-request/read-response on an open connection.
+
+        ``reused=True`` marks a kept-alive connection from the pool.  A
+        failure on such a connection *before any response byte arrives*
+        (EOF or reset on the header read, reset on the write) is the
+        signature of the server having closed it while it sat idle —
+        raised as :class:`StaleConnectionError` so the caller can swap
+        in a fresh connection without charging the retry budget.  Once
+        a single response byte has been read, failures are real
+        :class:`TransportError`\\ s like on any other connection.
+        """
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except ConnectionError as exc:
+            if reused:
+                raise StaleConnectionError(
+                    f"stale keep-alive connection to {self.host}:{self.port} "
+                    f"(reset on write)"
+                ) from exc
+            raise
         # Read headers, then exactly Content-Length body bytes.  Never
         # read-to-EOF: pool workers forked on the server side may hold
         # an inherited copy of this socket, delaying EOF indefinitely.
@@ -226,7 +246,24 @@ class ServiceClient:
             async with asyncio.timeout(
                 self._stage_timeout(deadline, self.request_timeout)
             ):
-                header = await reader.readuntil(b"\r\n\r\n")
+                try:
+                    header = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError as exc:
+                    if reused and not exc.partial:
+                        raise StaleConnectionError(
+                            f"stale keep-alive connection to "
+                            f"{self.host}:{self.port} (EOF before any "
+                            f"response byte)"
+                        ) from None
+                    raise
+                except ConnectionResetError as exc:
+                    if reused:
+                        raise StaleConnectionError(
+                            f"stale keep-alive connection to "
+                            f"{self.host}:{self.port} (reset before any "
+                            f"response byte)"
+                        ) from exc
+                    raise
                 headers: dict[str, str] = {}
                 for line in header.split(b"\r\n")[1:]:
                     name, _, value = line.decode("latin-1").partition(":")
@@ -258,12 +295,21 @@ class ServiceClient:
                        content_type: str = "application/json",
                        accept: str | None = None,
                        keep_alive: bool = False,
+                       fingerprint: str | None = None,
                        ) -> tuple[int, dict[str, str], bytes]:
         payload = body or b""
         deadline_header = (
             f"X-Repro-Deadline: {deadline.at!r}\r\n" if deadline is not None else ""
         )
         accept_header = f"Accept: {accept}\r\n" if accept is not None else ""
+        # The instance's content address, as a header: bodies stay
+        # byte-identical (the server's exact-body memo keeps working)
+        # while a fleet router can pick the owning shard without
+        # parsing the body.  Binary bodies already carry it in their
+        # prefix; this covers the JSON dialect.
+        fingerprint_header = (
+            f"X-Repro-Fingerprint: {fingerprint}\r\n" if fingerprint else ""
+        )
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -272,6 +318,7 @@ class ServiceClient:
             f"Content-Length: {len(payload)}\r\n"
             f"{accept_header}"
             f"{deadline_header}"
+            f"{fingerprint_header}"
             f"Connection: {connection}\r\n\r\n"
         ).encode("latin-1")
 
@@ -295,19 +342,19 @@ class ServiceClient:
                     reused = False
                 try:
                     status, headers, answer = await self._exchange(
-                        reader, writer, head, payload, deadline
+                        reader, writer, head, payload, deadline, reused=reused
                     )
                     break
-                except (TransportError, ConnectionError, OSError):
+                except StaleConnectionError:
+                    # The server closed this kept-alive connection while
+                    # it sat idle; zero bytes of this exchange ever
+                    # happened.  Replace the connection and redo the
+                    # exchange — pool hygiene, not a retry, so no retry
+                    # budget slot is consumed.
                     writer.close()
                     reader = writer = None
-                    if reused:
-                        # A kept-alive connection the server has since
-                        # closed (restart, idle timeout) fails on first
-                        # use; one fresh connection retries the exchange.
-                        reused = False
-                        continue
-                    raise
+                    reused = False
+                    continue
         except BaseException:
             if writer is not None:
                 writer.close()
@@ -343,11 +390,13 @@ class ServiceClient:
     async def _request_json(self, method: str, path: str,
                             doc: dict | None = None,
                             body: bytes | None = None,
-                            deadline: Deadline | None = None) -> dict:
+                            deadline: Deadline | None = None,
+                            fingerprint: str | None = None) -> dict:
         if body is None and doc is not None:
             body = json.dumps(doc).encode("utf-8")
         status, headers, payload = await self._request(method, path, body,
-                                                       deadline=deadline)
+                                                       deadline=deadline,
+                                                       fingerprint=fingerprint)
         if status != 200:
             self._raise_for_status(status, headers, payload)
         try:
@@ -468,7 +517,8 @@ class ServiceClient:
             # fell through: downgraded to JSON mid-attempt
         body = self._schedule_body(instance, alg, timeout, trace_id)
         answer = await self._request_json("POST", "/v1/schedule", body=body,
-                                          deadline=deadline)
+                                          deadline=deadline,
+                                          fingerprint=instance.fingerprint())
         return ScheduleResult.from_payload(answer["result"])
 
     async def _schedule_bin(self, instance: Instance, alg: str,

@@ -60,6 +60,17 @@ class TransportError(ServiceError):
     status = 502
 
 
+class StaleConnectionError(TransportError):
+    """A pooled keep-alive connection was dead on first use — zero
+    response bytes read (the server closed it while it sat idle:
+    restart, idle timeout).  Not a real transport failure: nothing was
+    ever exchanged on this attempt, so the client replaces the
+    connection and redoes the exchange *without* spending a retry
+    budget slot.  Distinct from :class:`TransportError` precisely so
+    the retry loop can tell the two apart; still a subclass, so it
+    stays retryable if it ever escapes."""
+
+
 class ServiceTimeoutError(ServiceError):
     """The per-request deadline elapsed before a result was ready."""
 

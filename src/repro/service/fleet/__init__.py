@@ -1,0 +1,36 @@
+"""Horizontal scale-out for the scheduling service.
+
+One :class:`FleetRouter` front door consistent-hashes every request's
+instance fingerprint across N backend ``repro serve`` daemons
+(:class:`~repro.service.fleet.ring.HashRing`), so each fingerprint has
+exactly one cache owner and a warm hit is warm fleet-wide.  A
+:class:`FleetManager` spawns and supervises the daemons — per-shard
+persistent cache segments, health-check quarantine, budgeted respawn —
+while the router retries transport failures on the key's next ring
+owner, which is exactly where the key re-homes when the dead shard
+leaves the ring.
+
+Programmatic quickstart::
+
+    manager = FleetManager(shards=4, cache_dir="/var/cache/repro")
+    await manager.start()
+    client = ServiceClient.at(manager.endpoint)   # unchanged client
+    ...
+    await manager.stop()
+
+CLI: ``repro fleet --shards 4 --cache-dir /var/cache/repro``.
+"""
+
+from repro.service.fleet.manager import FleetManager, FleetSpawnError, ShardProcess
+from repro.service.fleet.ring import HashRing
+from repro.service.fleet.router import FleetRouter, FleetStats, Shard
+
+__all__ = [
+    "FleetManager",
+    "FleetRouter",
+    "FleetSpawnError",
+    "FleetStats",
+    "HashRing",
+    "Shard",
+    "ShardProcess",
+]

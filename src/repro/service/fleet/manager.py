@@ -1,0 +1,319 @@
+"""Fleet lifecycle: spawn, supervise, and re-home N ``repro serve`` daemons.
+
+:class:`FleetManager` owns the processes behind a
+:class:`~repro.service.fleet.router.FleetRouter`.  It launches each
+shard as a real ``repro serve`` daemon on an ephemeral port (``--port
+0``) and discovers where the kernel put it by parsing the daemon's
+startup line — the one place a child's bound port is authoritative —
+then registers the shard on the router's ring.
+
+Two properties make supervision safe and cheap:
+
+* **Stable names, moving addresses.**  The ring hashes shard *names*
+  (``shard-0`` … ``shard-N``), never addresses.  A respawned shard
+  comes back on a new port but keeps its name, so its keyspace never
+  moves and no sibling's cache is disturbed.
+* **Per-shard cache segments.**  Each shard gets its own
+  ``--cache-dir`` subdirectory.  Because the keyspace is pinned to the
+  name, a restarted shard recovers exactly the segment it wrote before
+  dying — it comes back *warm* for precisely the keys it owns.
+
+Respawns draw on a sliding-window budget (the same shape as the
+engine's pool-heal budget): at most ``max_respawns`` within
+``respawn_window`` seconds per shard.  A shard that exhausts its budget
+stays quarantined; the ring re-homes its keys to the surviving shards
+and the fleet keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.errors import ServiceError
+from repro.service.fleet.router import FleetRouter
+
+__all__ = ["FleetManager", "FleetSpawnError", "ShardProcess"]
+
+#: The daemon's startup line.  ``--port 0`` means only the child knows
+#: its port; this line is the contract for discovering it.
+_LISTEN_RE = re.compile(r"listening on http://[^\s:]+:(\d+)\b")
+
+#: Kept lines of each shard's recent output, for crash diagnostics.
+_LOG_TAIL = 50
+
+
+class FleetSpawnError(ServiceError):
+    """A backend daemon failed to come up (or never printed its port)."""
+
+    status = 503
+
+
+@dataclass
+class ShardProcess:
+    """One supervised backend daemon."""
+
+    name: str
+    index: int
+    cache_dir: str | None
+    process: asyncio.subprocess.Process | None = None
+    port: int = 0
+    respawns: int = 0
+    respawn_times: deque = field(default_factory=deque)
+    log_tail: deque = field(default_factory=lambda: deque(maxlen=_LOG_TAIL))
+    gave_up: bool = False
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class FleetManager:
+    """Spawns N scheduling daemons and keeps a router pointed at them."""
+
+    def __init__(self, shards: int = 2, *, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 1, cache_size: int = 256,
+                 queue_depth: int = 64, cache_dir: str | os.PathLike | None = None,
+                 vnodes: int = 128, health_interval: float = 0.5,
+                 fail_threshold: int = 2, spawn_timeout: float = 30.0,
+                 max_respawns: int = 3, respawn_window: float = 30.0,
+                 respawn: bool = True, serve_args: tuple[str, ...] = (),
+                 python: str = sys.executable, tracer=None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.num_shards = shards
+        self.host = host
+        self.workers = workers
+        self.cache_size = cache_size
+        self.queue_depth = queue_depth
+        self.cache_root = Path(cache_dir) if cache_dir is not None else None
+        self.spawn_timeout = spawn_timeout
+        self.max_respawns = max_respawns
+        self.respawn_window = respawn_window
+        self.respawn = respawn
+        self.serve_args = tuple(serve_args)
+        self.python = python
+        self.router = FleetRouter(
+            host=host, port=port, vnodes=vnodes,
+            health_interval=health_interval, fail_threshold=fail_threshold,
+            tracer=tracer,
+        )
+        self._procs: dict[str, ShardProcess] = {}
+        self._monitors: list[asyncio.Task] = []
+        self._drains: list[asyncio.Task] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` of the router — what clients connect to."""
+        return f"{self.router.host}:{self.router.port}"
+
+    @property
+    def shard_processes(self) -> dict[str, ShardProcess]:
+        return dict(self._procs)
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until someone posts ``/v1/shutdown`` (or the router is
+        stopped), then drain the whole fleet."""
+        await self.router.wait_shutdown()
+        await self.stop()
+
+    async def start(self) -> None:
+        """Boot the router, then bring up every shard and ring it."""
+        await self.router.start()
+        try:
+            spawned = await asyncio.gather(
+                *(self._boot_shard(i) for i in range(self.num_shards))
+            )
+        except BaseException:
+            await self.stop()
+            raise
+        for shard in spawned:
+            self.router.add_shard(shard.name, self.host, shard.port)
+            self._watch(shard)
+
+    async def _boot_shard(self, index: int) -> ShardProcess:
+        name = f"shard-{index}"
+        cache_dir = None
+        if self.cache_root is not None:
+            seg = self.cache_root / name
+            seg.mkdir(parents=True, exist_ok=True)
+            cache_dir = str(seg)
+        shard = ShardProcess(name=name, index=index, cache_dir=cache_dir)
+        self._procs[name] = shard
+        await self._spawn(shard)
+        return shard
+
+    async def _spawn(self, shard: ShardProcess) -> None:
+        """Launch one daemon and parse its bound port from stdout."""
+        argv = [
+            self.python, "-m", "repro.cli", "serve",
+            "--host", self.host, "--port", "0",
+            "--workers", str(self.workers),
+            "--cache-size", str(self.cache_size),
+            "--queue-depth", str(self.queue_depth),
+        ]
+        if shard.cache_dir is not None:
+            argv += ["--cache-dir", shard.cache_dir]
+        argv += list(self.serve_args)
+        shard.process = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            start_new_session=True,
+        )
+        try:
+            async with asyncio.timeout(self.spawn_timeout):
+                shard.port = await self._await_port(shard)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            tail = "\n".join(shard.log_tail)
+            with _suppress_oserror():
+                shard.process.kill()
+            raise FleetSpawnError(
+                f"{shard.name} did not report a bound port within "
+                f"{self.spawn_timeout:g}s; last output:\n{tail}"
+            ) from exc
+        self._drains.append(asyncio.create_task(
+            self._drain_output(shard), name=f"fleet-drain-{shard.name}"
+        ))
+
+    async def _await_port(self, shard: ShardProcess) -> int:
+        assert shard.process is not None and shard.process.stdout is not None
+        while True:
+            raw = await shard.process.stdout.readline()
+            if not raw:
+                raise asyncio.IncompleteReadError(partial=b"", expected=None)
+            line = raw.decode("utf-8", "replace").rstrip()
+            shard.log_tail.append(line)
+            match = _LISTEN_RE.search(line)
+            if match:
+                return int(match.group(1))
+
+    async def _drain_output(self, shard: ShardProcess) -> None:
+        """Keep the child's pipe from filling; remember a tail for crashes."""
+        proc = shard.process
+        if proc is None or proc.stdout is None:
+            return
+        try:
+            while True:
+                raw = await proc.stdout.readline()
+                if not raw:
+                    return
+                shard.log_tail.append(raw.decode("utf-8", "replace").rstrip())
+        except asyncio.CancelledError:
+            pass
+
+    def _watch(self, shard: ShardProcess) -> None:
+        self._monitors.append(asyncio.create_task(
+            self._monitor(shard), name=f"fleet-monitor-{shard.name}"
+        ))
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    async def _monitor(self, shard: ShardProcess) -> None:
+        """Wait for a shard to die; quarantine and (maybe) respawn it."""
+        while True:
+            proc = shard.process
+            if proc is None:
+                return
+            returncode = await proc.wait()
+            if self._stopping or self.router.shutdown_requested:
+                # A fleet-wide shutdown drains the shards on purpose;
+                # their exits are not crashes to respawn from.
+                return
+            self.router.quarantine(shard.name,
+                                   cause=f"exited rc={returncode}")
+            if not self.respawn or not self._respawn_budget(shard):
+                shard.gave_up = not self.respawn or shard.gave_up
+                return
+            shard.respawns += 1
+            try:
+                await self._spawn(shard)
+            except FleetSpawnError:
+                shard.gave_up = True
+                return
+            # Same name -> same keyspace -> same cache segment: the
+            # replacement recovers its own segment and comes back warm.
+            self.router.update_shard(shard.name, self.host, shard.port)
+            await self.router.check_health()
+
+    def _respawn_budget(self, shard: ShardProcess) -> bool:
+        """Sliding-window budget, same shape as the engine's pool heal."""
+        now = time.monotonic()
+        window = shard.respawn_times
+        while window and now - window[0] > self.respawn_window:
+            window.popleft()
+        if len(window) >= self.max_respawns:
+            shard.gave_up = True
+            return False
+        window.append(now)
+        return True
+
+    def kill_shard(self, name: str, sig: int = signal.SIGKILL) -> int:
+        """Hard-kill one shard (chaos testing hook).  Returns its pid."""
+        shard = self._procs[name]
+        if shard.process is None or shard.process.returncode is not None:
+            raise FleetSpawnError(f"{name} is not running")
+        pid = shard.process.pid
+        os.kill(pid, sig)
+        return pid
+
+    async def stop(self) -> None:
+        """Drain the fleet: stop supervision, terminate shards, stop router."""
+        self._stopping = True
+        for task in self._monitors:
+            task.cancel()
+        for task in self._monitors:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._monitors = []
+        procs = [s.process for s in self._procs.values()
+                 if s.process is not None and s.process.returncode is None]
+        for proc in procs:
+            with _suppress_oserror():
+                proc.terminate()
+        if procs:
+            results = await asyncio.gather(
+                *(asyncio.wait_for(p.wait(), timeout=10.0) for p in procs),
+                return_exceptions=True,
+            )
+            for proc, result in zip(procs, results):
+                if isinstance(result, BaseException):
+                    with _suppress_oserror():
+                        proc.kill()
+                    await proc.wait()
+        for task in self._drains:
+            task.cancel()
+        for task in self._drains:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._drains = []
+        await self.router.stop()
+
+
+class _suppress_oserror:
+    """``contextlib.suppress(OSError, ProcessLookupError)`` with a name
+    that says why: the child may already be gone when we signal it."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (OSError, ProcessLookupError)
+        )

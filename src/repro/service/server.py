@@ -110,11 +110,21 @@ class ScheduleServer:
         self._server = await asyncio.start_server(self._handle, self.host, self._port)
 
     @property
-    def port(self) -> int:
-        """The bound port (useful with ``port=0`` ephemeral binding)."""
+    def bound_port(self) -> int | None:
+        """The port the listener actually bound, or ``None`` before
+        :meth:`start`.  With ``port=0`` this is the kernel-assigned
+        ephemeral port — the value startup output must print, and the
+        one :class:`~repro.service.fleet.FleetManager` parses to
+        discover its backends."""
         if self._server is not None and self._server.sockets:
             return self._server.sockets[0].getsockname()[1]
-        return self._port
+        return None
+
+    @property
+    def port(self) -> int:
+        """The bound port while listening, else the configured one."""
+        bound = self.bound_port
+        return bound if bound is not None else self._port
 
     def request_shutdown(self) -> None:
         """Ask :meth:`serve_until_shutdown` to drain and exit."""

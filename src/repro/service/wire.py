@@ -623,6 +623,22 @@ def decode_request(
     return blob, alg, fingerprint, timeout, trace_id
 
 
+def peek_request_fingerprint(buf: bytes | memoryview) -> str:
+    """The fingerprint a binary request carries, from its fixed prefix.
+
+    Requests put ``alg`` and ``fingerprint`` immediately after the
+    header, before flags and the instance blob, precisely so a router
+    can read its routing key without touching (or validating) the
+    potentially-large remainder.  Returns ``""`` when the request
+    carries no fingerprint; raises :class:`WireFormatError` /
+    :class:`WireVersionError` like :func:`decode_request` when even the
+    prefix is malformed.
+    """
+    r = _open(buf, KIND_REQUEST)
+    r.str()  # alg
+    return r.str()
+
+
 # ----------------------------------------------------------------------
 # schedule payload (the cache-value form)
 # ----------------------------------------------------------------------

@@ -15,7 +15,12 @@ import asyncio
 import pytest
 
 from repro.service.client import ServiceClient, parse_endpoint
-from repro.service.errors import RequestError, ServiceError, TransportError
+from repro.service.errors import (
+    RequestError,
+    ServiceError,
+    StaleConnectionError,
+    TransportError,
+)
 
 
 # ----------------------------------------------------------------------
@@ -136,3 +141,109 @@ def test_missing_content_length_defaults_to_empty_body():
             await server.wait_closed()
 
     asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# stale pooled connections vs real transport failures
+# ----------------------------------------------------------------------
+_KEEPALIVE_OK = (
+    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+    b"Content-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+)
+
+
+async def _read_one_request(reader) -> bool:
+    """Consume one framed request; False when the client hung up."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return False
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    if length:
+        await reader.readexactly(length)
+    return True
+
+
+def test_stale_pooled_connection_is_replaced_without_a_retry():
+    """Regression: a kept-alive connection the server closed while it
+    sat idle must be replaced silently — not surface as a retryable
+    failure.  Before the fix, the EOF consumed a retry budget slot (and
+    broke fail-fast clients outright).  The server below advertises
+    keep-alive but drops every connection after one response, so every
+    pooled reuse is stale; a policy-free (fail-fast) client must still
+    complete every request."""
+
+    connections = 0
+
+    async def handle(reader, writer):
+        nonlocal connections
+        connections += 1
+        if await _read_one_request(reader):
+            writer.write(_KEEPALIVE_OK)
+            await writer.drain()
+        writer.close()  # lie about keep-alive: next reuse is stale
+
+    async def scenario():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = ServiceClient(port=port)  # no RetryPolicy: fail fast
+            for _ in range(3):
+                status, _, _ = await client._request(
+                    "POST", "/v1/schedule", b"{}", keep_alive=True
+                )
+                assert status == 200
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+    # one fresh connection per request (each pooled one was stale) —
+    # and zero errors along the way
+    assert connections == 3
+
+
+def test_partial_response_on_reused_connection_is_a_real_failure():
+    """A reused connection that dies *mid-response* is not stale — bytes
+    of this exchange were lost, so it must surface as a retryable
+    TransportError (consuming retry budget), never be silently redone."""
+
+    async def handle(reader, writer):
+        if await _read_one_request(reader):
+            writer.write(_KEEPALIVE_OK)
+            await writer.drain()
+            if await _read_one_request(reader):
+                writer.write(b"HTTP/1.1 200 OK\r\nContent-Le")  # then hang up
+                await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = ServiceClient(port=port)
+            status, _, _ = await client._request(
+                "POST", "/v1/schedule", b"{}", keep_alive=True
+            )
+            assert status == 200
+            with pytest.raises(TransportError) as excinfo:
+                await client._request("POST", "/v1/schedule", b"{}",
+                                      keep_alive=True)
+            assert not isinstance(excinfo.value, StaleConnectionError)
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_stale_connection_error_stays_retryable():
+    """If it ever escapes the transport layer it must still look like a
+    transport failure to retry loops and status mapping."""
+    assert issubclass(StaleConnectionError, TransportError)
+    assert StaleConnectionError("x").status == 502

@@ -1,0 +1,134 @@
+"""Fleet chaos: SIGKILL a backend mid-load, lose nothing.
+
+One manager, three real daemon subprocesses, ``respawn=False`` so the
+test exercises the *rehash* path (keys re-home to surviving shards and
+re-warm there), not the respawn path — that one is covered in
+``test_fleet_manager.py``.  Four concurrent clients hammer a fixed
+instance set while one shard is SIGKILLed mid-flight; every request
+must complete, every payload must be bit-identical to the locally
+computed reference, and the aggregated ``/metrics`` must reflect only
+the survivors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.bench import workloads as W
+from repro.instance_io import instance_to_json
+from repro.service import ServiceClient
+from repro.service.fleet import FleetManager
+from repro.service.protocol import compute_schedule_payload
+from repro.utils.encoding import decode_id
+from repro.utils.rng import as_generator
+
+NUM_INSTANCES = 10
+ROUNDS = 3
+CLIENTS = 4
+
+
+def _instances():
+    return [
+        W.random_instance(as_generator(seed), num_tasks=8, num_procs=3)
+        for seed in range(NUM_INSTANCES)
+    ]
+
+
+def _canonical_result(result) -> str:
+    return json.dumps(
+        [result.makespan, result.num_duplicates,
+         sorted((str(t), str(p), s, e, bool(d))
+                for t, p, s, e, d in result.placements)],
+        sort_keys=True,
+    )
+
+
+def _canonical_payload(payload: dict) -> str:
+    return json.dumps(
+        [payload["makespan"], payload["num_duplicates"],
+         sorted((str(decode_id(r["task"])), str(decode_id(r["proc"])),
+                 r["start"], r["end"], bool(r["duplicate"]))
+                for r in payload["placements"])],
+        sort_keys=True,
+    )
+
+
+def test_backend_sigkill_mid_load_loses_nothing():
+    instances = _instances()
+    expected = {
+        inst.fingerprint(): _canonical_payload(
+            compute_schedule_payload(instance_to_json(inst), "HEFT")
+        )
+        for inst in instances
+    }
+
+    async def scenario():
+        manager = FleetManager(shards=3, workers=0, respawn=False,
+                               health_interval=0.2, fail_threshold=1)
+        await manager.start()
+        try:
+            # Warm phase: every fingerprint cached at its ring owner.
+            warmer = ServiceClient.at(manager.endpoint)
+            for inst in instances:
+                result = await warmer.schedule(inst, alg="HEFT")
+                assert _canonical_result(result) == expected[inst.fingerprint()]
+            await warmer.close()
+
+            # The victim owns at least one warm key, so its death forces
+            # rehash + re-warm on a surviving owner, not just rerouting.
+            victim = manager.router.ring.owner(instances[0].fingerprint())
+            kill_gate = asyncio.Event()
+            killed = asyncio.Event()
+
+            async def assassin():
+                await kill_gate.wait()
+                manager.kill_shard(victim)
+                killed.set()
+
+            async def hammer(worker: int) -> int:
+                client = ServiceClient.at(manager.endpoint,
+                                          request_timeout=60.0)
+                done = 0
+                for round_no in range(ROUNDS):
+                    for inst in instances:
+                        result = await client.schedule(inst, alg="HEFT")
+                        assert _canonical_result(result) == (
+                            expected[inst.fingerprint()]
+                        ), f"payload drifted for {inst.fingerprint()[:12]}"
+                        done += 1
+                        if worker == 0 and round_no == 0 and done == 3:
+                            kill_gate.set()  # mid-load, requests in flight
+                await client.close()
+                return done
+
+            counts = await asyncio.gather(
+                assassin(), *(hammer(i) for i in range(CLIENTS))
+            )
+            assert killed.is_set()
+            assert counts[1:] == [ROUNDS * NUM_INSTANCES] * CLIENTS
+
+            router = manager.router
+            assert not router.shards[victim].alive
+            assert router.stats.quarantines >= 1
+            # the dead shard's keys were re-homed and answered by survivors
+            assert router.ring.owner(instances[0].fingerprint()) != victim
+
+            # aggregated metrics reflect exactly the survivors
+            client = ServiceClient.at(manager.endpoint)
+            lines = dict(
+                line.rsplit(" ", 1)
+                for line in (await client.metrics_text()).splitlines() if line
+            )
+            assert float(lines["repro_fleet_shards"]) == 3
+            assert float(lines["repro_fleet_shards_alive"]) == 2
+            assert float(lines[f'repro_fleet_shard_up{{shard="{victim}"}}']) == 0
+            assert float(lines["repro_fleet_quarantines_total"]) >= 1
+            # the exposition sums only live shards' counters, and they
+            # carried the whole post-kill load
+            assert float(lines["repro_service_requests_total"]) > 0
+            await client.close()
+        finally:
+            await manager.stop()
+
+    asyncio.run(scenario())

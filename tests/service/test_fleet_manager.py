@@ -1,0 +1,163 @@
+"""FleetManager against real ``repro serve`` subprocesses.
+
+These tests spawn genuine daemons (``--port 0 --workers 0`` — thread
+engines, no nested process pools) and exercise the full lifecycle:
+bound-port discovery from startup output, supervision, budgeted
+respawn, and warm recovery from per-shard cache segments.  Process
+counts are kept small (two shards) to stay tier-1 friendly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import sys
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.service import ServiceClient
+from repro.service.fleet import FleetManager
+from repro.utils.rng import as_generator
+
+_LISTEN_RE = re.compile(r"listening on http://[^\s:]+:(\d+)\b")
+
+
+def _instance(seed: int = 3, num_tasks: int = 10):
+    return W.random_instance(as_generator(seed), num_tasks=num_tasks, num_procs=3)
+
+
+async def _wait_until(predicate, timeout: float = 20.0, interval: float = 0.1):
+    async with asyncio.timeout(timeout):
+        while not predicate():
+            await asyncio.sleep(interval)
+
+
+# ----------------------------------------------------------------------
+# satellite regression: `repro serve --port 0` prints the real port
+# ----------------------------------------------------------------------
+def test_serve_port_zero_prints_actually_bound_port():
+    """Regression: the startup line used to echo the *configured* port,
+    so ``--port 0`` printed ``:0`` and nothing could discover the
+    daemon.  It must print ``Server.bound_port`` — the kernel-assigned
+    port — and that port must actually serve."""
+
+    async def scenario():
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "0",
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+        )
+        try:
+            async with asyncio.timeout(30.0):
+                while True:
+                    line = (await proc.stdout.readline()).decode()
+                    assert line, "daemon exited before printing its port"
+                    match = _LISTEN_RE.search(line)
+                    if match:
+                        port = int(match.group(1))
+                        break
+            assert port != 0, "startup line echoed --port 0 instead of the bound port"
+            client = ServiceClient(port=port)
+            assert await client.health()
+            await client.shutdown()
+            async with asyncio.timeout(15.0):
+                await proc.wait()
+        finally:
+            if proc.returncode is None:
+                proc.kill()
+                await proc.wait()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_manager_discovers_ports_and_serves():
+    async def scenario():
+        manager = FleetManager(shards=2, workers=0, health_interval=0.0)
+        await manager.start()
+        try:
+            ports = [s.port for s in manager.shard_processes.values()]
+            assert all(p > 0 for p in ports) and len(set(ports)) == 2
+            assert len(manager.router.alive_shards()) == 2
+            client = ServiceClient.at(manager.endpoint)
+            inst = _instance(1)
+            cold = await client.schedule(inst, alg="HEFT")
+            warm = await client.schedule(inst, alg="HEFT")
+            assert not cold.cache_hit and warm.cache_hit
+            await client.close()
+        finally:
+            await manager.stop()
+        # stop() really reaps the children
+        for shard in manager.shard_processes.values():
+            assert shard.process.returncode is not None
+
+    asyncio.run(scenario())
+
+
+def test_killed_shard_respawns_warm_from_its_segment(tmp_path):
+    """SIGKILL the shard that owns a cached fingerprint.  The manager
+    must respawn it under the same name (same keyspace, same cache
+    segment), and the respawned daemon must answer the fingerprint as a
+    warm hit recovered from disk — not recompute it."""
+
+    async def scenario():
+        manager = FleetManager(shards=2, workers=0, cache_dir=tmp_path,
+                               health_interval=0.2, fail_threshold=1)
+        await manager.start()
+        try:
+            client = ServiceClient.at(manager.endpoint)
+            inst = _instance(5)
+            cold = await client.schedule(inst, alg="HEFT")
+            assert not cold.cache_hit
+            victim = manager.router.ring.owner(inst.fingerprint())
+            manager.kill_shard(victim)
+            await _wait_until(
+                lambda: manager.shard_processes[victim].respawns == 1
+                and manager.router.shards[victim].alive
+            )
+            warm = await client.schedule(inst, alg="HEFT")
+            assert warm.cache_hit, (
+                "respawned shard should have recovered its cache segment"
+            )
+            assert warm.makespan == cold.makespan
+            await client.close()
+        finally:
+            await manager.stop()
+
+    asyncio.run(scenario())
+
+
+def test_respawn_budget_exhaustion_leaves_shard_quarantined():
+    """With a zero respawn budget a dead shard stays down — and the
+    fleet keeps serving on the survivor via ring rehash."""
+
+    async def scenario():
+        manager = FleetManager(shards=2, workers=0, health_interval=0.2,
+                               fail_threshold=1, max_respawns=0)
+        await manager.start()
+        try:
+            victim = "shard-0"
+            manager.kill_shard(victim)
+            await _wait_until(
+                lambda: manager.shard_processes[victim].gave_up
+                and not manager.router.shards[victim].alive
+            )
+            assert len(manager.router.alive_shards()) == 1
+            client = ServiceClient.at(manager.endpoint)
+            for seed in range(4):
+                result = await client.schedule(_instance(seed), alg="HEFT")
+                assert result.makespan > 0
+            await client.close()
+        finally:
+            await manager.stop()
+
+    asyncio.run(scenario())
+
+
+def test_manager_validates_shard_count():
+    with pytest.raises(ValueError):
+        FleetManager(shards=0)

@@ -1,0 +1,393 @@
+"""FleetRouter against real in-process backends.
+
+Every scenario boots N :class:`ScheduleServer` daemons (``workers=0``,
+so no process pools — fast and deterministic) plus one router, all on
+ephemeral ports inside the test's own event loop.  The unchanged
+:class:`ServiceClient` talks to the router exactly as it would to a
+single daemon; the assertions check that what comes back is
+*byte-equivalent* to the single-daemon answer, that routing is sticky
+by fingerprint (the second request is a warm hit on the owning shard),
+and that quarantine / retry / aggregation behave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.instance_io import instance_to_json
+from repro.service import (
+    EngineConfig,
+    ScheduleServer,
+    SchedulingEngine,
+    ServiceClient,
+    ServiceClosedError,
+)
+from repro.service.fleet import FleetRouter
+from repro.service.protocol import compute_schedule_payload, make_request_doc
+from repro.utils.rng import as_generator
+
+def _instance(seed: int = 3, num_tasks: int = 10):
+    return W.random_instance(as_generator(seed), num_tasks=num_tasks, num_procs=3)
+
+
+def _canonical(result) -> str:
+    """Envelope-free content of a response: what must be bit-identical
+    regardless of which daemon (or how many) computed it.  Placements
+    are ``(task, proc, start, end, duplicate)`` tuples on both the JSON
+    and binary result types."""
+    return json.dumps(
+        [result.alg, result.makespan, result.num_duplicates,
+         sorted((str(t), str(p), s, e, bool(d))
+                for t, p, s, e, d in result.placements)],
+        sort_keys=True,
+    )
+
+
+def _payload_tuples(payload: dict) -> list:
+    """``payload["placements"]`` in the result types' tuple form."""
+    from repro.utils.encoding import decode_id
+
+    return [
+        (decode_id(r["task"]), decode_id(r["proc"]),
+         r["start"], r["end"], r["duplicate"])
+        for r in payload["placements"]
+    ]
+
+
+class _Fleet:
+    """N in-process backends behind one router."""
+
+    def __init__(self, shards: int = 3, health_interval: float = 0.0,
+                 fail_threshold: int = 1, **config):
+        self.config = config
+        self.shards = shards
+        self.health_interval = health_interval
+        self.fail_threshold = fail_threshold
+        self.servers: dict[str, ScheduleServer] = {}
+        self.router: FleetRouter | None = None
+
+    async def __aenter__(self):
+        self.router = FleetRouter(port=0,
+                                  health_interval=self.health_interval,
+                                  fail_threshold=self.fail_threshold)
+        await self.router.start()
+        for i in range(self.shards):
+            await self.add_backend(f"shard-{i}")
+        return self
+
+    async def add_backend(self, name: str) -> ScheduleServer:
+        server = ScheduleServer(
+            SchedulingEngine(EngineConfig(workers=0, **self.config)), port=0
+        )
+        await server.start()
+        self.servers[name] = server
+        self.router.add_shard(name, "127.0.0.1", server.bound_port)
+        return server
+
+    async def __aexit__(self, *exc):
+        for server in self.servers.values():
+            await server.stop()
+        await self.router.stop()
+
+    def client(self, **kwargs) -> ServiceClient:
+        kwargs.setdefault("request_timeout", 60.0)
+        return ServiceClient(port=self.router.port, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# routing correctness
+# ----------------------------------------------------------------------
+def test_routing_is_sticky_and_answers_are_bit_identical_binary():
+    """Binary wire through the router: first request computes on the
+    owning shard, the repeat is a warm hit (proof the same shard served
+    it), and the payload matches the locally computed reference."""
+
+    async def scenario():
+        async with _Fleet(shards=3) as fleet:
+            client = fleet.client()
+            for seed in range(8):
+                inst = _instance(seed)
+                expected = compute_schedule_payload(
+                    instance_to_json(inst), "HEFT"
+                )
+                cold = await client.schedule(inst, alg="HEFT")
+                warm = await client.schedule(inst, alg="HEFT")
+                assert not cold.cache_hit and warm.cache_hit
+                for result in (cold, warm):
+                    assert result.makespan == expected["makespan"]
+                    assert result.num_duplicates == expected["num_duplicates"]
+                    assert list(result.placements) == _payload_tuples(expected)
+            assert fleet.router.stats.key_sources.get("wire", 0) > 0
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_json_and_binary_route_to_the_same_owner():
+    """The JSON dialect carries the fingerprint as a header; the binary
+    dialect carries it in the body prefix.  Both must land on the same
+    shard: a JSON cold fill must be a *binary* warm hit and vice versa."""
+
+    async def scenario():
+        async with _Fleet(shards=3) as fleet:
+            inst = _instance(11)
+            json_client = fleet.client(wire="json")
+            bin_client = fleet.client(wire="bin")
+            cold = await json_client.schedule(inst, alg="HEFT")
+            warm = await bin_client.schedule(inst, alg="HEFT")
+            assert not cold.cache_hit and warm.cache_hit
+            assert _canonical(cold) == _canonical(warm)
+            assert fleet.router.stats.key_sources.get("header", 0) >= 1
+            assert fleet.router.stats.key_sources.get("wire", 0) >= 1
+            await bin_client.close()
+
+    asyncio.run(scenario())
+
+
+def test_router_responses_match_single_daemon_both_wires():
+    """The fleet is transparent: responses routed through it are
+    bit-identical (canonical content) to a lone daemon's answers, in
+    both wire formats."""
+
+    async def scenario():
+        solo = ScheduleServer(
+            SchedulingEngine(EngineConfig(workers=0)), port=0
+        )
+        await solo.start()
+        try:
+            async with _Fleet(shards=3) as fleet:
+                for wire_format in ("json", "bin"):
+                    for seed in (2, 5):
+                        inst = _instance(seed)
+                        solo_client = ServiceClient(port=solo.port,
+                                                    wire=wire_format)
+                        fleet_client = fleet.client(wire=wire_format)
+                        a = await solo_client.schedule(inst, alg="HEFT")
+                        b = await fleet_client.schedule(inst, alg="HEFT")
+                        assert _canonical(a) == _canonical(b)
+                        await solo_client.close()
+                        await fleet_client.close()
+        finally:
+            await solo.stop()
+
+    asyncio.run(scenario())
+
+
+def test_foreign_json_requests_fall_back_to_body_hash():
+    """A request without fingerprint header or binary prefix (a foreign
+    client) routes by body hash — still deterministic, so an identical
+    resubmit is a warm hit on the same shard."""
+
+    async def scenario():
+        async with _Fleet(shards=3) as fleet:
+            inst = _instance(7)
+            doc = make_request_doc(json.loads(instance_to_json(inst)), "HEFT")
+            body = json.dumps(doc).encode()
+            client = fleet.client()
+            status, _, payload = await client._request(
+                "POST", "/v1/schedule", body
+            )
+            assert status == 200
+            first = json.loads(payload)
+            status, _, payload = await client._request(
+                "POST", "/v1/schedule", body
+            )
+            second = json.loads(payload)
+            assert not first["result"]["cache_hit"]
+            assert second["result"]["cache_hit"]
+            assert fleet.router.stats.key_sources.get("body", 0) == 2
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+def test_dead_backend_is_quarantined_and_requests_survive():
+    """Stop one backend server outright: requests that hash to it must
+    be retried transparently on the next ring owner, the shard must be
+    quarantined after fail_threshold transport failures, and no request
+    may fail."""
+
+    async def scenario():
+        async with _Fleet(shards=3, fail_threshold=1) as fleet:
+            client = fleet.client()
+            victim = "shard-1"
+            await fleet.servers[victim].stop()
+            results = []
+            for seed in range(10):
+                results.append(await client.schedule(_instance(seed), alg="HEFT"))
+            assert len(results) == 10
+            assert victim not in fleet.router.ring
+            assert not fleet.router.shards[victim].alive
+            assert fleet.router.stats.quarantines >= 1
+            assert fleet.router.stats.retries >= 1
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_retry_lands_on_the_rehash_owner():
+    """The failover shard for a key must be exactly ``owners(key)[1]``
+    — the shard the quarantined ring re-homes the key to — so the
+    retry warms the cache at the key's future home."""
+
+    async def scenario():
+        async with _Fleet(shards=3, fail_threshold=1) as fleet:
+            router = fleet.router
+            inst = _instance(13)
+            key = inst.fingerprint()
+            sequence = router.ring.owners(key)
+            await fleet.servers[sequence[0]].stop()
+            client = fleet.client()
+            cold = await client.schedule(inst, alg="HEFT")
+            assert not cold.cache_hit
+            # the ring after quarantine routes the key to sequence[1] ...
+            assert router.ring.owner(key) == sequence[1]
+            # ... and the retry already warmed that shard's cache
+            warm = await client.schedule(inst, alg="HEFT")
+            assert warm.cache_hit
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_no_live_backend_returns_503():
+    async def scenario():
+        async with _Fleet(shards=1, fail_threshold=1) as fleet:
+            await fleet.servers["shard-0"].stop()
+            client = fleet.client(retry_policy=None)
+            with pytest.raises((ServiceClosedError, OSError)):
+                await client.schedule(_instance(1), alg="HEFT")
+            # after quarantine the router answers 503 without a backend
+            with pytest.raises(ServiceClosedError, match="no live backend"):
+                await client.schedule(_instance(2), alg="HEFT")
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_health_check_quarantines_and_readmits():
+    async def scenario():
+        async with _Fleet(shards=2, fail_threshold=1) as fleet:
+            router = fleet.router
+            victim = "shard-0"
+            port = fleet.servers[victim].bound_port
+            await fleet.servers[victim].stop()
+            probe = await router.check_health()
+            assert probe[victim] is False
+            assert not router.shards[victim].alive
+            # bring a replacement back on the same name, new port
+            server = ScheduleServer(
+                SchedulingEngine(EngineConfig(workers=0)), port=0
+            )
+            await server.start()
+            fleet.servers[victim] = server
+            router.update_shard(victim, "127.0.0.1", server.bound_port)
+            probe = await router.check_health()
+            assert probe[victim] is True
+            assert router.shards[victim].alive and victim in router.ring
+            assert router.stats.readmissions == 1
+            assert server.bound_port != port
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# aggregation surfaces
+# ----------------------------------------------------------------------
+def test_stats_aggregate_is_client_compatible():
+    """``ServiceClient.stats()`` must parse the router's /v1/stats —
+    counters summed over shards."""
+
+    async def scenario():
+        async with _Fleet(shards=3) as fleet:
+            client = fleet.client()
+            for seed in range(6):
+                await client.schedule(_instance(seed), alg="HEFT")
+                await client.schedule(_instance(seed), alg="HEFT")
+            stats = await client.stats()
+            assert stats.requests == 12
+            assert stats.completed == 12
+            assert stats.cache_hits == 6
+            per_engine = [s.engine.stats().requests
+                          for s in fleet.servers.values()]
+            assert sum(per_engine) == 12
+            # more than one shard actually carried load
+            assert sum(1 for c in per_engine if c) >= 2
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_metrics_aggregate_sums_counters_and_reports_shards():
+    async def scenario():
+        async with _Fleet(shards=2, fail_threshold=1) as fleet:
+            client = fleet.client()
+            for seed in range(4):
+                await client.schedule(_instance(seed), alg="HEFT")
+            text = await client.metrics_text()
+            lines = dict(
+                line.rsplit(" ", 1) for line in text.splitlines() if line
+            )
+            assert float(lines["repro_fleet_shards"]) == 2
+            assert float(lines["repro_fleet_shards_alive"]) == 2
+            assert float(lines["repro_fleet_requests_total"]) == 4
+            assert float(lines["repro_service_requests_total"]) == 4
+            assert float(lines['repro_fleet_shard_up{shard="shard-0"}']) == 1
+            # kill one shard: the exposition must reflect survivors
+            await fleet.servers["shard-1"].stop()
+            await fleet.router.check_health()
+            text = await client.metrics_text()
+            lines = dict(
+                line.rsplit(" ", 1) for line in text.splitlines() if line
+            )
+            assert float(lines["repro_fleet_shards_alive"]) == 1
+            assert float(lines['repro_fleet_shard_up{shard="shard-1"}']) == 0
+            assert float(lines["repro_fleet_quarantines_total"]) == 1
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_healthz_reports_fleet_liveness():
+    async def scenario():
+        async with _Fleet(shards=2, fail_threshold=1) as fleet:
+            client = fleet.client()
+            assert await client.health() is True
+            answer = await client._request_json("GET", "/healthz")
+            assert answer["fleet"] == {"shards": 2, "alive": 2}
+            for server in fleet.servers.values():
+                await server.stop()
+            await fleet.router.check_health()
+            assert await client.health() is False
+
+    asyncio.run(scenario())
+
+
+def test_shutdown_broadcasts_to_all_shards():
+    async def scenario():
+        async with _Fleet(shards=2) as fleet:
+            client = fleet.client()
+            await client.shutdown()
+            assert fleet.router.shutdown_requested
+            # every backend was asked to drain too
+            for server in fleet.servers.values():
+                assert server._shutdown.is_set()
+
+    asyncio.run(scenario())
+
+
+def test_unknown_route_is_404():
+    async def scenario():
+        async with _Fleet(shards=1) as fleet:
+            client = fleet.client()
+            status, _, _ = await client._request("GET", "/v1/nope")
+            assert status == 404
+
+    asyncio.run(scenario())
