@@ -69,16 +69,37 @@ def _bench_ranks(trials: int = 20) -> dict[str, float]:
         # fresh instance-equivalent call path minus the one-time build
         dict(inst.kernel.upward("mean"))
     vectorized = (time.perf_counter() - t0) / trials
+
+    # Cold path: one first call per FRESH instance, both legs, so the
+    # comparison is first-call vs first-call (the vectorized leg pays
+    # the kernel's adjacency memo, the scalar leg pays the uncached
+    # per-edge lookups).  Instances are pre-generated OUTSIDE the timed
+    # region — the old harness generated them inside the loop, so the
+    # "cold" number mostly measured workload generation.
+    def fresh() -> list:
+        return [
+            W.random_instance(np.random.default_rng(5), num_tasks=120, num_procs=8)
+            for _ in range(trials)
+        ]
+
+    cold_insts = fresh()
+    t0 = time.perf_counter()
+    for cold in cold_insts:
+        upward_ranks_scalar(cold)
+    scalar_cold = (time.perf_counter() - t0) / trials
+    cold_insts = fresh()
     with use_kernels(True):
         t0 = time.perf_counter()
-        for _ in range(trials):
-            upward_ranks(W.random_instance(np.random.default_rng(5), num_tasks=120, num_procs=8))
+        for cold in cold_insts:
+            upward_ranks(cold)
         end_to_end = (time.perf_counter() - t0) / trials
     return {
         "scalar_s": scalar,
+        "scalar_cold_s": scalar_cold,
         "vectorized_cached_s": vectorized,
         "vectorized_cold_s": end_to_end,
         "speedup_cached": scalar / vectorized if vectorized > 0 else float("inf"),
+        "speedup_cold": scalar_cold / end_to_end if end_to_end > 0 else float("inf"),
     }
 
 
@@ -140,6 +161,10 @@ def test_hotpath_regression():
         f"hot path slower than expected: {sweep}"
     )
     assert report["ranks"]["speedup_cached"] > 1.0
+    # First-call (cold) ranks must not regress below the scalar path:
+    # small instances take the scalar recurrence over memoized adjacency
+    # instead of paying the level build.
+    assert report["ranks"]["speedup_cold"] > 1.0
     assert report["eft"]["speedup"] > 1.0
 
 

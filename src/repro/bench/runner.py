@@ -14,6 +14,7 @@ worker count — asserted by the property suite.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -165,7 +166,10 @@ def run_sweep(
     reassembled in replication order, so the outcome is bit-identical to
     ``workers=1``.  The factory must then be picklable — module-level
     functions and :class:`repro.bench.workloads.SweepFactory` qualify,
-    lambdas do not.
+    lambdas do not (enforced whenever ``workers > 1`` is *requested*).
+    The effective pool size is capped at ``os.cpu_count()``; when the
+    cap leaves a single worker, the sweep runs serially — same results,
+    none of the pool overhead.
 
     ``tracer`` (or an enabled module-default tracer from
     :func:`repro.obs.set_tracer`) turns on observability: every
@@ -203,9 +207,21 @@ def run_sweep(
         if workers == 1:
             outcomes = [_run_replication(p) for p in payloads]
         else:
+            # The picklability contract is enforced for any requested
+            # parallelism, even when the pool is then skipped — callers
+            # should not start passing lambdas just because the current
+            # box happens to be small.
             _check_picklable(instance_factory)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_run_replication, payloads, chunksize=1))
+            # Oversubscribing a small box makes the sweep *slower* than
+            # serial (pool startup + pickling with no real concurrency),
+            # so requested workers are capped at the core count and a
+            # cap of one falls back to the serial path entirely.
+            effective = min(workers, os.cpu_count() or 1)
+            if effective <= 1:
+                outcomes = [_run_replication(p) for p in payloads]
+            else:
+                with ProcessPoolExecutor(max_workers=effective) as pool:
+                    outcomes = list(pool.map(_run_replication, payloads, chunksize=1))
         if trace:
             for _, _, rep_trace in outcomes:
                 if rep_trace is not None:

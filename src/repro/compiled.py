@@ -40,20 +40,118 @@ callers fall back to the object path.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Mapping, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import SchedulingError
 from repro.obs import get_tracer
+from repro.schedule.timeline import EPS as _TL_EPS
 from repro.schedule.timeline import scan_slots
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.instance import Instance
     from repro.kernels import InstanceKernel
+    from repro.schedule.schedule import Schedule
     from repro.types import ProcId, TaskId
 
-__all__ = ["CompiledInstance", "compile_instance"]
+__all__ = [
+    "CompiledInstance",
+    "CompiledSchedule",
+    "compile_instance",
+    "executor_enabled",
+    "note_fallback",
+    "reset_schedule_counters",
+    "schedule_counters",
+    "use_executor",
+]
+
+_INF = float("inf")
+_EPS = 1e-12  # placement tie tolerance (PlacementEngine/eft_placement)
+_TOL = 1e-9  # refinement acceptance / child-deadline tolerance
+
+# ---------------------------------------------------------------------------
+# executor switch + counters
+# ---------------------------------------------------------------------------
+# The compiled schedule executors are plain-int counted (not tracer
+# counted): the schedulers only route through the executor when tracing
+# is *off* — traced runs keep the object path so the golden span shapes
+# (sched.run/rank/place/insert) stay intact — so tracer counters would
+# never fire.  The service surfaces these on ``/metrics``.
+_EXECUTOR_ENABLED = True
+_COUNTS = {
+    "list_schedules": 0,
+    "dls_schedules": 0,
+    "improved_passes": 0,
+    "batch_calls": 0,
+    "fallbacks": 0,
+}
+
+
+def executor_enabled() -> bool:
+    """True when schedulers may route through the compiled executor."""
+    return _EXECUTOR_ENABLED
+
+
+@contextmanager
+def use_executor(enabled: bool) -> Iterator[None]:
+    """Temporarily force the compiled schedule executor on or off.
+
+    Used by the differential tests and ``benchmarks/bench_coldpath.py``
+    to time the object path while the kernel layer stays on.
+    """
+    global _EXECUTOR_ENABLED
+    previous = _EXECUTOR_ENABLED
+    _EXECUTOR_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _EXECUTOR_ENABLED = previous
+
+
+def schedule_counters() -> dict[str, int]:
+    """Snapshot of the compiled-executor counters (process-wide)."""
+    return dict(_COUNTS)
+
+
+def reset_schedule_counters() -> None:
+    """Zero the compiled-executor counters (tests/benchmarks)."""
+    for k in _COUNTS:
+        _COUNTS[k] = 0
+
+
+def note_fallback() -> None:
+    """Record one object-path fallback (per-link comm model etc.)."""
+    _COUNTS["fallbacks"] += 1
+
+
+class CompiledSchedule:
+    """Flat result of one compiled schedule build.
+
+    Parallel lists indexed by canonical task position; ``dups`` holds
+    committed duplicate placements as ``(task_idx, proc_idx, start,
+    duration)`` tuples.  ``duration`` entries are the *exact* duration
+    argument the object path would pass to ``Schedule.add`` — replaying
+    them through :meth:`CompiledInstance.materialize` reproduces the
+    object path's recorded floats bit for bit.
+    """
+
+    __slots__ = ("makespan", "start", "darg", "proc", "dups")
+
+    def __init__(
+        self,
+        makespan: float,
+        start: list[float],
+        darg: list[float],
+        proc: list[int],
+        dups: list[tuple[int, int, float, float]],
+    ) -> None:
+        self.makespan = makespan
+        self.start = start
+        self.darg = darg
+        self.proc = proc
+        self.dups = dups
 
 
 class CompiledInstance:
@@ -76,6 +174,7 @@ class CompiledInstance:
         self.n = n = len(self.tasks)
         self.q = len(self.procs)
         ti = kernel.ti
+        self._ti = ti
         self._pi = kernel.pi
 
         # Decode order: decreasing mean upward rank, exactly the order
@@ -112,6 +211,22 @@ class CompiledInstance:
         ]
         self.etc = kernel.etc_arr  # shared read-only view
         self._etc_rows: list[list[float]] = self.etc.tolist()
+
+        # Successor mirrors (the list executors and the improved pass
+        # walk children for lookahead / deadline checks / ready sets):
+        # per-task (child index, edge constant) pairs in successor-list
+        # order, plus the same constants as per-task dicts for O(1)
+        # (task, child) lookups.
+        self._succs: list[list[tuple[int, float]]] = [
+            [(ti[s], consts[t][s]) for s in kernel.succ[t]] for t in self.tasks
+        ]
+        self._succ_const: list[dict[int, float]] = [
+            {ti[s]: consts[t][s] for s in kernel.succ[t]} for t in self.tasks
+        ]
+        # Topological position and display string per canonical index —
+        # the exact tie-breakers the object path uses.
+        self._pos: list[int] = [kernel.pos[t] for t in self.tasks]
+        self._str: list[str] = [str(t) for t in self.tasks]
 
         # Decode scratch (reused; every read is preceded by a same-decode
         # write because the decode order is topological).
@@ -252,11 +367,771 @@ class CompiledInstance:
         tracer.count("compiled.decodes", len(rows))
         return out
 
+    # ------------------------------------------------------------------
+    # compiled list-scheduling executor
+    # ------------------------------------------------------------------
+    def order_indices(self, order: Sequence["TaskId"]) -> list[int]:
+        """Lower a task-id priority order to canonical indices."""
+        ti = self._ti
+        try:
+            return [ti[t] for t in order]
+        except KeyError as exc:
+            raise SchedulingError(f"unknown task {exc.args[0]!r} in order") from None
+
+    def schedule_list(
+        self,
+        order: Sequence[int],
+        *,
+        insertion: bool = True,
+        policy: str = "eft",
+        pinned: Sequence[int] | None = None,
+    ) -> CompiledSchedule:
+        """One static-priority list pass over canonical task indices.
+
+        Replays the object path per task: batched data-ready times (max
+        over parents of recorded ``end`` / ``end + const``), the shared
+        ``scan_slots`` gap scan (or ``max(ready, end_time)`` without
+        insertion), EFT (``end < best - 1e-12``) or EST (``start < best -
+        1e-12``) processor ties, and ``Schedule.add``'s double rounding
+        of the recorded end.  ``pinned[t] >= 0`` forces task ``t`` onto
+        that processor index (CPOP's critical path) with no comparison,
+        exactly like ``placement_on``.
+        """
+        if policy not in ("eft", "est"):
+            raise SchedulingError(f"unknown placement policy {policy!r}")
+        q = self.q
+        preds = self._preds
+        etc_rows = self._etc_rows
+        n = self.n
+        start_of = [0.0] * n
+        end_of = [0.0] * n
+        darg_of = [0.0] * n
+        proc_of = [-1] * n
+        tl_starts: list[list[float]] = [[] for _ in range(q)]
+        tl_ends: list[list[float]] = [[] for _ in range(q)]
+        tl_max = [0.0] * q
+        # Gap-bound fast path: ``tl_gap[j]`` is an upper bound on the
+        # widest idle gap of timeline ``j`` (between consecutive
+        # nonzero-width slots, including the 0 -> first-slot gap) and
+        # ``tl_nz[j]`` the end of its last nonzero-width slot.  When
+        # ``duration - EPS > tl_gap[j]`` no gap check inside
+        # ``scan_slots`` can succeed, so its result is exactly the
+        # fallback ``max(ready, tl_nz[j])`` — the O(1) answer skips the
+        # scan without changing a single float.
+        tl_gap = [0.0] * q
+        tl_nz = [0.0] * q
+        eft = policy == "eft"
+        makespan = 0.0
+        qr = range(q)
+        for t in order:
+            row = etc_rows[t]
+            pin = -1 if pinned is None else pinned[t]
+            if pin >= 0:
+                # Single-processor placement (no tie comparison).
+                ready = 0.0
+                for u, const in preds[t]:
+                    cand = end_of[u]
+                    if proc_of[u] != pin:
+                        cand += const
+                    if cand > ready:
+                        ready = cand
+                duration = row[pin]
+                if not insertion:
+                    m = tl_max[pin]
+                    start = ready if ready > m else m
+                elif duration - _TL_EPS > tl_gap[pin]:
+                    e = tl_nz[pin]
+                    start = ready if ready > e else e
+                else:
+                    start = scan_slots(tl_starts[pin], tl_ends[pin], ready, duration)
+                best_j, best_start, best_end = pin, start, start + duration
+            else:
+                # Per-processor ready times: same fold as the batched
+                # kernel (running max over parents, exact min/max).
+                ready_vec = [0.0] * q
+                for u, const in preds[t]:
+                    eu = end_of[u]
+                    pu = proc_of[u]
+                    ec = eu + const
+                    for j in qr:
+                        a = eu if j == pu else ec
+                        if a > ready_vec[j]:
+                            ready_vec[j] = a
+                best_j = -1
+                best_start = 0.0
+                best_end = 0.0
+                for j in qr:
+                    duration = row[j]
+                    ready = ready_vec[j]
+                    if best_j >= 0:
+                        # Dominance prune: start >= ready, and float
+                        # addition is monotone, so end >= ready +
+                        # duration — a processor that already cannot
+                        # beat the incumbent skips the slot search.
+                        if eft:
+                            if ready + duration >= best_end - _EPS:
+                                continue
+                        elif ready >= best_start - _EPS:
+                            continue
+                    if not insertion:
+                        m = tl_max[j]
+                        start = ready if ready > m else m
+                    elif duration - _TL_EPS > tl_gap[j]:
+                        e = tl_nz[j]
+                        start = ready if ready > e else e
+                    else:
+                        start = scan_slots(tl_starts[j], tl_ends[j], ready, duration)
+                    end = start + duration
+                    if best_j < 0 or (
+                        end < best_end - _EPS if eft else start < best_start - _EPS
+                    ):
+                        best_j = j
+                        best_start = start
+                        best_end = end
+            # Schedule.add replay: duration argument is ``end - start``,
+            # the recorded end is ``start + (end - start)``.
+            darg = best_end - best_start
+            rend = best_start + darg
+            start_of[t] = best_start
+            end_of[t] = rend
+            darg_of[t] = darg
+            proc_of[t] = best_j
+            starts = tl_starts[best_j]
+            i = bisect_left(starts, best_start)
+            starts.insert(i, best_start)
+            tl_ends[best_j].insert(i, rend)
+            if rend - best_start > _TL_EPS:
+                # Only nonzero-width slots participate in gap scans.  A
+                # slot appended past the last nonzero end opens a new gap
+                # (a mid-gap insert only shrinks existing gaps, so the
+                # bound stays valid without an update).
+                nz = tl_nz[best_j]
+                if best_start > nz and best_start - nz > tl_gap[best_j]:
+                    tl_gap[best_j] = best_start - nz
+                if rend > nz:
+                    tl_nz[best_j] = rend
+            if rend > tl_max[best_j]:
+                tl_max[best_j] = rend
+            if rend > makespan:
+                makespan = rend
+        _COUNTS["list_schedules"] += 1
+        return CompiledSchedule(makespan, start_of, darg_of, proc_of, [])
+
+    def schedule_batch(
+        self,
+        orders: Sequence[Sequence[int]],
+        *,
+        insertion: bool = True,
+        policy: str = "eft",
+    ) -> list[CompiledSchedule]:
+        """Run several priority orders over one lowering in one call.
+
+        The cold-path analogue of :meth:`decode_batch`: the service's
+        batching engine and the benchmarks amortise lowering + dispatch
+        over every order of a coalesced batch.
+        """
+        out = [
+            self.schedule_list(order, insertion=insertion, policy=policy)
+            for order in orders
+        ]
+        _COUNTS["batch_calls"] += 1
+        return out
+
+    def schedule_dls(
+        self, sl: Sequence[float], wstar: Sequence[float]
+    ) -> CompiledSchedule:
+        """Compiled Dynamic Level Scheduling loop.
+
+        Replays ``DLS.schedule``: per step the (ready task, processor)
+        pair minimising ``(-dl, pos, j)`` wins, where ``dl = sl - start +
+        (wstar - etc)``; placement appends at ``max(ready, end_time)``
+        and records ``start + duration`` (single rounding — DLS passes
+        the raw duration to ``Schedule.add``).  Per-task ready vectors
+        are cached once all parents are placed, like the object path.
+        """
+        n = self.n
+        q = self.q
+        preds = self._preds
+        succs = self._succs
+        etc_rows = self._etc_rows
+        pos = self._pos
+        indeg = [len(preds[t]) for t in range(n)]
+        ready_set = {t for t in range(n) if indeg[t] == 0}
+        start_of = [0.0] * n
+        end_of = [0.0] * n
+        darg_of = [0.0] * n
+        proc_of = [-1] * n
+        tl_max = [0.0] * q
+        ready_cache: dict[int, list[float]] = {}
+        makespan = 0.0
+        qr = range(q)
+        while ready_set:
+            best_key: tuple[float, int, int] | None = None
+            best_task = -1
+            best_j = -1
+            best_start = 0.0
+            for t in ready_set:
+                vec = ready_cache.get(t)
+                if vec is None:
+                    vec = [0.0] * q
+                    for u, const in preds[t]:
+                        eu = end_of[u]
+                        pu = proc_of[u]
+                        ec = eu + const
+                        for j in qr:
+                            a = eu if j == pu else ec
+                            if a > vec[j]:
+                                vec[j] = a
+                    ready_cache[t] = vec
+                slt = sl[t]
+                wst = wstar[t]
+                row = etc_rows[t]
+                pt = pos[t]
+                for j in qr:
+                    dr = vec[j]
+                    m = tl_max[j]
+                    start = dr if dr > m else m
+                    delta = wst - row[j]
+                    dl = slt - start + delta
+                    key = (-dl, pt, j)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_task = t
+                        best_j = j
+                        best_start = start
+            assert best_task >= 0
+            t = best_task
+            duration = etc_rows[t][best_j]
+            rend = best_start + duration
+            start_of[t] = best_start
+            end_of[t] = rend
+            darg_of[t] = duration
+            proc_of[t] = best_j
+            if rend > tl_max[best_j]:
+                tl_max[best_j] = rend
+            if rend > makespan:
+                makespan = rend
+            ready_set.discard(t)
+            ready_cache.pop(t, None)
+            for c, _const in succs[t]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready_set.add(c)
+        _COUNTS["dls_schedules"] += 1
+        return CompiledSchedule(makespan, start_of, darg_of, proc_of, [])
+
+    def materialize(
+        self, result: CompiledSchedule, machine, name: str
+    ) -> "Schedule":
+        """Raise a flat result back into a real :class:`Schedule`.
+
+        Every placement goes through ``Schedule.add`` with the exact
+        duration argument the object path would have passed, so the
+        recorded ``ScheduledTask`` floats (including the double-rounded
+        ends) are bit-identical.
+        """
+        from repro.schedule.schedule import Schedule
+
+        schedule = Schedule(machine, name=name)
+        tasks = self.tasks
+        procs = self.procs
+        start = result.start
+        darg = result.darg
+        proc = result.proc
+        add = schedule.add
+        for t in range(self.n):
+            add(tasks[t], procs[proc[t]], start[t], darg[t], check=False)
+        for dt, dj, ds, dd in result.dups:
+            add(tasks[dt], procs[dj], ds, dd, duplicate=True, check=False)
+        return schedule
+
+    # ------------------------------------------------------------------
+    # compiled improved-scheduler pass
+    # ------------------------------------------------------------------
+    def schedule_improved(
+        self,
+        order: Sequence[int],
+        ranks: Sequence[float],
+        *,
+        lookahead: bool,
+        duplication: bool,
+        insertion: bool,
+        refinement: bool,
+        refinement_rounds: int,
+        max_duplications_per_task: int = 3,
+    ) -> CompiledSchedule:
+        """One full improved-scheduler pass (engine + refinement).
+
+        Replays ``PlacementEngine.place`` per task — critical-child
+        lookahead, tentative duplicate planning with rollback, the
+        strict ``(score, end, j)`` tuple key — and the refinement sweep
+        (latest start first, child-deadline checks, ``1e-9`` acceptance)
+        over flat state, reproducing the object pass float for float.
+        """
+        st = _FlatState(self.n, self.q)
+        self._improved_place_pass(
+            st,
+            order,
+            ranks,
+            lookahead=lookahead,
+            duplication=duplication,
+            insertion=insertion,
+            max_dups=max_duplications_per_task,
+        )
+        if refinement:
+            self._refine(st, refinement_rounds)
+        makespan = 0.0
+        dups: list[tuple[int, int, float, float]] = []
+        for t in range(self.n):
+            e = st.pend[t]
+            if e > makespan:
+                makespan = e
+            for dj, ds, de, dd in st.dups[t]:
+                dups.append((t, dj, ds, dd))
+                if de > makespan:
+                    makespan = de
+        _COUNTS["improved_passes"] += 1
+        return CompiledSchedule(makespan, st.pstart, st.pdarg, st.pproc, dups)
+
+    def _improved_place_pass(
+        self,
+        st: "_FlatState",
+        order: Sequence[int],
+        ranks: Sequence[float],
+        *,
+        lookahead: bool,
+        duplication: bool,
+        insertion: bool,
+        max_dups: int,
+    ) -> None:
+        q = self.q
+        qr = range(q)
+        etc_rows = self._etc_rows
+        succs = self._succs
+        pos = self._pos
+        placed = st.placed
+        for t in order:
+            row = etc_rows[t]
+            child = -1
+            if lookahead:
+                child_key: tuple[float, int] | None = None
+                for s, _const in succs[t]:
+                    if placed[s]:
+                        continue
+                    k = (ranks[s], -pos[s])
+                    if child_key is None or k > child_key:
+                        child_key = k
+                        child = s
+            ready_vec = self._ready_vec(st, t)
+            la_base = self._lookahead_base(st, t, child) if child >= 0 else None
+            best_key: tuple[float, float, int] | None = None
+            best_j = -1
+            best_start = 0.0
+            best_end = 0.0
+            best_plans: list[tuple[int, int, float, float]] = []
+            for j in qr:
+                duration = row[j]
+                start = st.find_slot(j, ready_vec[j], duration, insertion)
+                plain_end = start + duration
+                plans: list[tuple[int, int, float, float]] = []
+                p_start = start
+                p_end = plain_end
+                if duplication:
+                    plans = self._plan_duplicates(st, t, j, insertion, max_dups)
+                    if plans:
+                        ready2 = self._ready_on(st, t, j)
+                        s2 = st.find_slot(j, ready2, duration, insertion)
+                        e2 = s2 + duration
+                        if e2 < plain_end - _EPS:
+                            p_start = s2
+                            p_end = e2
+                        else:
+                            self._rollback(st, plans)
+                            plans = []
+                if child >= 0:
+                    # Tentative duplicates may themselves be parents of
+                    # the lookahead child; the shared base is only valid
+                    # for probes that applied no plans.
+                    base = self._lookahead_base(st, t, child) if plans else la_base
+                    score = self._lookahead(st, base, t, child, j, p_end)
+                else:
+                    score = p_end
+                key = (score, p_end, j)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_j = j
+                    best_start = p_start
+                    best_end = p_end
+                    best_plans = plans
+                if plans:
+                    self._rollback(st, plans)
+            # Commit: winning duplicates re-applied in plan order, then
+            # the primary (Schedule.add double rounding).
+            for dt, dj, ds, dd in best_plans:
+                st.dups[dt].append((dj, ds, ds + dd, dd))
+                st.tl_add(dj, dt, ds, ds + dd)
+            darg = best_end - best_start
+            rend = best_start + darg
+            st.pstart[t] = best_start
+            st.pend[t] = rend
+            st.pdarg[t] = darg
+            st.pproc[t] = best_j
+            placed[t] = True
+            st.tl_add(best_j, t, best_start, rend)
+
+    def _ready_vec(self, st: "_FlatState", t: int) -> list[float]:
+        """Batched ready times (InstanceKernel.ready_times replay)."""
+        q = self.q
+        ready = [0.0] * q
+        pend = st.pend
+        pproc = st.pproc
+        dups = st.dups
+        for u, const in self._preds[t]:
+            eu = pend[u]
+            pu = pproc[u]
+            ec = eu + const
+            dlist = dups[u]
+            if not dlist:
+                for j in range(q):
+                    a = eu if j == pu else ec
+                    if a > ready[j]:
+                        ready[j] = a
+            else:
+                for j in range(q):
+                    a = eu if j == pu else ec
+                    for dj, _ds, de, _dd in dlist:
+                        c = de if dj == j else de + const
+                        if c < a:
+                            a = c
+                    if a > ready[j]:
+                        ready[j] = a
+        return ready
+
+    def _ready_on(self, st: "_FlatState", t: int, j: int) -> float:
+        """Scalar ready time on one processor (ready_time replay)."""
+        ready = 0.0
+        pend = st.pend
+        pproc = st.pproc
+        dups = st.dups
+        for u, const in self._preds[t]:
+            eu = pend[u]
+            arrival = eu if pproc[u] == j else eu + const
+            for dj, _ds, de, _dd in dups[u]:
+                cand = de if dj == j else de + const
+                if cand < arrival:
+                    arrival = cand
+            if arrival > ready:
+                ready = arrival
+        return ready
+
+    def _plan_duplicates(
+        self, st: "_FlatState", t: int, j: int, insertion: bool, max_dups: int
+    ) -> list[tuple[int, int, float, float]]:
+        """PlacementEngine._plan_duplicates replay (tentatively applied)."""
+        applied: list[tuple[int, int, float, float]] = []
+        preds = self._preds[t]
+        pos = self._pos
+        etc_rows = self._etc_rows
+        pend = st.pend
+        pproc = st.pproc
+        dups = st.dups
+        for _ in range(max_dups):
+            if not preds:
+                break
+            # Dominant parent: max arrival, ties to the earlier parent in
+            # predecessor-list order via the strict-> fold (== max()).
+            dom = -1
+            dom_arr = 0.0
+            dom_key: tuple[float, int] | None = None
+            for u, const in preds:
+                eu = pend[u]
+                arrival = eu if pproc[u] == j else eu + const
+                for dj, _ds, de, _dd in dups[u]:
+                    cand = de if dj == j else de + const
+                    if cand < arrival:
+                        arrival = cand
+                k = (arrival, -pos[u])
+                if dom_key is None or k > dom_key:
+                    dom_key = k
+                    dom = u
+                    dom_arr = arrival
+            if dom_arr <= _EPS:
+                break
+            if pproc[dom] == j or any(dj == j for dj, _s, _e, _d in dups[dom]):
+                break  # already local
+            dup_ready = self._ready_on(st, dom, j)
+            dd = etc_rows[dom][j]
+            if dup_ready + dd >= dom_arr - _EPS:
+                break  # ds >= dup_ready, so the acceptance test below
+                # could never pass; skip the slot search.
+            ds = st.find_slot(j, dup_ready, dd, insertion)
+            if ds + dd >= dom_arr - _EPS:
+                break
+            de = ds + dd
+            dups[dom].append((j, ds, de, dd))
+            st.tl_add(j, dom, ds, de)
+            applied.append((dom, j, ds, dd))
+        return applied
+
+    @staticmethod
+    def _rollback(st: "_FlatState", plans: list[tuple[int, int, float, float]]) -> None:
+        for dt, dj, _ds, _dd in reversed(plans):
+            lst = st.dups[dt]
+            for i, (cp, cs, _ce, _cd) in enumerate(lst):
+                if cp == dj:
+                    del lst[i]
+                    st.tl_remove(dj, dt, cs)
+                    break
+
+    def _lookahead_base(self, st: "_FlatState", t: int, child: int) -> list[float]:
+        """Per-processor arrival fold of ``child``'s *other* placed parents.
+
+        This part of ``InstanceKernel.lookahead_score`` does not depend
+        on where ``t`` is probed, so the placement pass computes it once
+        per task and shares it across all processor probes.  All values
+        are >= 0, so folding from 0.0 and taking the max against the
+        probe-dependent terms later reproduces the original single fold
+        exactly (max is order-independent).
+        """
+        q = self.q
+        base = [0.0] * q
+        placed = st.placed
+        pend = st.pend
+        pproc = st.pproc
+        dups = st.dups
+        for u, const in self._preds[child]:
+            if u == t or not placed[u]:
+                continue
+            eu = pend[u]
+            pu = pproc[u]
+            ec = eu + const
+            dlist = dups[u]
+            for j in range(q):
+                a = eu if j == pu else ec
+                for dj, _ds, de, _dd in dlist:
+                    c = de if dj == j else de + const
+                    if c < a:
+                        a = c
+                if a > base[j]:
+                    base[j] = a
+        return base
+
+    def _lookahead(
+        self,
+        st: "_FlatState",
+        base: list[float],
+        t: int,
+        child: int,
+        j_placed: int,
+        placed_end: float,
+    ) -> float:
+        """InstanceKernel.lookahead_score replay over flat state."""
+        q = self.q
+        const_tc = self._succ_const[t][child]
+        base_tc = placed_end + const_tc
+        row = self._etc_rows[child]
+        tl_max = st.tl_max
+        best = _INF
+        for j in range(q):
+            r = placed_end if j == j_placed else base_tc
+            b = base[j]
+            if b > r:
+                r = b
+            avail = tl_max[j]
+            if j == j_placed and placed_end > avail:
+                avail = placed_end
+            if avail > r:
+                r = avail
+            finish = r + row[j]
+            if finish < best:
+                best = finish
+        return best
+
+    def _refine(self, st: "_FlatState", max_rounds: int) -> None:
+        """refine_schedule replay: latest start first, 1e-9 acceptance."""
+        n = self.n
+        q = self.q
+        etc_rows = self._etc_rows
+        strs = self._str
+        pstart = st.pstart
+        pend = st.pend
+        pdarg = st.pdarg
+        pproc = st.pproc
+        dups = st.dups
+        for _ in range(max_rounds):
+            changed = False
+            order = sorted(range(n), key=lambda t: (-pstart[t], strs[t]))
+            for t in order:
+                if dups[t]:
+                    continue  # duplicated tasks are pinned
+                old_start = pstart[t]
+                old_end = pend[t]
+                old_j = pproc[t]
+                st.placed[t] = False
+                st.tl_remove(old_j, t, old_start)
+                ready_vec = self._ready_vec(st, t)
+                best_j = -1
+                best_start = 0.0
+                best_end = 0.0
+                for j in range(q):
+                    duration = etc_rows[t][j]
+                    # end >= ready + duration (monotone float add): a
+                    # candidate that cannot beat the incumbent is
+                    # skipped before the slot search.
+                    if best_j >= 0 and ready_vec[j] + duration >= best_end - _EPS:
+                        continue
+                    start = st.find_slot(j, ready_vec[j], duration, True)
+                    end = start + duration
+                    if not self._children_deadline_ok(st, t, j, end):
+                        continue
+                    if best_j < 0 or end < best_end - _EPS:
+                        best_j = j
+                        best_start = start
+                        best_end = end
+                if best_j >= 0 and best_end < old_end - _TOL:
+                    darg = best_end - best_start
+                    rend = best_start + darg
+                    pstart[t] = best_start
+                    pend[t] = rend
+                    pdarg[t] = darg
+                    pproc[t] = best_j
+                    st.tl_add(best_j, t, best_start, rend)
+                    changed = True
+                else:
+                    # Restore replays Schedule.add too: the recorded end
+                    # after re-adding can drift an ulp from the old one.
+                    darg = old_end - old_start
+                    rend = old_start + darg
+                    pend[t] = rend
+                    pdarg[t] = darg
+                    st.tl_add(old_j, t, old_start, rend)
+                st.placed[t] = True
+            if not changed:
+                break
+
+    def _children_deadline_ok(
+        self, st: "_FlatState", t: int, j_new: int, new_end: float
+    ) -> bool:
+        """_children_deadline_ok replay (no surviving duplicates of t)."""
+        placed = st.placed
+        pstart = st.pstart
+        pproc = st.pproc
+        dups = st.dups
+        for c, const in self._succs[t]:
+            if not placed[c]:
+                continue
+            arrival = new_end if j_new == pproc[c] else new_end + const
+            if arrival > pstart[c] + _TOL:
+                return False
+            for dj, ds, _de, _dd in dups[c]:
+                arrival = new_end if j_new == dj else new_end + const
+                if arrival > ds + _TOL:
+                    return False
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CompiledInstance(tasks={self.n}, procs={self.q}, "
             f"edges={len(self.pred_idx)})"
         )
+
+
+class _FlatState:
+    """Mutable flat mirror of Schedule + per-processor Timelines.
+
+    Used by the compiled improved pass, which (unlike the static list
+    executors) removes and re-adds placements: timelines carry task ids
+    so removal can replay ``Timeline.remove``'s first-match semantics,
+    and ``tl_max`` tracks each processor's ``end_time`` including the
+    exact ``max()`` recompute on removal.
+    """
+
+    __slots__ = (
+        "tl_starts",
+        "tl_ends",
+        "tl_tasks",
+        "tl_max",
+        "tl_gap",
+        "tl_nz",
+        "pstart",
+        "pend",
+        "pdarg",
+        "pproc",
+        "placed",
+        "dups",
+    )
+
+    def __init__(self, n: int, q: int) -> None:
+        self.tl_starts: list[list[float]] = [[] for _ in range(q)]
+        self.tl_ends: list[list[float]] = [[] for _ in range(q)]
+        self.tl_tasks: list[list[int]] = [[] for _ in range(q)]
+        self.tl_max = [0.0] * q
+        #: upper bound on the widest idle gap per processor (see
+        #: ``schedule_list``'s gap-bound fast path); kept exact again on
+        #: every removal's recompute.
+        self.tl_gap = [0.0] * q
+        #: end of the last nonzero-width slot per processor — the exact
+        #: ``scan_slots`` fallback value.
+        self.tl_nz = [0.0] * q
+        self.pstart = [0.0] * n
+        self.pend = [0.0] * n
+        self.pdarg = [0.0] * n
+        self.pproc = [-1] * n
+        self.placed = [False] * n
+        #: per-task committed/tentative duplicates: (proc, start, end, duration)
+        self.dups: list[list[tuple[int, float, float, float]]] = [[] for _ in range(n)]
+
+    def tl_add(self, j: int, t: int, start: float, end: float) -> None:
+        starts = self.tl_starts[j]
+        i = bisect_left(starts, start)
+        starts.insert(i, start)
+        self.tl_ends[j].insert(i, end)
+        self.tl_tasks[j].insert(i, t)
+        if end > self.tl_max[j]:
+            self.tl_max[j] = end
+        if end - start > _TL_EPS:
+            nz = self.tl_nz[j]
+            if start > nz and start - nz > self.tl_gap[j]:
+                self.tl_gap[j] = start - nz
+            if end > nz:
+                self.tl_nz[j] = end
+
+    def tl_remove(self, j: int, t: int, start: float) -> None:
+        starts = self.tl_starts[j]
+        tasks = self.tl_tasks[j]
+        ends = self.tl_ends[j]
+        for i in range(len(starts)):
+            if tasks[i] == t and abs(starts[i] - start) <= 1e-9:
+                del starts[i]
+                del ends[i]
+                del tasks[i]
+                break
+        # Removal merges gaps; rebuild end_time, the gap bound, and the
+        # last nonzero end exactly in one sweep.
+        gap = 0.0
+        prev = 0.0
+        m = 0.0
+        for s_, e_ in zip(starts, ends):
+            if e_ > m:
+                m = e_
+            if e_ - s_ > _TL_EPS:
+                g = s_ - prev
+                if g > gap:
+                    gap = g
+                prev = e_
+        self.tl_max[j] = m
+        self.tl_gap[j] = gap
+        self.tl_nz[j] = prev
+
+    def find_slot(self, j: int, ready: float, duration: float, insertion: bool) -> float:
+        if not insertion:
+            m = self.tl_max[j]
+            return ready if ready > m else m
+        if duration - _TL_EPS > self.tl_gap[j]:
+            # No gap can fit: scan_slots' fallback, without the scan.
+            e = self.tl_nz[j]
+            return ready if ready > e else e
+        return scan_slots(self.tl_starts[j], self.tl_ends[j], ready, duration)
 
 
 def compile_instance(instance: "Instance") -> CompiledInstance | None:

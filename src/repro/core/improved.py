@@ -18,7 +18,7 @@ from repro.instance import Instance
 from repro.kernels import kernels_enabled
 from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import Scheduler, compiled_for
 from repro.schedulers.ranking import RankAggregation, upward_ranks
 from repro.types import TaskId
 
@@ -74,12 +74,52 @@ class ImprovedScheduler(Scheduler):
                 )
         return schedule
 
+    def _schedule_compiled(self, instance: Instance, ci, variants) -> Schedule:
+        """All passes through the compiled executor; materialize the winner.
+
+        Replays the object loop's pass sequence (per aggregation: the
+        primary engine, then — when lookahead/duplication are on — the
+        plain-EFT engine) and its ``1e-12`` best-makespan rule, but only
+        the winning pass is raised back into a real :class:`Schedule`.
+        """
+        cfg = self.config
+        specs = [(cfg.lookahead, cfg.duplication)]
+        if cfg.lookahead or cfg.duplication:
+            specs.append((False, False))
+        pos = instance.kernel.pos
+        best = None
+        best_name = ""
+        for agg in variants:
+            ranks = upward_ranks(instance, agg)
+            order = ci.order_indices(
+                sorted(instance.dag.tasks(), key=lambda t: (-ranks[t], pos[t]))
+            )
+            rank_vec = [ranks[t] for t in ci.tasks]
+            for la, dup in specs:
+                candidate = ci.schedule_improved(
+                    order,
+                    rank_vec,
+                    lookahead=la,
+                    duplication=dup,
+                    insertion=cfg.insertion,
+                    refinement=cfg.refinement,
+                    refinement_rounds=cfg.refinement_rounds,
+                )
+                if best is None or candidate.makespan < best.makespan - 1e-12:
+                    best = candidate
+                    best_name = f"{self.name}({agg}):{instance.name}"
+        assert best is not None
+        return ci.materialize(best, instance.machine, best_name)
+
     def schedule(self, instance: Instance) -> Schedule:
         variants = self.config.rank_variants
         if instance.is_homogeneous() and len(variants) > 1:
             # All aggregations coincide on a homogeneous ETC matrix; one
             # pass suffices (this is the "and homogeneous systems" path).
             variants = variants[:1]
+        ci = compiled_for(instance)
+        if ci is not None:
+            return self._schedule_compiled(instance, ci, variants)
         engines = [self._engine]
         if self.config.lookahead or self.config.duplication:
             # Always also evaluate the plain-EFT pass: the improvements

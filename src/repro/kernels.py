@@ -53,6 +53,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Aggregations a rank kernel understands (mirrors ranking.RankAggregation).
 _AGGS = ("mean", "median", "best", "worst")
 
+#: Below this task count the *first* rank computation per direction runs
+#: the scalar recurrence over the kernel's memoized adjacency instead of
+#: building the level structure — the one-time ``_build_levels`` cost
+#: dominates the vectorized win for small DAGs (measured crossover is
+#: well above typical experiment sizes).  A second aggregation request
+#: builds the levels, since the build then amortizes across the cached
+#: variants.  Both paths replay the same float operations, so results
+#: stay bit-identical either way.
+_SCALAR_RANK_CUTOFF = 256
+
 _ENABLED = True
 
 
@@ -315,11 +325,57 @@ class InstanceKernel:
             )
         return levels
 
+    def _upward_scalar(self, agg: str) -> dict["TaskId", float]:
+        """Scalar upward recurrence over the memoized adjacency.
+
+        Bit-identical to the vectorized evaluation: the same weights,
+        the same ``comm + rank`` additions, an exact max fold, and the
+        same final ``w + tail`` rounding.
+        """
+        w = self.weights(agg).tolist()
+        ti = self.ti
+        succ = self.succ
+        avg = self._avg_comm
+        rank: dict["TaskId", float] = {}
+        for t in reversed(self.topo):
+            tail = 0.0
+            row = avg[t]
+            for s in succ[t]:
+                cand = row[s] + rank[s]
+                if cand > tail:
+                    tail = cand
+            rank[t] = w[ti[t]] + tail
+        return rank
+
+    def _downward_scalar(self, agg: str) -> dict["TaskId", float]:
+        """Scalar downward recurrence (see :meth:`_upward_scalar`)."""
+        w = self.weights(agg).tolist()
+        ti = self.ti
+        pred = self.pred
+        avg = self._avg_comm
+        rank: dict["TaskId", float] = {}
+        for t in self.topo:
+            best = 0.0
+            for p in pred[t]:
+                cand = (rank[p] + w[ti[p]]) + avg[p][t]
+                if cand > best:
+                    best = cand
+            rank[t] = best
+        return rank
+
     def upward(self, agg: str) -> dict["TaskId", float]:
         """Cached upward ranks (HEFT's ``rank_u``) for one aggregation."""
         cached = self._upward.get(agg)
         if cached is not None:
             return cached
+        if (
+            self._up_levels is None
+            and not self._upward
+            and len(self.tasks) < _SCALAR_RANK_CUTOFF
+        ):
+            out = self._upward_scalar(agg)
+            self._upward[agg] = out
+            return out
         w = self.weights(agg)
         if self._up_levels is None:
             self._up_levels = self._build_levels(upward=True)
@@ -341,6 +397,14 @@ class InstanceKernel:
         cached = self._downward.get(agg)
         if cached is not None:
             return cached
+        if (
+            self._down_levels is None
+            and not self._downward
+            and len(self.tasks) < _SCALAR_RANK_CUTOFF
+        ):
+            out = self._downward_scalar(agg)
+            self._downward[agg] = out
+            return out
         w = self.weights(agg)
         if self._down_levels is None:
             self._down_levels = self._build_levels(upward=False)

@@ -59,18 +59,21 @@ class Schedule:
         start: float,
         duration: float,
         duplicate: bool = False,
+        check: bool = True,
     ) -> ScheduledTask:
         """Place ``task`` on ``proc`` at ``start`` for ``duration``.
 
         The first non-duplicate placement of a task becomes its primary
         copy; placing a second primary copy raises.  Duplicates may be
-        added before or after the primary.
+        added before or after the primary.  ``check=False`` forwards to
+        :meth:`Timeline.add` to skip the overlap scan when the caller
+        guarantees feasibility (compiled-executor materialisation).
         """
         if proc not in self._timelines:
             raise UnknownProcessorError(proc)
         if not duplicate and task in self._primary:
             raise ScheduleError(f"task {task!r} already has a primary placement")
-        self._timelines[proc].add(start, duration, task)
+        self._timelines[proc].add(start, duration, task, check=check)
         placed = ScheduledTask(task=task, proc=proc, start=start, end=start + duration, duplicate=duplicate)
         if duplicate:
             self._copies.setdefault(task, []).append(placed)

@@ -128,43 +128,48 @@ class Timeline:
         # skipped).  The scan itself is shared with the compiled decoder.
         return scan_slots(self._starts, self._ends, ready, duration)
 
-    def add(self, start: float, duration: float, task: TaskId) -> Slot:
+    def add(self, start: float, duration: float, task: TaskId, check: bool = True) -> Slot:
         """Occupy ``[start, start+duration)`` with ``task``.
 
         Raises :class:`ScheduleError` if the interval overlaps an existing
-        slot (beyond floating-point tolerance).
+        slot (beyond floating-point tolerance).  ``check=False`` skips the
+        overlap scan for callers that already guarantee feasibility (the
+        compiled executor materialising a schedule whose slots came from
+        :func:`scan_slots` in the first place); the stored floats are
+        identical either way.
         """
         slot = Slot(start=start, end=start + duration, task=task)
         idx = bisect.bisect_left(self._starts, slot.start)
 
-        def overlaps(a: Slot, b: Slot) -> bool:
-            # Half-open intervals; zero-width slots are empty sets and
-            # never conflict with anything.
-            if a.duration <= EPS or b.duration <= EPS:
-                return False
-            return a.start < b.end - EPS and b.start < a.end - EPS
+        if check:
+            def overlaps(a: Slot, b: Slot) -> bool:
+                # Half-open intervals; zero-width slots are empty sets and
+                # never conflict with anything.
+                if a.duration <= EPS or b.duration <= EPS:
+                    return False
+                return a.start < b.end - EPS and b.start < a.end - EPS
 
-        # Forward: any stored slot starting inside the new interval.
-        j = idx
-        while j < len(self._slots) and self._slots[j].start < slot.end - EPS:
-            if overlaps(self._slots[j], slot):
-                raise ScheduleError(
-                    f"slot {slot} overlaps {self._slots[j]} on the same processor"
-                )
-            j += 1
-        # Backward: the nearest earlier non-empty slot is the only earlier
-        # one that can reach into the new interval (non-empty stored slots
-        # are pairwise disjoint).
-        j = idx - 1
-        while j >= 0:
-            prev = self._slots[j]
-            if prev.duration > EPS:
-                if overlaps(prev, slot):
+            # Forward: any stored slot starting inside the new interval.
+            j = idx
+            while j < len(self._slots) and self._slots[j].start < slot.end - EPS:
+                if overlaps(self._slots[j], slot):
                     raise ScheduleError(
-                        f"slot {slot} overlaps {prev} on the same processor"
+                        f"slot {slot} overlaps {self._slots[j]} on the same processor"
                     )
-                break
-            j -= 1
+                j += 1
+            # Backward: the nearest earlier non-empty slot is the only earlier
+            # one that can reach into the new interval (non-empty stored slots
+            # are pairwise disjoint).
+            j = idx - 1
+            while j >= 0:
+                prev = self._slots[j]
+                if prev.duration > EPS:
+                    if overlaps(prev, slot):
+                        raise ScheduleError(
+                            f"slot {slot} overlaps {prev} on the same processor"
+                        )
+                    break
+                j -= 1
         self._starts.insert(idx, slot.start)
         self._ends.insert(idx, slot.end)
         self._slots.insert(idx, slot)

@@ -255,6 +255,28 @@ def topological_by_priority(dag, key) -> list[TaskId]:
     return out
 
 
+def compiled_for(instance: Instance):
+    """The instance's compiled executor when routing is allowed, else ``None``.
+
+    The compiled path engages only when the kernel layer and the
+    executor switch are on *and* tracing is off — traced runs keep the
+    object path so the golden span shapes (``sched.rank``/``place``/
+    ``insert``) stay intact.  A ``None`` from :func:`compile_instance`
+    (per-link communication model) is recorded as an object-path
+    fallback for the service counters.
+    """
+    from repro import compiled as compiled_mod
+
+    if not kernels_enabled() or not compiled_mod.executor_enabled():
+        return None
+    if get_tracer().enabled:
+        return None
+    ci = compiled_mod.compile_instance(instance)
+    if ci is None:
+        compiled_mod.note_fallback()
+    return ci
+
+
 class ListScheduler(Scheduler):
     """Template for static-priority list schedulers.
 
@@ -266,6 +288,11 @@ class ListScheduler(Scheduler):
     #: Whether the placement phase may use idle-gap insertion.
     insertion: bool = True
 
+    #: Placement policy of the compiled executor ("eft"/"est"); ``None``
+    #: keeps the scheduler on the object path (custom ``place``
+    #: overrides the template cannot express in flat form).
+    compiled_policy: str | None = None
+
     @abstractmethod
     def priority_order(self, instance: Instance) -> list[TaskId]:
         """Full task order; every task must appear after its parents."""
@@ -276,6 +303,22 @@ class ListScheduler(Scheduler):
 
     def schedule(self, instance: Instance) -> Schedule:
         tracer = get_tracer()
+        ci = compiled_for(instance) if self.compiled_policy is not None else None
+        if ci is not None:
+            order = self.priority_order(instance)
+            if set(order) != set(instance.dag.tasks()) or len(order) != instance.num_tasks:
+                raise SchedulingError(
+                    f"{self.name}: priority order covers {len(order)} tasks, "
+                    f"instance has {instance.num_tasks}"
+                )
+            result = ci.schedule_list(
+                ci.order_indices(order),
+                insertion=self.insertion,
+                policy=self.compiled_policy,
+            )
+            return ci.materialize(
+                result, instance.machine, f"{self.name}:{instance.name}"
+            )
         schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
         with tracer.span("sched.run", alg=self.name, tasks=instance.num_tasks) as run:
             with tracer.span("sched.rank", alg=self.name):

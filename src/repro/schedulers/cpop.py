@@ -20,7 +20,12 @@ from repro.instance import Instance
 from repro.kernels import kernels_enabled
 from repro.obs import get_tracer
 from repro.schedule.schedule import Schedule
-from repro.schedulers.base import Scheduler, eft_placement, placement_on
+from repro.schedulers.base import (
+    Scheduler,
+    compiled_for,
+    eft_placement,
+    placement_on,
+)
 from repro.schedulers.ranking import (
     RankAggregation,
     critical_path_tasks,
@@ -85,32 +90,55 @@ class CPOP(Scheduler):
                 if tracer.enabled:
                     rank_span.set(cp_len=len(cp), cp_proc=str(cp_proc))
 
-            schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
+            # The heap priority (rank_u + rank_d) never depends on prior
+            # placements, so the pop order is fully determined up front;
+            # computing it first lets the compiled executor replay the
+            # exact ready-queue order the interleaved loop produces.
             indegree = {t: dag.in_degree(t) for t in dag.tasks()}
             tie = count()
             heap: list[tuple[float, int, object]] = []
             for t in dag.entry_tasks():
                 heapq.heappush(heap, (-priority[t], next(tie), t))
+            order: list = []
+            while heap:
+                _, _, task = heapq.heappop(heap)
+                order.append(task)
+                for child in dag.successors(task):
+                    indegree[child] -= 1
+                    if indegree[child] == 0:
+                        heapq.heappush(heap, (-priority[child], next(tie), child))
+            if len(order) != instance.num_tasks:
+                raise SchedulingError(
+                    f"CPOP scheduled {len(order)}/{instance.num_tasks} tasks"
+                )
 
+            ci = compiled_for(instance)
+            if ci is not None:
+                pi = instance.kernel.pi
+                cp_j = pi[cp_proc] if cp_proc is not None else -1
+                pinned = [
+                    cp_j if t in cp_set else -1 for t in ci.tasks
+                ]
+                result = ci.schedule_list(
+                    ci.order_indices(order),
+                    insertion=True,
+                    policy="eft",
+                    pinned=pinned,
+                )
+                return ci.materialize(
+                    result, instance.machine, f"{self.name}:{instance.name}"
+                )
+
+            schedule = Schedule(instance.machine, name=f"{self.name}:{instance.name}")
             scheduled = 0
             with tracer.span("sched.place", alg=self.name):
-                while heap:
-                    _, _, task = heapq.heappop(heap)
+                for task in order:
                     if tracer.enabled:
                         with tracer.span("sched.insert", task=str(task)):
                             self._place_one(schedule, instance, task, cp_set, cp_proc)
                     else:
                         self._place_one(schedule, instance, task, cp_set, cp_proc)
                     scheduled += 1
-                    for child in dag.successors(task):
-                        indegree[child] -= 1
-                        if indegree[child] == 0:
-                            heapq.heappush(heap, (-priority[child], next(tie), child))
-
-            if scheduled != instance.num_tasks:
-                raise SchedulingError(
-                    f"CPOP scheduled {scheduled}/{instance.num_tasks} tasks"
-                )
             if tracer.enabled:
                 tracer.count("sched.tasks_placed", scheduled)
                 run.set(makespan=schedule.makespan)

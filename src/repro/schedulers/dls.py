@@ -17,7 +17,7 @@ from repro.exceptions import SchedulingError
 from repro.instance import Instance
 from repro.kernels import kernels_enabled
 from repro.schedule.schedule import Schedule
-from repro.schedulers.base import Scheduler, ready_time
+from repro.schedulers.base import Scheduler, compiled_for, ready_time
 from repro.schedulers.ranking import machine_static_levels
 
 
@@ -30,6 +30,16 @@ class DLS(Scheduler):
         dag = instance.dag
         sl = machine_static_levels(instance, agg="median")
         wstar = {t: instance.etc.median(t) for t in dag.tasks()}
+
+        ci = compiled_for(instance)
+        if ci is not None:
+            result = ci.schedule_dls(
+                [sl[t] for t in ci.tasks], [wstar[t] for t in ci.tasks]
+            )
+            return ci.materialize(
+                result, instance.machine, f"{self.name}:{instance.name}"
+            )
+
         pos = {t: i for i, t in enumerate(dag.topological_order())}
         procs = instance.machine.proc_ids()
 

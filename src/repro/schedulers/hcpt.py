@@ -18,6 +18,7 @@ class HCPT(ListScheduler):
     """Heterogeneous Critical Parent Trees scheduler."""
 
     insertion = True
+    compiled_policy = "eft"
 
     def __init__(self, agg: RankAggregation = "mean") -> None:
         self.agg = agg

@@ -28,6 +28,8 @@ class HEFT(ListScheduler):
         Keep the published idle-gap insertion (default) or disable it.
     """
 
+    compiled_policy = "eft"
+
     def __init__(self, agg: RankAggregation = "mean", insertion: bool = True) -> None:
         self.agg = agg
         self.insertion = insertion

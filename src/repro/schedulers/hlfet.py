@@ -20,6 +20,7 @@ class HLFET(ListScheduler):
 
     insertion = False
     name = "HLFET"
+    compiled_policy = "est"
 
     def priority_order(self, instance: Instance) -> list[TaskId]:
         sl = machine_static_levels(instance, agg="mean")

@@ -29,6 +29,7 @@ class MCP(ListScheduler):
 
     insertion = True
     name = "MCP"
+    compiled_policy = "est"
 
     def priority_order(self, instance: Instance) -> list[TaskId]:
         dag = instance.dag

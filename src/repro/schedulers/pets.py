@@ -21,6 +21,7 @@ class PETS(ListScheduler):
 
     insertion = True
     name = "PETS"
+    compiled_policy = "eft"
 
     def priority_order(self, instance: Instance) -> list[TaskId]:
         dag = instance.dag

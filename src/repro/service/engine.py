@@ -490,15 +490,33 @@ class SchedulingEngine:
                     except asyncio.QueueEmpty:
                         break
                 self.metrics.batch(len(batch))
-                for item in batch:
+                if self.tracer.enabled:
+                    # Traced requests dispatch one job per worker call so
+                    # each gets its own service.compute span and absorbed
+                    # worker trace.
+                    groups = [[item] for item in batch]
+                    runner = self._run_job_group_traced
+                else:
+                    # Cold path: the drained batch is split into one
+                    # contiguous chunk per pool worker and each chunk
+                    # ships as a single batched worker call — one IPC
+                    # round trip amortised over the chunk, consecutive
+                    # same-content jobs sharing the worker's lowered
+                    # instance memo.
+                    n_groups = min(len(batch), max(1, self.config.workers))
+                    size = -(-len(batch) // n_groups)
+                    groups = [batch[i:i + size] for i in range(0, len(batch), size)]
+                    runner = self._run_group
+                for group in groups:
                     if not await self._acquire_slot(stop_wait):
                         return  # hard stop mid-batch; stop() owns the futures
                     # The dispatcher owns the slot lifecycle end to end:
                     # acquired here, released in the done-callback.  A
-                    # release inside _run_job's ``finally`` would leak
-                    # the slot if the task were cancelled before its
-                    # first await (the coroutine never enters ``try``).
-                    task = asyncio.create_task(self._run_job(item))
+                    # release inside the job coroutine's ``finally``
+                    # would leak the slot if the task were cancelled
+                    # before its first await (the coroutine never enters
+                    # ``try``).
+                    task = asyncio.create_task(runner(group))
                     self._running.add(task)
                     task.add_done_callback(self._job_task_done)
         finally:
@@ -599,6 +617,74 @@ class SchedulingEngine:
         self._inflight.pop(job.key, None)
         if not job.future.done():
             job.future.set_result(payload)
+
+    async def _run_job_group_traced(self, group: list[_Job]) -> None:
+        """Traced dispatch adapter: the group is always a single job."""
+        await self._run_job(group[0])
+
+    async def _run_group(self, jobs: list[_Job]) -> None:
+        """Execute one chunk of cold jobs as a single batched worker call.
+
+        The worker resolves each item independently (per-item faults
+        become per-item ``WorkerError``), but pool breakage propagates
+        whole — the computation is pure and content-addressed, so the
+        entire chunk transparently re-executes on the healed pool, the
+        same semantics :meth:`_run_job` gives a single job.  The worker
+        also returns its lowering-memo and compiled-executor counter
+        deltas for the call, which are folded into the service metrics.
+        """
+        loop = asyncio.get_running_loop()
+        items = [(job.text, job.alg) for job in jobs]
+
+        def _fail_all(make_exc) -> None:
+            for job in jobs:
+                self.metrics.error()
+                self._inflight.pop(job.key, None)
+                if not job.future.done():
+                    job.future.set_exception(make_exc())
+
+        while True:
+            generation = self._pool_generation
+            try:
+                results, worker_stats = await loop.run_in_executor(
+                    self._pool, protocol.compute_schedule_payload_batch, items
+                )
+                break
+            except asyncio.CancelledError:
+                for job in jobs:
+                    self._inflight.pop(job.key, None)
+                    if not job.future.done():
+                        job.future.set_exception(
+                            ServiceClosedError("computation cancelled")
+                        )
+                raise
+            except BrokenExecutor as exc:
+                if not await self._heal_pool(generation, exc):
+                    _fail_all(lambda: ServiceClosedError(
+                        "worker pool broken and respawn budget exhausted "
+                        f"({self.config.max_respawns} per "
+                        f"{self.config.respawn_window:g}s); engine closed"
+                    ))
+                    return
+                self.metrics.retry()
+                continue
+            except Exception as exc:
+                # The batch call itself failed before producing per-item
+                # results (e.g. the items could not reach the worker).
+                _fail_all(lambda: WorkerError(f"{type(exc).__name__}: {exc}"))
+                return
+        self.metrics.worker_stats(worker_stats)
+        for job, (status, value) in zip(jobs, results):
+            self._inflight.pop(job.key, None)
+            if status == "ok":
+                self.cache.put(job.key, value)
+                self._persist(job.key, value)
+                if not job.future.done():
+                    job.future.set_result(value)
+            else:
+                self.metrics.error()
+                if not job.future.done():
+                    job.future.set_exception(WorkerError(str(value)))
 
     def _persist(self, key: str, payload: dict) -> None:
         """Durably append one computed payload to the segment store.

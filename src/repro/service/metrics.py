@@ -52,6 +52,10 @@ class ServiceStats:
     respawns: int = 0
     batches: int = 0
     batched_jobs: int = 0
+    lowering_hits: int = 0
+    lowering_misses: int = 0
+    compiled_schedules: int = 0
+    compiled_fallbacks: int = 0
     queue_depth: int = 0
     inflight: int = 0
     workers: int = 0
@@ -86,6 +90,10 @@ class ServiceMetrics:
         self.respawns = 0
         self.batches = 0
         self.batched_jobs = 0
+        self.lowering_hits = 0
+        self.lowering_misses = 0
+        self.compiled_schedules = 0
+        self.compiled_fallbacks = 0
         self._latencies_ms: deque[float] = deque(maxlen=reservoir_size)
         self._started = time.monotonic()
 
@@ -129,6 +137,19 @@ class ServiceMetrics:
         self.batches += 1
         self.batched_jobs += size
 
+    def worker_stats(self, deltas: dict) -> None:
+        """Fold one batched worker call's counter deltas into the totals.
+
+        Workers are separate processes, so their lowering-memo and
+        compiled-executor counters can't be read directly; each batched
+        cold call ships its deltas back with the results and the engine
+        accumulates them here for ``/metrics``.
+        """
+        self.lowering_hits += int(deltas.get("lowering_hits", 0))
+        self.lowering_misses += int(deltas.get("lowering_misses", 0))
+        self.compiled_schedules += int(deltas.get("compiled_schedules", 0))
+        self.compiled_fallbacks += int(deltas.get("compiled_fallbacks", 0))
+
     # ------------------------------------------------------------------
     # exposition
     # ------------------------------------------------------------------
@@ -156,6 +177,10 @@ class ServiceMetrics:
             respawns=self.respawns,
             batches=self.batches,
             batched_jobs=self.batched_jobs,
+            lowering_hits=self.lowering_hits,
+            lowering_misses=self.lowering_misses,
+            compiled_schedules=self.compiled_schedules,
+            compiled_fallbacks=self.compiled_fallbacks,
             queue_depth=queue_depth,
             inflight=inflight,
             workers=workers,
@@ -188,6 +213,10 @@ class ServiceMetrics:
             "respawns",
             "batches",
             "batched_jobs",
+            "lowering_hits",
+            "lowering_misses",
+            "compiled_schedules",
+            "compiled_fallbacks",
         }
         lines = []
         for name, value in stats.as_dict().items():

@@ -206,6 +206,55 @@ def compute_schedule_payload(instance_text: str | bytes, alg: str) -> dict:
         return schedule_payload(schedule, instance, alg)
 
 
+def compute_schedule_payload_batch(
+    items: list[tuple[str | bytes, str]],
+) -> tuple[list[tuple[str, object]], dict[str, int]]:
+    """Batched cold path: several ``(instance_text, alg)`` jobs, one call.
+
+    The engine's dispatcher coalesces the requests it drains in one
+    batch into a single worker round trip, amortising executor dispatch
+    and letting consecutive jobs for the same content share the lowered
+    instance memo within the call.  Each item resolves independently to
+    ``("ok", payload)`` or ``("error", "Type: message")`` — except pool
+    breakage (:class:`~concurrent.futures.BrokenExecutor`), which must
+    propagate whole so the engine's self-healing sees it and re-executes
+    the batch on the respawned pool.
+
+    The second element reports worker-side counter deltas for this call:
+    the lowered-instance memo hits/misses and the compiled executor's
+    schedule/fallback counts — the engine folds them into its service
+    stats so cold-path behaviour shows up on ``/metrics``.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    from repro import compiled as compiled_mod
+
+    hits0, misses0 = _LOWERED.hits, _LOWERED.misses
+    counts0 = compiled_mod.schedule_counters()
+    results: list[tuple[str, object]] = []
+    for instance_text, alg in items:
+        try:
+            # Through the module global so test monkeypatches apply on
+            # the in-thread (workers=0) path.
+            results.append(("ok", compute_schedule_payload(instance_text, alg)))
+        except BrokenExecutor:
+            raise
+        except Exception as exc:  # noqa: BLE001 - per-item fault isolation
+            results.append(("error", f"{type(exc).__name__}: {exc}"))
+    counts1 = compiled_mod.schedule_counters()
+    stats = {
+        "lowering_hits": _LOWERED.hits - hits0,
+        "lowering_misses": _LOWERED.misses - misses0,
+        "compiled_schedules": (
+            (counts1["list_schedules"] - counts0["list_schedules"])
+            + (counts1["dls_schedules"] - counts0["dls_schedules"])
+            + (counts1["improved_passes"] - counts0["improved_passes"])
+        ),
+        "compiled_fallbacks": counts1["fallbacks"] - counts0["fallbacks"],
+    }
+    return results, stats
+
+
 def compute_schedule_payload_traced(
     instance_text: str | bytes, alg: str, trace_id: str | None = None
 ) -> tuple[dict, dict]:
