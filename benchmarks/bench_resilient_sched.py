@@ -1,0 +1,148 @@
+"""Resilient-scheduling benchmark: the price of fault tolerance.
+
+Measures, over the full 56-instance differential corpus, what k-backup
+active replication costs and what it buys:
+
+* **makespan overhead** — FT-HEFT-k / FT-IMP-k fault-free makespan
+  relative to the k=0 base schedule (replication serialises extra
+  copies, so overhead is the price of the guarantee);
+* **degraded exposure** — worst-case makespan over all size-k kill sets
+  at time zero, relative to the base scheduler's fault-free makespan
+  (what you actually pay when faults land vs what an unprotected
+  schedule simply loses: completion);
+* **survival** — fraction of (instance, kill set) scenarios where every
+  task still completes: 1.0 for FT schedules by construction, and the
+  measured (usually dismal) fraction for the unreplicated baseline.
+
+Writes ``BENCH_resilient_sched.json`` at the repo root.  Run directly
+to regenerate:
+
+    PYTHONPATH=src python benchmarks/bench_resilient_sched.py
+
+The pytest wrapper enforces the PR's acceptance floor on a corpus
+subsample: FT schedules survive every kill set, the baseline does not
+survive everywhere (the guarantee is not vacuous), and overheads stay
+finite and ordered (k=2 costs at least as much as k=1 on average).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from itertools import combinations
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    # The differential corpus lives in the tests package; direct
+    # ``python benchmarks/bench_resilient_sched.py`` runs need the root.
+    sys.path.insert(0, str(ROOT))
+
+from repro.schedulers.registry import get_scheduler
+from repro.schedulers.resilient import predict_degraded
+from tests.population import build_population
+
+OUT = ROOT / "BENCH_resilient_sched.json"
+
+#: (resilient scheduler, base scheduler, k) benchmark axes.
+VARIANTS = [
+    ("FT-HEFT-k1", "HEFT", 1),
+    ("FT-HEFT-k2", "HEFT", 2),
+    ("FT-IMP-k1", "IMP", 1),
+    ("FT-IMP-k2", "IMP", 2),
+]
+
+
+def _survival(schedule, inst, k: int) -> tuple[int, int]:
+    """(scenarios where all tasks complete, total scenarios) over all
+    size-k kill sets at time zero."""
+    ok = total = 0
+    for kill in combinations(inst.machine.proc_ids(), k):
+        pred = predict_degraded(schedule, inst, {p: 0.0 for p in kill})
+        total += 1
+        ok += pred.all_completed(inst)
+    return ok, total
+
+
+def run_bench(stride: int = 1) -> dict:
+    corpus = build_population()[::stride]
+    rows = []
+    for alg, base_name, k in VARIANTS:
+        overheads, exposures = [], []
+        ft_ok = ft_total = base_ok = base_total = 0
+        sched_seconds = 0.0
+        for label, inst in corpus:
+            keff = min(k, inst.num_procs - 1)
+            base = get_scheduler(base_name).schedule(inst)
+            t0 = time.perf_counter()
+            ft = get_scheduler(alg).schedule(inst)
+            sched_seconds += time.perf_counter() - t0
+            overheads.append(ft.makespan / base.makespan)
+            worst = max(
+                predict_degraded(ft, inst, {p: 0.0 for p in kill}).makespan
+                for kill in combinations(inst.machine.proc_ids(), keff)
+            )
+            exposures.append(worst / base.makespan)
+            ok, total = _survival(ft, inst, keff)
+            ft_ok += ok
+            ft_total += total
+            ok, total = _survival(base, inst, keff)
+            base_ok += ok
+            base_total += total
+        rows.append({
+            "alg": alg,
+            "base": base_name,
+            "k": k,
+            "instances": len(corpus),
+            "geomean_makespan_overhead": math.exp(
+                sum(math.log(o) for o in overheads) / len(overheads)
+            ),
+            "max_makespan_overhead": max(overheads),
+            "geomean_degraded_exposure": math.exp(
+                sum(math.log(e) for e in exposures) / len(exposures)
+            ),
+            "ft_survival": ft_ok / ft_total,
+            "base_survival": base_ok / base_total,
+            "kill_scenarios": ft_total,
+            "schedule_seconds": sched_seconds,
+        })
+    return {"variants": rows}
+
+
+def test_resilient_sched_gate():
+    """Acceptance floor: the guarantee holds, is not vacuous, and the
+    replication price is sane and monotone in k."""
+    report = run_bench(stride=4)  # corpus subsample keeps CI fast
+    by_alg = {r["alg"]: r for r in report["variants"]}
+    for r in report["variants"]:
+        assert r["ft_survival"] == 1.0, r
+        assert 1.0 <= r["geomean_makespan_overhead"] < 10.0, r
+        assert r["geomean_degraded_exposure"] >= 1.0, r
+    assert any(r["base_survival"] < 1.0 for r in report["variants"]), (
+        "unprotected baselines survived every kill set — gate is vacuous"
+    )
+    for base in ("HEFT", "IMP"):
+        assert (
+            by_alg[f"FT-{base}-k2"]["geomean_makespan_overhead"]
+            >= by_alg[f"FT-{base}-k1"]["geomean_makespan_overhead"]
+        ), base
+
+
+def main() -> None:
+    report = run_bench()
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    for r in report["variants"]:
+        print(
+            f"{r['alg']:10s} overhead x{r['geomean_makespan_overhead']:.3f} "
+            f"(max x{r['max_makespan_overhead']:.3f})  "
+            f"exposure x{r['geomean_degraded_exposure']:.3f}  "
+            f"survival ft={r['ft_survival']:.3f} base={r['base_survival']:.3f} "
+            f"over {r['kill_scenarios']} scenarios"
+        )
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,20 @@ from repro.schedulers.registry import get_scheduler
 from repro.utils.rng import spawn_children
 from repro.utils.tables import format_series
 
+def _energy(schedule: Schedule, instance: Instance) -> float:
+    """Nominal-frequency energy under the default power model."""
+    from repro.energy import PowerModel, schedule_energy
+
+    return schedule_energy(schedule, PowerModel())
+
+
+def _energy_dvfs(schedule: Schedule, instance: Instance) -> float:
+    """Energy after DVFS slack reclamation (makespan-preserving)."""
+    from repro.energy import PowerModel, reclaim_slack
+
+    return reclaim_slack(schedule, instance, PowerModel()).energy_scaled
+
+
 #: Metric name -> callable(schedule, instance) used by sweeps.
 METRICS: Mapping[str, Callable[[Schedule, Instance], float]] = {
     "slr": M.slr,
@@ -41,6 +55,8 @@ METRICS: Mapping[str, Callable[[Schedule, Instance], float]] = {
     "makespan": lambda s, i: M.makespan(s),
     "load_balance": lambda s, i: M.load_balance(s),
     "duplicates": lambda s, i: float(M.num_duplicates(s)),
+    "energy": _energy,
+    "energy_dvfs": _energy_dvfs,
 }
 
 

@@ -84,7 +84,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         heterogeneity=args.heterogeneity,
         seed=args.seed,
     )
+    if args.deadline is not None:
+        instance = instance.with_deadline(args.deadline)
     scheduler = get_scheduler(args.alg)
+    if args.tolerate_k:
+        from repro.schedulers.resilient import ResilientScheduler
+
+        scheduler = ResilientScheduler(scheduler, k=args.tolerate_k)
     if args.trace_out:
         from repro.obs import Tracer, use_tracer, write_trace
 
@@ -103,6 +109,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(f"makespan  : {schedule.makespan:.4f}")
     print(f"SLR       : {slr(schedule, instance):.4f}")
     print(f"speedup   : {speedup(schedule, instance):.4f}")
+    if args.tolerate_k or instance.deadline is not None:
+        from repro.schedulers.resilient import schedulability_report
+
+        report = schedulability_report(schedule, instance, k=args.tolerate_k)
+        print(f"tolerance : k={report.k} "
+              f"(worst-case makespan {report.worst_makespan:.4f})")
+        if instance.deadline is not None:
+            verdict = "SCHEDULABLE" if report.schedulable else "NOT SCHEDULABLE"
+            print(f"deadline  : {instance.deadline:.4f} -> {verdict}")
+            if report.witness is not None and report.witness:
+                print(f"witness   : kill set {report.witness}")
+        elif not report.schedulable:
+            print(f"warning   : tasks starve under kill set {report.witness}")
     if args.gantt:
         print()
         print(schedule.gantt())
@@ -497,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--heterogeneity", type=float, default=0.5)
     p_sched.add_argument("--seed", type=int, default=0)
     p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sched.add_argument("--tolerate-k", type=int, default=0, metavar="K",
+                         help="fault tolerance: place K backup copies per task "
+                              "and report worst-case behaviour over all size-K "
+                              "kill sets")
+    p_sched.add_argument("--deadline", type=float, default=None, metavar="D",
+                         help="attach a completion deadline and report "
+                              "schedulability (met/missed, worst-case slack)")
     p_sched.add_argument("--trace-out", default=None, metavar="PATH",
                          help="also record an execution trace "
                               "(.jsonl -> JSONL, else Chrome trace_event)")

@@ -7,10 +7,26 @@ without moving the makespan, trading the cubic dynamic-power curve for
 
 * :class:`PowerModel` — per-processor static/dynamic power parameters,
 * :func:`schedule_energy` — energy of a schedule under a frequency map,
-* :func:`reclaim_slack` — the frequency-assignment post-pass.
+* :func:`reclaim_slack` — the frequency-assignment post-pass,
+* :func:`makespan_energy_front` — the makespan/energy Pareto sweep.
 """
 
 from repro.energy.power import PowerModel, schedule_energy
 from repro.energy.dvfs import DvfsResult, reclaim_slack
+from repro.energy.pareto import (
+    ParetoPoint,
+    ParetoResult,
+    makespan_energy_front,
+    pareto_flags,
+)
 
-__all__ = ["PowerModel", "schedule_energy", "DvfsResult", "reclaim_slack"]
+__all__ = [
+    "PowerModel",
+    "schedule_energy",
+    "DvfsResult",
+    "reclaim_slack",
+    "ParetoPoint",
+    "ParetoResult",
+    "makespan_energy_front",
+    "pareto_flags",
+]

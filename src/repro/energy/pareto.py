@@ -1,0 +1,131 @@
+"""Makespan/energy Pareto analysis over the sweep runner.
+
+The energy-aware objective of the multi-objective SoC scheduling line of
+work: instead of crowning one scheduler, sweep every candidate over the
+same instances and keep the *non-dominated* set — the schedulers for
+which no other candidate is at least as good on both makespan and energy
+and strictly better on one.
+
+Both objectives come from :func:`repro.bench.runner.run_sweep` with the
+same master seed, so the two sweeps score the *identical* instance
+sequence (paired comparison).  Determinism is inherited wholesale: the
+front is a pure function of ``(scheduler_names, x_values, factory,
+reps, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.instance import Instance
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One scheduler's paired objective means."""
+
+    scheduler: str
+    makespan: float
+    energy: float
+    dominated: bool
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak dominance with at least one strict improvement
+        (both objectives minimised)."""
+        return (
+            self.makespan <= other.makespan
+            and self.energy <= other.energy
+            and (self.makespan < other.makespan or self.energy < other.energy)
+        )
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """All scored points plus the non-dominated subset."""
+
+    points: list[ParetoPoint]
+    energy_metric: str
+
+    def front(self) -> list[ParetoPoint]:
+        """Non-dominated points, sorted by makespan (ties by name)."""
+        return sorted(
+            (p for p in self.points if not p.dominated),
+            key=lambda p: (p.makespan, p.scheduler),
+        )
+
+    def table(self, title: str | None = None) -> str:
+        rows = [
+            [p.scheduler, f"{p.makespan:.4f}", f"{p.energy:.4f}",
+             "" if p.dominated else "*"]
+            for p in sorted(self.points, key=lambda p: (p.makespan, p.scheduler))
+        ]
+        return format_table(
+            ["scheduler", "makespan", self.energy_metric, "front"],
+            rows, title=title,
+        )
+
+
+def pareto_flags(points: Sequence[tuple[float, float]]) -> list[bool]:
+    """``True`` per point iff it is dominated (both axes minimised).
+
+    Duplicate points do not dominate each other — all copies of a
+    non-dominated value stay on the front.
+    """
+    flags = []
+    for i, (a, b) in enumerate(points):
+        flags.append(any(
+            c <= a and d <= b and (c < a or d < b)
+            for j, (c, d) in enumerate(points) if j != i
+        ))
+    return flags
+
+
+def makespan_energy_front(
+    scheduler_names: Sequence[str],
+    x_name: str,
+    x_values: Sequence,
+    instance_factory: Callable[[object, np.random.Generator], Instance],
+    reps: int = 3,
+    seed: int = 0,
+    energy_metric: str = "energy",
+    check: bool = True,
+    workers: int = 1,
+) -> ParetoResult:
+    """Score every scheduler on paired makespan/energy sweeps.
+
+    ``energy_metric`` selects ``"energy"`` (nominal frequency) or
+    ``"energy_dvfs"`` (after makespan-preserving slack reclamation) —
+    the latter rewards schedules that leave slack where it can actually
+    be reclaimed.  Each scheduler's point is the mean of its per-x
+    series, i.e. one aggregate position in objective space.
+    """
+    from repro.bench.runner import run_sweep
+
+    if energy_metric not in ("energy", "energy_dvfs"):
+        raise ConfigurationError(
+            f"energy_metric must be 'energy' or 'energy_dvfs', got {energy_metric!r}"
+        )
+    spans = run_sweep(
+        scheduler_names, x_name, x_values, instance_factory,
+        reps=reps, metric="makespan", seed=seed, check=check, workers=workers,
+    )
+    energies = run_sweep(
+        scheduler_names, x_name, x_values, instance_factory,
+        reps=reps, metric=energy_metric, seed=seed, check=False, workers=workers,
+    )
+    names = list(scheduler_names)
+    pairs = [
+        (spans.mean_over_x(name), energies.mean_over_x(name)) for name in names
+    ]
+    dominated = pareto_flags(pairs)
+    points = [
+        ParetoPoint(scheduler=name, makespan=pair[0], energy=pair[1],
+                    dominated=flag)
+        for name, pair, flag in zip(names, pairs, dominated)
+    ]
+    return ParetoResult(points=points, energy_metric=energy_metric)

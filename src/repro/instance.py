@@ -34,12 +34,18 @@ class Instance:
         Processors plus communication model.
     etc:
         Expected-time-to-compute matrix covering every (task, processor).
+    deadline:
+        Optional end-to-end deadline (a period for periodic workloads):
+        every task must finish by this absolute time.  ``None`` means
+        unconstrained — the historical behaviour, and the default, so
+        deadline-free instances keep their exact fingerprints.
     """
 
     dag: TaskDAG
     machine: Machine
     etc: ETCMatrix
     name: str = field(default="")
+    deadline: float | None = field(default=None)
 
     def __post_init__(self) -> None:
         missing_tasks = set(self.dag.tasks()) - set(self.etc.task_ids)
@@ -48,6 +54,11 @@ class Instance:
         missing_procs = set(self.machine.proc_ids()) - set(self.etc.proc_ids)
         if missing_procs:
             raise ConfigurationError(f"ETC lacks processors: {sorted(map(str, missing_procs))[:5]}")
+        if self.deadline is not None:
+            deadline = float(self.deadline)
+            if not np.isfinite(deadline) or deadline <= 0:
+                raise ConfigurationError(f"deadline must be finite and > 0, got {self.deadline!r}")
+            object.__setattr__(self, "deadline", deadline)
         if not self.name:
             object.__setattr__(self, "name", f"{self.dag.name}@{self.machine.name}")
 
@@ -166,6 +177,18 @@ class Instance:
         (see :mod:`repro.service.cache`).
         """
         return self._fingerprint
+
+    def with_deadline(self, deadline: float | None) -> "Instance":
+        """Copy of this instance carrying ``deadline`` (``None`` clears it).
+
+        Returns a fresh instance even for an unchanged value, so cached
+        properties (kernel, fingerprint) never leak across constraint
+        variants of the same problem.
+        """
+        return Instance(
+            dag=self.dag, machine=self.machine, etc=self.etc,
+            name=self.name, deadline=deadline,
+        )
 
     def is_homogeneous(self) -> bool:
         """True when every task runs equally fast on every processor."""

@@ -134,6 +134,10 @@ def instance_to_json(instance: Instance) -> str:
             "values": instance.etc.as_array().tolist(),
         },
     }
+    # Constraints are optional trailing fields: deadline-free instances
+    # serialise byte-identically to the pre-constraint format.
+    if instance.deadline is not None:
+        doc["deadline"] = instance.deadline
     return json.dumps(doc, indent=1)
 
 
@@ -153,7 +157,10 @@ def instance_from_json(text: str) -> Instance:
         [decode_id(p) for p in etc_doc["procs"]],
         np.asarray(etc_doc["values"], dtype=float),
     )
-    return Instance(dag=dag, machine=machine, etc=etc, name=doc.get("name", ""))
+    return Instance(
+        dag=dag, machine=machine, etc=etc,
+        name=doc.get("name", ""), deadline=doc.get("deadline"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +189,7 @@ def canonical_instance_doc(instance: Instance) -> dict:
     comm = _comm_to_dict(machine.comm, machine.proc_ids())
     if comm.get("type") == "links":
         comm["links"] = sorted(comm["links"], key=lambda r: (_id_key(r["src"]), _id_key(r["dst"])))
-    return {
+    doc = {
         "format": "repro-instance-fingerprint-v1",
         "tasks": [[encode_id(t), dag.cost(t)] for t in task_order],
         "edges": sorted(
@@ -193,6 +200,13 @@ def canonical_instance_doc(instance: Instance) -> dict:
         "comm": comm,
         "etc": [[instance.etc.time(t, p) for p in proc_order] for t in task_order],
     }
+    # The deadline is *content* — it changes which schedules are
+    # acceptable — so it participates in the digest.  It is included
+    # only when set, so every deadline-free instance hashes exactly as
+    # it did before constraints existed (cache keys stay warm).
+    if instance.deadline is not None:
+        doc["deadline"] = instance.deadline
+    return doc
 
 
 def instance_fingerprint(instance: Instance) -> str:

@@ -94,5 +94,12 @@ def _register_builtins() -> None:
     register_scheduler("LA-HEFT", LookaheadScheduler)
     register_scheduler("DUP-HEFT", DuplicationScheduler)
 
+    from repro.schedulers.resilient import ResilientScheduler
+
+    register_scheduler("FT-HEFT-k1", lambda: ResilientScheduler(HEFT(), k=1))
+    register_scheduler("FT-HEFT-k2", lambda: ResilientScheduler(HEFT(), k=2))
+    register_scheduler("FT-IMP-k1", lambda: ResilientScheduler(ImprovedScheduler(), k=1))
+    register_scheduler("FT-IMP-k2", lambda: ResilientScheduler(ImprovedScheduler(), k=2))
+
 
 _register_builtins()

@@ -141,8 +141,13 @@ def schedule_payload(schedule: Schedule, instance: Instance, alg: str) -> dict:
     Placements are sorted by ``(start, proc, task)`` exactly like
     :func:`repro.schedule.io.schedule_to_json`, so two runs that produce
     the same schedule produce byte-identical payload JSON.
+
+    Deadline-annotated instances additionally carry the structured
+    schedulability verdict (met/missed and slack per task, see
+    :func:`repro.schedulers.resilient.schedulability_doc`) — a trailing
+    optional key, so deadline-free payloads are unchanged byte for byte.
     """
-    return {
+    payload = {
         "alg": alg,
         "instance": instance.name,
         "num_tasks": instance.num_tasks,
@@ -162,6 +167,11 @@ def schedule_payload(schedule: Schedule, instance: Instance, alg: str) -> dict:
             )
         ],
     }
+    if instance.deadline is not None:
+        from repro.schedulers.resilient import schedulability_doc
+
+        payload["schedulability"] = schedulability_doc(schedule, instance)
+    return payload
 
 
 def compute_schedule_payload(instance_text: str | bytes, alg: str) -> dict:

@@ -102,6 +102,13 @@ _F64 = struct.Struct("<d")
 #: Communication-model tags (section ``comm`` of an instance message).
 _COMM_ZERO, _COMM_UNIFORM, _COMM_LINKS = 0, 1, 2
 
+#: Optional trailing-section tags.  Trailers ride after the last
+#: mandatory section of a message; a message without them is
+#: byte-identical to the pre-trailer encoding, which keeps the golden
+#: hex fixtures (and every cached blob) valid without a version bump.
+_TRAILER_DEADLINE = 1       # instance: f64 end-to-end deadline
+_TRAILER_SCHEDULABILITY = 1  # payload: canonical-JSON schedulability doc
+
 #: Id tags.
 _ID_NONE, _ID_FALSE, _ID_TRUE, _ID_I64, _ID_BIG, _ID_F64, _ID_STR, _ID_TUPLE = range(8)
 
@@ -436,6 +443,12 @@ def encode_instance(instance: "Instance") -> bytes:
     w.u32s([ti[t] for t in etc.task_ids])
     w.u32s([pi[p] for p in etc.proc_ids])
     w.f64s(etc.as_array().reshape(-1))
+    # Optional trailing constraint sections (tag u8 + body).  Absent for
+    # unconstrained instances, so those encode byte-identically to wire
+    # version 1 before constraints existed — the golden fixtures pin it.
+    if instance.deadline is not None:
+        w.u8(_TRAILER_DEADLINE)
+        w.f64(instance.deadline)
     return w.bytes()
 
 
@@ -519,6 +532,15 @@ def decode_instance(buf: bytes | memoryview) -> "Instance":
             f"ETC block holds {len(etc_values)} values, expected {rows}x{cols}"
         )
 
+    # Trailing constraint sections (absent in pre-constraint encodings).
+    deadline = None
+    while not r.done():
+        tag = r.u8()
+        if tag == _TRAILER_DEADLINE:
+            deadline = r.f64()
+        else:
+            raise WireFormatError(f"unknown instance trailer tag {tag}")
+
     try:
         dag = TaskDAG(dag_name)
         for i, tid in enumerate(task_ids):
@@ -536,7 +558,8 @@ def decode_instance(buf: bytes | memoryview) -> "Instance":
             [proc_ids[j] for j in etc_proc_perm],
             np.array(etc_values, dtype=float).reshape(rows, cols),
         )
-        return Instance(dag=dag, machine=machine, etc=etc, name=name)
+        return Instance(dag=dag, machine=machine, etc=etc, name=name,
+                        deadline=deadline)
     except IndexError:
         raise WireFormatError("wire instance references an out-of-range index") from None
 
@@ -686,6 +709,15 @@ def encode_payload(payload: dict) -> bytes:
         if rec.get("duplicate", False):
             bits[i >> 3] |= 1 << (i & 7)
     w.parts.append(bytes(bits))
+    # Optional trailing sections.  The schedulability verdict is a small
+    # nested document with no hot-path consumers, so it rides as its
+    # canonical JSON encoding (sorted keys, compact separators) rather
+    # than growing the packed-array vocabulary; payloads without it are
+    # byte-identical to the pre-trailer encoding.
+    schedulability = payload.get("schedulability")
+    if schedulability is not None:
+        w.u8(_TRAILER_SCHEDULABILITY)
+        w.str(json.dumps(schedulability, sort_keys=True, separators=(",", ":")))
     return w.bytes()
 
 
@@ -730,7 +762,7 @@ def decode_payload(buf: bytes | memoryview) -> dict:
         ]
     except IndexError:
         raise WireFormatError("placement references an out-of-range id") from None
-    return {
+    out = {
         "alg": alg,
         "instance": instance_name,
         "num_tasks": num_tasks,
@@ -739,6 +771,13 @@ def decode_payload(buf: bytes | memoryview) -> dict:
         "num_duplicates": num_duplicates,
         "placements": placements,
     }
+    while not r.done():
+        tag = r.u8()
+        if tag == _TRAILER_SCHEDULABILITY:
+            out["schedulability"] = json.loads(r.str())
+        else:
+            raise WireFormatError(f"unknown payload trailer tag {tag}")
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,7 @@ execution times deviate from the ETC estimates.
 
 from repro.sim.engine import Event, EventQueue
 from repro.sim.noise import MultiplicativeNoise, NoiseModel, NoNoise, PerProcessorDrift
-from repro.sim.executor import SimulatedCopy, SimulationResult, execute
+from repro.sim.executor import SimulatedCopy, SimulationResult, execute, proc_sort_key
 from repro.sim.trace import save_chrome_trace, to_chrome_trace
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "SimulatedCopy",
     "SimulationResult",
     "execute",
+    "proc_sort_key",
     "to_chrome_trace",
     "save_chrome_trace",
 ]

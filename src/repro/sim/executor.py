@@ -8,17 +8,46 @@ has arrived locally.  Durations come from a :class:`NoiseModel` (the
 identity by default), so with no noise the simulation independently
 re-derives — and for the semi-active schedules all built-in schedulers
 produce, exactly reproduces — the analytic makespan.
+
+Fault injection (``faults``): any subset of processors can be killed at
+chosen times.  The fail-stop semantics are exact, with no tolerance
+window, so predicted and realised degraded timelines can be compared
+bit-for-bit (see :mod:`repro.schedulers.resilient`):
+
+* a copy **completes** iff its finish time is ``<= T`` (kill time of its
+  processor) — results produced at the instant of failure survive;
+* a copy **starts** iff its computed start is ``< T``; a copy whose
+  start falls at or after the kill never runs, and (head-of-line
+  execution) neither does anything queued behind it;
+* a copy with ``start < T < end`` is **aborted**: it occupied the
+  processor but delivers no data to any consumer.
+
+Copies that never start are reported as ``unstarted`` — on a killed
+processor these are casualties of the fault; on a live processor they
+signal starvation (every copy of some parent died), which is exactly
+what a k-resilient schedule must prevent for kill sets of size <= k.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.instance import Instance
 from repro.schedule.schedule import Schedule, ScheduledTask
 from repro.sim.engine import EventQueue, SimulationError
 from repro.sim.noise import NoiseModel, NoNoise
 from repro.types import ProcId, TaskId
+
+
+def proc_sort_key(proc: ProcId) -> tuple[str, str]:
+    """Deterministic total order over mixed-type processor ids.
+
+    The same idiom as :meth:`repro.dag.graph.TaskDAG.topological_order`
+    uses for task ids: ordering never derives from ``hash()``, so event
+    sequences survive ``PYTHONHASHSEED`` restarts.
+    """
+    return (str(type(proc)), str(proc))
 
 
 @dataclass(frozen=True)
@@ -34,18 +63,45 @@ class SimulatedCopy:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    ``copies`` holds only *completed* copies; under fault injection the
+    casualties are split into ``aborted`` (started, then killed) and
+    ``unstarted`` (never ran at all).  Fault-free runs keep the historic
+    shape: every copy completes and the extra fields are empty.
+    """
 
     makespan: float
     copies: list[SimulatedCopy]
     events_processed: int
+    faults: dict[ProcId, float] = field(default_factory=dict)
+    aborted: list[SimulatedCopy] = field(default_factory=list)
+    unstarted: list[ScheduledTask] = field(default_factory=list)
 
     def end_of(self, task: TaskId) -> float:
-        """Earliest simulated finish among the task's copies."""
+        """Earliest simulated finish among the task's completed copies."""
         ends = [c.end for c in self.copies if c.task == task]
         if not ends:
             raise SimulationError(f"task {task!r} was not simulated")
         return min(ends)
+
+    def completed(self, task: TaskId) -> bool:
+        """True when at least one copy of ``task`` ran to completion."""
+        return any(c.task == task for c in self.copies)
+
+    def task_ends(self) -> dict[TaskId, float]:
+        """Earliest completed finish per task (completed tasks only)."""
+        out: dict[TaskId, float] = {}
+        for c in self.copies:
+            prev = out.get(c.task)
+            if prev is None or c.end < prev:
+                out[c.task] = c.end
+        return out
+
+    def all_tasks_completed(self, instance: Instance) -> bool:
+        """True when every DAG task has at least one completed copy."""
+        done = {c.task for c in self.copies}
+        return all(t in done for t in instance.dag.tasks())
 
 
 def execute(
@@ -53,21 +109,39 @@ def execute(
     instance: Instance,
     noise: NoiseModel | None = None,
     link_contention: bool = False,
+    faults: Mapping[ProcId, float] | None = None,
 ) -> SimulationResult:
     """Simulate ``schedule`` on ``instance``; returns the realised times.
 
-    The schedule must be complete (every DAG task placed).  Raises
-    :class:`SimulationError` on deadlock, which would indicate an
-    infeasible schedule.
+    The schedule must be complete (every DAG task placed).  Without
+    ``faults``, raises :class:`SimulationError` on deadlock, which would
+    indicate an infeasible schedule.
 
     ``link_contention=True`` serialises transfers per directed processor
     pair (FIFO), breaking the contention-free assumption every static
     scheduler in this library plans with — the resulting makespan
     inflation measures the analytic model's error (experiment E17).
+
+    ``faults`` maps processor ids to kill times (``{p: 0.0}`` kills
+    ``p`` before it runs anything).  With faults present the run never
+    raises on incomplete execution — casualties land in the result's
+    ``aborted``/``unstarted`` fields and callers inspect
+    :meth:`SimulationResult.all_tasks_completed` instead.
     """
     noise = noise or NoNoise()
     dag = instance.dag
     comm_factor = noise.comm_factor()
+
+    kill_at: dict[ProcId, float] = {}
+    if faults:
+        known = set(schedule.machine.proc_ids())
+        for proc, when in faults.items():
+            if proc not in known:
+                raise SimulationError(f"cannot kill unknown processor {proc!r}")
+            when = float(when)
+            if not (when >= 0.0):
+                raise SimulationError(f"kill time must be >= 0, got {when!r} for {proc!r}")
+            kill_at[proc] = when
 
     # Per-processor copy sequences in planned order.
     sequences: dict[ProcId, list[ScheduledTask]] = {
@@ -81,6 +155,7 @@ def execute(
     proc_free_at: dict[ProcId, float] = {p: 0.0 for p in sequences}
     started: set[tuple] = set()
     finished_copies: list[SimulatedCopy] = []
+    aborted_copies: list[SimulatedCopy] = []
 
     all_copies: list[ScheduledTask] = []
     for p, seq in sequences.items():
@@ -101,6 +176,11 @@ def execute(
         if k in started or waiting[k]:
             return
         start = max(q.now, proc_free_at[proc])
+        kill = kill_at.get(proc)
+        if kill is not None and start >= kill:
+            # The head copy would begin at/after the kill: it never runs,
+            # and head-of-line execution means neither does the tail.
+            return
         duration = noise.duration(copy.task, copy.proc, copy.duration)
         started.add(k)
         queue_index[proc] += 1
@@ -112,12 +192,24 @@ def execute(
     link_free: dict[tuple[ProcId, ProcId], float] = {}
 
     def on_finish(copy: ScheduledTask, start: float) -> None:
+        kill = kill_at.get(copy.proc)
+        if kill is not None and q.now > kill:
+            # Started before the kill, finished after it: aborted.  The
+            # copy occupied the processor but its output is lost.
+            aborted_copies.append(
+                SimulatedCopy(task=copy.task, proc=copy.proc, start=start, end=q.now, planned=copy)
+            )
+            try_start_next(copy.proc)
+            return
         finished_copies.append(
             SimulatedCopy(task=copy.task, proc=copy.proc, start=start, end=q.now, planned=copy)
         )
-        # Deliver data to every processor hosting a consumer copy.
+        # Deliver data to every processor hosting a consumer copy.  The
+        # destination set is iterated in a hash-free order so the event
+        # sequence (and hence traces and result ordering) is identical
+        # across PYTHONHASHSEED restarts.
         for child in dag.successors(copy.task):
-            dests = {c.proc for c in schedule.copies(child)}
+            dests = sorted({c.proc for c in schedule.copies(child)}, key=proc_sort_key)
             for dest in dests:
                 delay = instance.comm_time(copy.task, child, copy.proc, dest) * comm_factor
                 if link_contention and delay > 0 and dest != copy.proc:
@@ -152,12 +244,18 @@ def execute(
 
     processed = q.drain(handler)
 
-    if len(finished_copies) != len(all_copies):
+    if not kill_at and len(finished_copies) != len(all_copies):
         stuck = [key(c) for c in all_copies if key(c) not in started]
         raise SimulationError(
             f"deadlock: {len(stuck)} copies never started, e.g. {stuck[:3]}"
         )
+    unstarted = [c for c in all_copies if key(c) not in started]
     makespan = max((c.end for c in finished_copies), default=0.0)
     return SimulationResult(
-        makespan=makespan, copies=finished_copies, events_processed=processed
+        makespan=makespan,
+        copies=finished_copies,
+        events_processed=processed,
+        faults=dict(kill_at),
+        aborted=aborted_copies,
+        unstarted=unstarted,
     )

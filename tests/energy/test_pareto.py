@@ -1,0 +1,103 @@
+"""Tests for the makespan/energy Pareto front and the sweep energy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import METRICS, run_sweep
+from repro.bench.workloads import SweepFactory
+from repro.energy import (
+    ParetoPoint,
+    PowerModel,
+    makespan_energy_front,
+    pareto_flags,
+    reclaim_slack,
+    schedule_energy,
+)
+from repro.exceptions import ConfigurationError
+from repro.schedulers.registry import get_scheduler
+
+SCHEDS = ["HEFT", "IMP", "RoundRobin"]
+FACTORY = SweepFactory("random", "num_tasks", (("num_procs", 3),))
+
+
+def test_pareto_flags_basic():
+    #      dominated by (1,1)?      (1,1) (2,2) (0.5,3) (2,0.5)
+    points = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (2.0, 0.5)]
+    assert pareto_flags(points) == [False, True, False, False]
+
+
+def test_pareto_flags_duplicates_stay_on_front():
+    points = [(1.0, 1.0), (1.0, 1.0)]
+    assert pareto_flags(points) == [False, False]
+
+
+def test_dominates_is_strict_somewhere():
+    a = ParetoPoint("a", 1.0, 1.0, False)
+    b = ParetoPoint("b", 1.0, 1.0, False)
+    c = ParetoPoint("c", 2.0, 1.0, False)
+    assert not a.dominates(b) and not b.dominates(a)
+    assert a.dominates(c) and not c.dominates(a)
+
+
+def test_energy_metrics_registered():
+    assert "energy" in METRICS and "energy_dvfs" in METRICS
+
+
+def test_energy_metric_matches_direct_computation():
+    rng = np.random.default_rng(0)
+    inst = FACTORY(20, rng)
+    sched = get_scheduler("HEFT").schedule(inst)
+    assert METRICS["energy"](sched, inst) == schedule_energy(sched, PowerModel())
+    assert METRICS["energy_dvfs"](sched, inst) == (
+        reclaim_slack(sched, inst, PowerModel()).energy_scaled
+    )
+
+
+def test_energy_sweep_runs():
+    res = run_sweep(SCHEDS, "num_tasks", [10, 20], FACTORY,
+                    reps=2, metric="energy", seed=3)
+    for name in SCHEDS:
+        assert len(res.series[name]) == 2
+        assert all(v > 0 for v in res.series[name])
+
+
+def test_front_is_paired_and_nonempty():
+    res = makespan_energy_front(
+        SCHEDS, "num_tasks", [10, 20], FACTORY, reps=2, seed=3
+    )
+    assert {p.scheduler for p in res.points} == set(SCHEDS)
+    front = res.front()
+    assert front, "a non-empty candidate set always has a non-dominated point"
+    # front is sorted by makespan and contains no dominated point
+    spans = [p.makespan for p in front]
+    assert spans == sorted(spans)
+    for p in front:
+        assert not any(q.dominates(p) for q in res.points)
+    # the best-makespan scheduler is always on the front
+    best = min(res.points, key=lambda p: (p.makespan, p.scheduler))
+    assert any(p.scheduler == best.scheduler for p in front)
+    assert "makespan" in res.table()
+
+
+def test_front_deterministic_across_runs():
+    a = makespan_energy_front(SCHEDS, "num_tasks", [12], FACTORY, reps=2, seed=7)
+    b = makespan_energy_front(SCHEDS, "num_tasks", [12], FACTORY, reps=2, seed=7)
+    assert [(p.scheduler, p.makespan, p.energy, p.dominated) for p in a.points] == [
+        (p.scheduler, p.makespan, p.energy, p.dominated) for p in b.points
+    ]
+
+
+def test_dvfs_metric_never_exceeds_nominal_energy():
+    rng = np.random.default_rng(5)
+    inst = FACTORY(18, rng)
+    for name in SCHEDS:
+        sched = get_scheduler(name).schedule(inst)
+        assert METRICS["energy_dvfs"](sched, inst) <= METRICS["energy"](sched, inst)
+
+
+def test_unknown_energy_metric_rejected():
+    with pytest.raises(ConfigurationError):
+        makespan_energy_front(SCHEDS, "num_tasks", [10], FACTORY,
+                              energy_metric="joules")

@@ -61,3 +61,53 @@ def build_population():
 def partially_consistent_instance(seed: int):
     """One partially-consistent family member (used by a legacy test)."""
     return _partially_consistent(seed)
+
+
+# ----------------------------------------------------------------------
+# deadline-annotated corpus (resilient/deadline suites)
+# ----------------------------------------------------------------------
+#: Deadline as a multiple of the HEFT makespan on the same instance:
+#: ``loose`` leaves ample slack, ``tight`` barely clears the fault-free
+#: schedule, ``infeasible`` cannot be met by construction.
+DEADLINE_TIGHTNESS = {"tight": 1.05, "loose": 2.5, "infeasible": 0.5}
+
+
+def _fork_join(seed: int, width: int = 4, stages: int = 2):
+    from repro.dag.generators import fork_join_dag
+
+    dag = fork_join_dag(
+        width=width, stages=stages, chain_length=2, jitter=0.3,
+        seed=50_000 + seed, name=f"forkjoin-{seed}",
+    )
+    return make_instance(
+        dag, num_procs=4, heterogeneity=0.5, seed=seed, name=f"forkjoin-{seed}"
+    )
+
+
+def _deadline_bases():
+    """Base instances (no deadline yet) for the deadline corpus: small
+    members of the heterogeneous families plus fork-join shapes."""
+    return [
+        ("het", _heterogeneous(0)),
+        ("partial", _partially_consistent(1)),
+        ("homog", _homogeneous(2)),
+        ("forkjoin-narrow", _fork_join(0, width=3, stages=1)),
+        ("forkjoin-wide", _fork_join(1, width=6, stages=2)),
+    ]
+
+
+def build_deadline_population():
+    """``(label, instance)`` pairs carrying deadlines at all three
+    tightness levels, anchored to each instance's HEFT makespan so the
+    tight/loose/infeasible split is meaningful regardless of family."""
+    from repro.schedulers.registry import get_scheduler
+
+    heft = get_scheduler("HEFT")
+    out = []
+    for family, base in _deadline_bases():
+        ref = heft.schedule(base).makespan
+        for level, factor in sorted(DEADLINE_TIGHTNESS.items()):
+            out.append((
+                f"{family}-{level}", base.with_deadline(factor * ref)
+            ))
+    return out

@@ -1,0 +1,92 @@
+"""Property tests: resilient schedules under *random* fault plans.
+
+The exhaustive suite (``tests/schedulers/test_killk_differential.py``)
+enumerates size-k kill sets at time zero; here hypothesis drives
+arbitrary kill subsets within budget, arbitrary kill times, and fresh
+random instances, checking the two load-bearing contracts:
+
+* prediction == simulation, bit for bit, for any fault plan;
+* a ``schedulable`` verdict is honoured by every kill set within
+  budget at any kill times (fault monotonicity makes time-0 the worst
+  case — these draws probe exactly that claim).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import random_dag
+from repro.instance import make_instance
+from repro.schedulers.heft import HEFT
+from repro.schedulers.registry import get_scheduler
+from repro.schedulers.resilient import (
+    ResilientScheduler,
+    predict_degraded,
+    schedulability_report,
+)
+from repro.sim.executor import execute
+from tests.population import build_deadline_population
+
+#: Pre-built deadline corpus members with their k=1 resilient schedules
+#: and worst-case reports (module scope: hypothesis re-draws only the
+#: fault plan, not the expensive schedule/report pipeline).
+_PREPARED = []
+for _label, _inst in build_deadline_population():
+    _sched = get_scheduler("FT-HEFT-k1").schedule(_inst)
+    _report = schedulability_report(_sched, _inst, k=1)
+    _PREPARED.append((_label, _inst, _sched, _report))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_random_kill_plans_respect_schedulable_verdict(data):
+    label, inst, sched, report = data.draw(st.sampled_from(_PREPARED))
+    procs = inst.machine.proc_ids()
+    kill = data.draw(
+        st.lists(st.sampled_from(procs), unique=True, max_size=report.k)
+    )
+    times = [
+        data.draw(st.floats(0.0, 1.5 * sched.makespan, allow_nan=False))
+        for _ in kill
+    ]
+    faults = dict(zip(kill, times))
+    pred = predict_degraded(sched, inst, faults)
+    real = execute(sched, inst, faults=faults)
+    assert pred.makespan == real.makespan, (label, faults)
+    assert pred.task_ends == real.task_ends(), (label, faults)
+    if report.schedulable:
+        assert real.all_tasks_completed(inst), (label, faults)
+        assert all(
+            end <= inst.deadline for end in real.task_ends().values()
+        ), (label, faults)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    q=st.integers(min_value=2, max_value=5),
+    ccr=st.floats(min_value=0.0, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=5_000),
+    k=st.integers(min_value=1, max_value=2),
+    data=st.data(),
+)
+def test_prediction_matches_simulation_on_random_instances(n, q, ccr, seed, k, data):
+    dag = random_dag(n, ccr=ccr, seed=seed)
+    inst = make_instance(dag, num_procs=q, heterogeneity=0.8, seed=seed)
+    sched = ResilientScheduler(HEFT(), k=k).schedule(inst)
+    keff = min(k, q - 1)
+    kill = data.draw(
+        st.lists(
+            st.sampled_from(inst.machine.proc_ids()), unique=True, max_size=keff
+        )
+    )
+    faults = {
+        p: data.draw(st.floats(0.0, 2.0 * sched.makespan, allow_nan=False))
+        for p in kill
+    }
+    pred = predict_degraded(sched, inst, faults)
+    real = execute(sched, inst, faults=faults)
+    assert pred.makespan == real.makespan
+    assert pred.task_ends == real.task_ends()
+    assert real.all_tasks_completed(inst)

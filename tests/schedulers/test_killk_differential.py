@@ -1,0 +1,120 @@
+"""The kill-k differential suite — the PR's defining deliverable.
+
+For every corpus instance, every resilient scheduler and every kill set
+of ``k`` processors, the analytic degraded-timeline prediction
+(:func:`repro.schedulers.resilient.predict_degraded`) and the
+discrete-event simulator (:func:`repro.sim.executor.execute`) must agree
+**bit-for-bit**, every task must still complete, and deadlines (on the
+deadline-annotated corpus) must behave exactly as the schedulability
+verdict promised.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import combinations
+
+import pytest
+
+from repro.schedulers.registry import get_scheduler
+from repro.schedulers.resilient import (
+    ResilientScheduler,
+    predict_degraded,
+    schedulability_report,
+)
+from repro.service.protocol import schedule_payload
+from repro.sim.executor import execute
+from tests.population import build_deadline_population, build_population
+
+CORPUS = build_population()
+RESILIENT = [("FT-HEFT-k1", 1), ("FT-HEFT-k2", 2), ("FT-IMP-k1", 1), ("FT-IMP-k2", 2)]
+
+
+def _assert_agreement(label, alg, inst, sched, faults):
+    pred = predict_degraded(sched, inst, faults)
+    real = execute(sched, inst, faults=faults)
+    ctx = (label, alg, faults)
+    assert pred.makespan == real.makespan, ctx
+    assert pred.task_ends == real.task_ends(), ctx
+    assert pred.completed_copies == len(real.copies), ctx
+    assert pred.aborted_copies == len(real.aborted), ctx
+    assert pred.unstarted_copies == len(real.unstarted), ctx
+    return pred, real
+
+
+@pytest.mark.parametrize("alg,k", RESILIENT)
+def test_every_kill_set_completes_and_matches_prediction(alg, k):
+    """All corpus instances, all size-k kill sets at time zero: realised
+    == predicted and every task completes."""
+    for label, inst in CORPUS:
+        sched = get_scheduler(alg).schedule(inst)
+        keff = min(k, inst.num_procs - 1)
+        for kill in combinations(inst.machine.proc_ids(), keff):
+            faults = {p: 0.0 for p in kill}
+            _, real = _assert_agreement(label, alg, inst, sched, faults)
+            assert real.all_tasks_completed(inst), (label, alg, kill)
+
+
+@pytest.mark.parametrize("alg,k", [("FT-HEFT-k1", 1), ("FT-IMP-k2", 2)])
+def test_mid_simulation_kills_match_prediction(alg, k):
+    """Kills landing mid-run (aborting in-flight work) and staggered
+    per-processor kill times agree bit-for-bit too."""
+    for label, inst in CORPUS[::5]:
+        sched = get_scheduler(alg).schedule(inst)
+        keff = min(k, inst.num_procs - 1)
+        procs = inst.machine.proc_ids()
+        span = sched.makespan
+        for kill in list(combinations(procs, keff))[:6]:
+            for frac in (0.25, 0.6):
+                faults = {p: frac * span for p in kill}
+                _, real = _assert_agreement(label, alg, inst, sched, faults)
+                assert real.all_tasks_completed(inst), (label, alg, kill, frac)
+            staggered = {
+                p: (0.1 + 0.3 * i) * span for i, p in enumerate(kill)
+            }
+            _, real = _assert_agreement(label, alg, inst, sched, staggered)
+            assert real.all_tasks_completed(inst), (label, alg, staggered)
+
+
+@pytest.mark.parametrize("base", ["HEFT", "IMP"])
+def test_k0_bit_identical_to_base_over_corpus(base):
+    """k = 0 is a true passthrough: the full serialized payload equals
+    the base scheduler's on every corpus instance."""
+    for label, inst in CORPUS:
+        ft = ResilientScheduler(base, k=0).schedule(inst)
+        ref = get_scheduler(base).schedule(inst)
+        a = json.dumps(schedule_payload(ft, inst, base), sort_keys=True)
+        b = json.dumps(schedule_payload(ref, inst, base), sort_keys=True)
+        assert a == b, (label, base)
+
+
+def test_deadline_corpus_verdicts_hold_under_faults():
+    """On the deadline-annotated corpus the schedulability verdict is
+    exact: schedulable reports survive every kill set within budget, and
+    unschedulable reports come with a witness that really violates."""
+    for label, inst in build_deadline_population():
+        sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+        report = schedulability_report(sched, inst, k=1)
+        if report.schedulable:
+            for kill in combinations(inst.machine.proc_ids(), 1):
+                real = execute(sched, inst, faults={p: 0.0 for p in kill})
+                assert real.all_tasks_completed(inst), (label, kill)
+                assert all(
+                    end <= inst.deadline for end in real.task_ends().values()
+                ), (label, kill)
+        else:
+            assert report.witness is not None, label
+            real = execute(sched, inst, faults={p: 0.0 for p in report.witness})
+            violated = not real.all_tasks_completed(inst) or any(
+                end > inst.deadline for end in real.task_ends().values()
+            )
+            assert violated, (label, report.witness)
+
+
+def test_infeasible_deadlines_are_never_schedulable():
+    for label, inst in build_deadline_population():
+        if not label.endswith("infeasible"):
+            continue
+        sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+        report = schedulability_report(sched, inst, k=1)
+        assert not report.schedulable, label

@@ -1,0 +1,163 @@
+"""Unit tests for k-backup resilient scheduling and deadline analysis."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads as W
+from repro.exceptions import SchedulingError
+from repro.schedule.validation import validate
+from repro.schedulers.heft import HEFT
+from repro.schedulers.registry import all_scheduler_names, get_scheduler
+from repro.schedulers.resilient import (
+    ResilientScheduler,
+    predict_degraded,
+    schedulability_doc,
+    schedulability_report,
+)
+from repro.service.protocol import schedule_payload
+from repro.sim.executor import execute
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return W.random_instance(np.random.default_rng(5), num_tasks=12, num_procs=4)
+
+
+def test_registered_names():
+    names = all_scheduler_names()
+    for name in ("FT-HEFT-k1", "FT-HEFT-k2", "FT-IMP-k1", "FT-IMP-k2"):
+        assert name in names
+        sched = get_scheduler(name)
+        assert isinstance(sched, ResilientScheduler)
+        assert sched.name == name
+
+
+def test_k0_is_base_passthrough(inst):
+    base = HEFT()
+    ft = ResilientScheduler(HEFT(), k=0)
+    a = json.dumps(schedule_payload(ft.schedule(inst), inst, "HEFT"), sort_keys=True)
+    b = json.dumps(schedule_payload(base.schedule(inst), inst, "HEFT"), sort_keys=True)
+    assert a == b
+
+
+def test_copies_on_disjoint_processors(inst):
+    for k in (1, 2, 3):
+        sched = ResilientScheduler(HEFT(), k=k).schedule(inst)
+        validate(sched, inst)
+        for t in inst.dag.tasks():
+            procs = {c.proc for c in sched.copies(t)}
+            assert len(procs) == k + 1, (k, t)
+
+
+def test_effective_k_caps_at_machine_size():
+    small = W.random_instance(np.random.default_rng(9), num_tasks=6, num_procs=2)
+    sched = ResilientScheduler(HEFT(), k=2)
+    assert sched.effective_k(small) == 1
+    built = sched.schedule(small)
+    validate(built, small)
+    for t in small.dag.tasks():
+        assert len({c.proc for c in built.copies(t)}) == 2
+
+
+def test_strict_mode_raises_on_small_machine():
+    small = W.random_instance(np.random.default_rng(9), num_tasks=6, num_procs=2)
+    with pytest.raises(SchedulingError):
+        ResilientScheduler(HEFT(), k=2, strict=True).schedule(small)
+
+
+def test_string_base_resolved_via_registry():
+    sched = ResilientScheduler("HEFT", k=1)
+    assert sched.name == "FT-HEFT-k1"
+    with pytest.raises(SchedulingError):
+        ResilientScheduler("HEFT", k=-1)
+
+
+def test_prediction_matches_planned_schedule_fault_free(inst):
+    sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+    pred = predict_degraded(sched, inst)
+    assert pred.makespan == sched.makespan
+    assert pred.all_completed(inst)
+    assert pred.aborted_copies == 0 and pred.unstarted_copies == 0
+    real = execute(sched, inst)
+    assert pred.task_ends == real.task_ends()
+
+
+def test_report_loose_deadline_schedulable(inst):
+    sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+    loose = inst.with_deadline(10.0 * sched.makespan)
+    report = schedulability_report(sched, loose, k=1)
+    assert report.schedulable
+    assert report.witness is None
+    assert report.fault_free_makespan == sched.makespan
+    assert report.worst_makespan >= report.fault_free_makespan
+    for t in inst.dag.tasks():
+        assert report.slack(t) > 0
+
+
+def test_report_infeasible_deadline(inst):
+    sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+    doomed = inst.with_deadline(0.5 * sched.makespan)
+    report = schedulability_report(sched, doomed, k=1)
+    assert not report.schedulable
+    assert report.witness == ()  # already missed with zero faults
+
+
+def test_report_witness_replays_to_a_real_violation(inst):
+    # An unreplicated schedule cannot survive losing a loaded processor:
+    # the witness kill set must reproduce the violation in the simulator.
+    sched = get_scheduler("HEFT").schedule(inst)
+    bounded = inst.with_deadline(1.5 * sched.makespan)
+    report = schedulability_report(sched, bounded, k=1)
+    assert not report.schedulable
+    assert report.witness
+    real = execute(sched, inst, faults={p: 0.0 for p in report.witness})
+    missed = not real.all_tasks_completed(inst) or any(
+        end > bounded.deadline for end in real.task_ends().values()
+    )
+    assert missed
+
+
+def test_report_rejects_bad_k(inst):
+    sched = get_scheduler("HEFT").schedule(inst)
+    with pytest.raises(SchedulingError):
+        schedulability_report(sched, inst, k=-1)
+    with pytest.raises(SchedulingError):
+        schedulability_report(sched, inst, k=inst.num_procs + 1)
+
+
+def test_schedulability_doc_shape(inst):
+    sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+    annotated = inst.with_deadline(2.0 * sched.makespan)
+    doc = schedulability_doc(sched, annotated)
+    assert list(doc) == ["deadline", "makespan", "schedulable", "slack", "tasks"]
+    assert doc["schedulable"] is True
+    # completion time = latest earliest-finish over tasks; trailing
+    # backup copies can end later, so it is <= the timeline makespan
+    expected_finish = max(
+        min(c.end for c in sched.copies(t)) for t in inst.dag.tasks()
+    )
+    assert doc["makespan"] == expected_finish <= sched.makespan
+    assert doc["slack"] == annotated.deadline - expected_finish
+    assert len(doc["tasks"]) == inst.dag.num_tasks
+    for rec in doc["tasks"]:
+        assert list(rec) == ["end", "met", "slack", "task"]
+        assert rec["met"] is (rec["slack"] >= 0)
+    # canonical: survives a sorted-keys JSON round trip byte-identically
+    assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+
+
+def test_schedulability_doc_requires_deadline(inst):
+    sched = get_scheduler("HEFT").schedule(inst)
+    with pytest.raises(SchedulingError):
+        schedulability_doc(sched, inst)
+
+
+def test_deadline_survives_with_deadline_round_trip(inst):
+    annotated = inst.with_deadline(42.0)
+    assert annotated.deadline == 42.0
+    assert annotated.dag is inst.dag and annotated.etc is inst.etc
+    assert annotated.with_deadline(None).deadline is None

@@ -1,0 +1,89 @@
+"""Golden schedulability verdicts over the deadline-annotated corpus.
+
+For every member of ``tests.population.build_deadline_population`` the
+fixture pins, with exact float equality:
+
+* the planned verdict of the plain HEFT schedule
+  (:func:`repro.schedulers.resilient.schedulability_doc`);
+* the worst-case k=1 verdict of the FT-HEFT-k1 schedule
+  (:func:`repro.schedulers.resilient.schedulability_report`).
+
+Any drift in the generators, the deadline anchoring, the resilient
+placement or the degraded-timeline analysis shows up here with the
+precise corpus member that moved.  Regenerate after an intentional
+change with:
+
+    PYTHONPATH=src:. python tests/schedulers/test_schedulability_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.schedulers.registry import get_scheduler
+from repro.schedulers.resilient import schedulability_doc, schedulability_report
+from tests.population import build_deadline_population
+
+FIXTURE = Path(__file__).with_name("golden_schedulability.json")
+
+
+def _compute_all() -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for label, inst in build_deadline_population():
+        planned = schedulability_doc(get_scheduler("HEFT").schedule(inst), inst)
+        ft = get_scheduler("FT-HEFT-k1").schedule(inst)
+        report = schedulability_report(ft, inst, k=1)
+        out[label] = {
+            "deadline": inst.deadline,
+            "planned_schedulable": planned["schedulable"],
+            "planned_makespan": planned["makespan"],
+            "planned_slack": planned["slack"],
+            "k1_schedulable": report.schedulable,
+            "k1_fault_free_makespan": report.fault_free_makespan,
+            "k1_worst_makespan": report.worst_makespan,
+            "k1_witness": list(report.witness) if report.witness is not None else None,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict[str, dict]:
+    with FIXTURE.open() as fh:
+        return json.load(fh)
+
+
+def test_fixture_covers_every_corpus_member(golden):
+    labels = [label for label, _ in build_deadline_population()]
+    assert sorted(golden) == sorted(labels)
+
+
+def test_verdicts_match_golden(golden):
+    computed = _compute_all()
+    for label, expected in golden.items():
+        got = computed[label]
+        for field, want in expected.items():
+            assert got[field] == want, (label, field, want, got[field])
+
+
+def test_tightness_levels_behave_as_named(golden):
+    # infeasible deadlines are never met, loose planned deadlines always
+    # are — the corpus actually spans the verdict space.
+    for label, rec in golden.items():
+        if label.endswith("infeasible"):
+            assert not rec["planned_schedulable"], label
+            assert not rec["k1_schedulable"], label
+        if label.endswith("loose"):
+            assert rec["planned_schedulable"], label
+    assert any(rec["k1_schedulable"] for rec in golden.values())
+    assert any(
+        rec["planned_schedulable"] and not rec["k1_schedulable"]
+        for rec in golden.values()
+    ), "corpus should include a deadline met in planning but lost to faults"
+
+
+if __name__ == "__main__":
+    FIXTURE.write_text(json.dumps(_compute_all(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")

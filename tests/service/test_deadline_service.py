@@ -1,0 +1,145 @@
+"""Deadline constraints through the service stack, both wire formats.
+
+The deadline is part of the problem statement, so it must survive every
+transport (JSON documents and the binary wire protocol) bit-for-bit,
+feed the fingerprint (same DAG with a different deadline is a different
+cache entry), and surface the schedulability verdict as a structured
+payload field that decodes identically over both wires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.instance_io import (
+    instance_fingerprint,
+    instance_from_json,
+    instance_to_json,
+)
+from repro.schedulers.registry import get_scheduler
+from repro.service import EngineConfig, SchedulingEngine
+from repro.service.protocol import schedule_payload
+from repro.service.wire import (
+    decode_instance,
+    decode_payload,
+    decode_request,
+    encode_instance,
+    encode_payload,
+    encode_request,
+    peek_request_fingerprint,
+)
+from repro.utils.rng import as_generator
+
+#: Stability goldens: moving either value means every persisted cache
+#: entry (deadline-free or deadline-annotated) silently invalidates.
+GOLDEN_BARE = "f326b4de98b7f68d934a12cfb126b36eca14f8e297d6d2ba75d7e66a87259dde"
+GOLDEN_DEADLINE = "c8f28d785ab862bcfc5a95efc3ee021589aa0c85391d5de62cdc0a65b372f955"
+
+
+def _instance():
+    return W.random_instance(as_generator(11), num_tasks=8, num_procs=3)
+
+
+def _annotated():
+    return _instance().with_deadline(100.0)
+
+
+def test_json_round_trip_preserves_deadline():
+    inst = _annotated()
+    back = instance_from_json(instance_to_json(inst))
+    assert back.deadline == 100.0
+    bare = instance_from_json(instance_to_json(_instance()))
+    assert bare.deadline is None
+    # deadline-free documents keep the historical shape
+    assert "deadline" not in json.loads(instance_to_json(_instance()))
+
+
+def test_binary_round_trip_preserves_deadline():
+    inst = _annotated()
+    back = decode_instance(encode_instance(inst))
+    assert back.deadline == 100.0
+    assert instance_fingerprint(back) == instance_fingerprint(inst)
+
+
+def test_deadline_free_encoding_is_byte_identical():
+    # The deadline rides in an optional trailing section: absent, the
+    # encoding must equal the pre-deadline format byte for byte (golden
+    # wire fixtures and persisted caches stay valid).
+    inst = _instance()
+    assert encode_instance(inst) == encode_instance(inst.with_deadline(None))
+    assert decode_instance(encode_instance(inst)).deadline is None
+
+
+def test_fingerprint_stability_goldens():
+    assert instance_fingerprint(_instance()) == GOLDEN_BARE
+    assert instance_fingerprint(_annotated()) == GOLDEN_DEADLINE
+
+
+def test_deadline_feeds_the_fingerprint():
+    inst = _instance()
+    prints = {
+        instance_fingerprint(inst),
+        instance_fingerprint(inst.with_deadline(100.0)),
+        instance_fingerprint(inst.with_deadline(101.0)),
+    }
+    assert len(prints) == 3
+    assert instance_fingerprint(inst.with_deadline(None)) == GOLDEN_BARE
+
+
+def test_request_round_trip_carries_deadline():
+    inst = _annotated()
+    buf = encode_request(inst, "HEFT")
+    assert peek_request_fingerprint(buf) == GOLDEN_DEADLINE
+    blob, alg, fingerprint, _timeout, _trace = decode_request(buf)
+    assert alg == "HEFT"
+    assert fingerprint == GOLDEN_DEADLINE
+    assert decode_instance(blob).deadline == 100.0
+
+
+def test_payload_schedulability_cross_wire_identity():
+    inst = _annotated()
+    sched = get_scheduler("FT-HEFT-k1").schedule(inst)
+    payload = schedule_payload(sched, inst, "FT-HEFT-k1")
+    assert "schedulability" in payload
+    via_json = json.loads(json.dumps(payload))
+    via_binary = decode_payload(encode_payload(payload))
+    assert via_binary == via_json
+    assert via_binary["schedulability"] == payload["schedulability"]
+
+
+def test_payload_without_deadline_has_no_schedulability():
+    inst = _instance()
+    sched = get_scheduler("HEFT").schedule(inst)
+    payload = schedule_payload(sched, inst, "HEFT")
+    assert "schedulability" not in payload
+    assert decode_payload(encode_payload(payload)) == json.loads(json.dumps(payload))
+
+
+def test_served_deadline_verdict_matches_local():
+    """End to end: a deadline instance served through the pooled engine
+    (JSON into the worker and back) returns the same schedulability
+    verdict as an in-process computation, cold and warm."""
+    inst = _annotated()
+
+    async def run():
+        engine = SchedulingEngine(EngineConfig(workers=1, cache_size=16))
+        await engine.start()
+        try:
+            cold = await engine.submit(inst, "FT-HEFT-k1")
+            warm = await engine.submit(inst, "FT-HEFT-k1")
+            return cold, warm
+        finally:
+            await engine.stop()
+
+    cold, warm = asyncio.run(run())
+    local = schedule_payload(
+        get_scheduler("FT-HEFT-k1").schedule(inst), inst, "FT-HEFT-k1"
+    )
+    assert cold["cache_hit"] is False and warm["cache_hit"] is True
+    for served in (cold, warm):
+        assert served["schedulability"] == local["schedulability"]
+        assert served["makespan"] == local["makespan"]

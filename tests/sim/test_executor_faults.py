@@ -1,0 +1,150 @@
+"""Unit tests for fail-stop fault injection in the schedule executor.
+
+The semantics are exact (no tolerance window) so the resilient module's
+analytic predictions can be compared bit-for-bit with simulation:
+
+* finish <= kill time  -> the copy completes (results at the instant of
+  failure survive);
+* start >= kill time   -> the copy never runs, and neither does anything
+  queued behind it (head-of-line);
+* start < kill < end   -> aborted: occupied the processor, delivered
+  nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import TaskDAG
+from repro.dag.task import Task
+from repro.instance import homogeneous_instance
+from repro.schedule.schedule import Schedule
+from repro.sim.engine import SimulationError
+from repro.sim.executor import execute
+
+
+def _instance(edges=(), costs=(("a", 10.0), ("b", 5.0)), num_procs=2):
+    dag = TaskDAG("faults")
+    for tid, cost in costs:
+        dag.add_task(Task(tid, cost=cost))
+    for u, v in edges:
+        dag.add_edge(u, v, data=0.0)
+    return homogeneous_instance(dag, num_procs=num_procs)
+
+
+def _sequential_schedule(inst, proc=0):
+    """Every task on one processor, back to back, in cost-list order."""
+    sched = Schedule(inst.machine, name="seq")
+    t = 0.0
+    for task in inst.dag.tasks():
+        d = inst.exec_time(task, proc)
+        sched.add(task, proc, t, d)
+        t += d
+    return sched
+
+
+def test_fault_free_run_unchanged():
+    inst = _instance()
+    sched = _sequential_schedule(inst)
+    res = execute(sched, inst)
+    assert res.makespan == sched.makespan
+    assert res.faults == {} and res.aborted == [] and res.unstarted == []
+    assert res.all_tasks_completed(inst)
+
+
+def test_kill_at_zero_runs_nothing():
+    inst = _instance()
+    sched = _sequential_schedule(inst)
+    res = execute(sched, inst, faults={0: 0.0})
+    assert res.copies == [] and res.aborted == []
+    assert len(res.unstarted) == 2
+    assert res.makespan == 0.0
+    assert not res.all_tasks_completed(inst)
+
+
+def test_finish_at_kill_instant_survives():
+    # a runs [0, 10); killing at exactly 10.0 keeps a's result but b
+    # (start 10 >= kill) never runs.
+    inst = _instance()
+    sched = _sequential_schedule(inst)
+    res = execute(sched, inst, faults={0: 10.0})
+    assert [c.task for c in res.copies] == ["a"]
+    assert res.aborted == []
+    assert [c.task for c in res.unstarted] == ["b"]
+    assert res.makespan == 10.0
+
+
+def test_mid_execution_abort():
+    # b starts at 10, ends 15; kill at 12 aborts it at the kill instant.
+    inst = _instance()
+    sched = _sequential_schedule(inst)
+    res = execute(sched, inst, faults={0: 12.0})
+    assert [c.task for c in res.copies] == ["a"]
+    assert [c.task for c in res.aborted] == ["b"]
+    assert res.unstarted == []
+    assert res.completed("a") and not res.completed("b")
+    assert res.makespan == 10.0  # aborted work contributes nothing
+
+
+def test_head_of_line_blocks_tail():
+    # Three independent tasks on one proc; kill between first and
+    # second: the second never starts, so neither does the third.
+    inst = _instance(costs=(("a", 4.0), ("b", 4.0), ("c", 4.0)), num_procs=1)
+    sched = _sequential_schedule(inst)
+    res = execute(sched, inst, faults={0: 4.0})
+    assert [c.task for c in res.copies] == ["a"]
+    assert {c.task for c in res.unstarted} == {"b", "c"}
+
+
+def test_starvation_on_live_processor():
+    # a -> b with a on the killed proc and b on a live one: b waits
+    # forever (no surviving copy of its parent) and is reported
+    # unstarted; with faults present that is not a deadlock error.
+    inst = _instance(edges=(("a", "b"),))
+    sched = Schedule(inst.machine, name="split")
+    sched.add("a", 0, 0.0, inst.exec_time("a", 0))
+    sched.add("b", 1, 10.0, inst.exec_time("b", 1))
+    res = execute(sched, inst, faults={0: 5.0})
+    assert [c.task for c in res.aborted] == ["a"]
+    assert [c.task for c in res.unstarted] == ["b"]
+    assert not res.all_tasks_completed(inst)
+
+
+def test_task_ends_earliest_completed_copy():
+    # Two copies of the same task on different processors: losing one
+    # processor leaves the surviving copy as the task's completion.
+    inst = _instance(costs=(("a", 10.0),))
+    sched = Schedule(inst.machine, name="copies")
+    sched.add("a", 0, 0.0, inst.exec_time("a", 0))
+    sched.add("a", 1, 2.0, inst.exec_time("a", 1), duplicate=True)
+    full = execute(sched, inst)
+    assert full.task_ends() == {"a": 10.0}
+    assert len(full.copies) == 2
+    degraded = execute(sched, inst, faults={0: 1.0})
+    assert [c.task for c in degraded.aborted] == ["a"]
+    assert degraded.task_ends() == {"a": 10.0}  # surviving copy on proc 1
+    assert [c.proc for c in degraded.copies] == [1]
+    assert degraded.end_of("a") == 10.0
+    assert degraded.all_tasks_completed(inst)
+
+
+def test_fault_validation():
+    inst = _instance()
+    sched = _sequential_schedule(inst)
+    with pytest.raises(SimulationError):
+        execute(sched, inst, faults={99: 0.0})
+    with pytest.raises(SimulationError):
+        execute(sched, inst, faults={0: -1.0})
+    with pytest.raises(SimulationError):
+        execute(sched, inst, faults={0: float("nan")})
+
+
+def test_deadlock_detection_still_raises_without_faults():
+    # An infeasible schedule (child sequenced before its parent on one
+    # proc) must still raise when no faults are injected.
+    inst = _instance(edges=(("a", "b"),), num_procs=1)
+    sched = Schedule(inst.machine, name="bad")
+    sched.add("b", 0, 0.0, inst.exec_time("b", 0))
+    sched.add("a", 0, 5.0, inst.exec_time("a", 0))
+    with pytest.raises(SimulationError, match="deadlock"):
+        execute(sched, inst)
