@@ -250,6 +250,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_online(args: argparse.Namespace) -> int:
+    from repro.sim import (
+        PoissonArrivals,
+        build_templates,
+        simulate_online,
+        trace_from_json,
+        trace_to_json,
+    )
+
+    templates = build_templates(
+        num_templates=args.templates,
+        num_tasks=args.tasks,
+        num_procs=args.procs,
+        heterogeneity=args.heterogeneity,
+        seed=args.seed,
+    )
+    if args.load_trace:
+        with open(args.load_trace, "r", encoding="utf-8") as fh:
+            arrivals = trace_from_json(fh.read()).realize(sorted(templates))
+    else:
+        arrivals = PoissonArrivals(
+            rate=args.rate, jobs=args.jobs, seed=args.seed
+        ).realize(sorted(templates))
+    if args.save_trace:
+        with open(args.save_trace, "w", encoding="utf-8") as fh:
+            fh.write(trace_to_json(arrivals))
+        print(f"wrote {args.save_trace} ({len(arrivals)} arrivals)")
+    result = simulate_online(
+        templates,
+        arrivals,
+        alg=args.alg,
+        policy=args.policy,
+        relower=args.relower,
+        noise_cv=args.noise,
+        seed=args.seed,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        print(f"wrote {args.json}")
+    m = result.metrics_dict()
+    print(f"algorithm   : {result.alg}  policy={result.policy}  "
+          f"relower={result.relower}")
+    print(f"jobs        : {len(result.jobs)} over {len(templates)} templates "
+          f"on {result.machine}")
+    print(f"makespan    : {result.makespan:.4f}")
+    print(f"response    : mean={m['response_mean']:.4f}  p50={m['response_p50']:.4f}  "
+          f"p95={m['response_p95']:.4f}  p99={m['response_p99']:.4f}")
+    print(f"slowdown    : mean={m['slowdown_mean']:.4f}  p99={m['slowdown_p99']:.4f}  "
+          f"max={m['slowdown_max']:.4f}")
+    print(f"utilization : {m['utilization']:.4f}  throughput={m['throughput']:.6f}")
+    print(f"replans     : {result.replans}  compacted={result.compacted}  "
+          f"peak-live={result.peak_live_intervals}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.bench.compare import compare_schedulers
     from repro.dag.suites import SUITES
@@ -563,6 +619,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--contention", action="store_true",
                        help="serialise transfers per link (FIFO)")
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_online = sub.add_parser(
+        "simulate-online",
+        help="stream job arrivals onto one shared cluster (online scheduling)",
+    )
+    p_online.add_argument("--jobs", type=int, default=200,
+                          help="number of arriving jobs (Poisson mode)")
+    p_online.add_argument("--rate", type=float, default=0.05,
+                          help="arrival rate, jobs per unit time")
+    p_online.add_argument("--alg", default="HEFT",
+                          help="list scheduler placing each job (default HEFT)")
+    p_online.add_argument("--policy", default="queue",
+                          help="rescheduling policy: queue, replace, preempt, ...")
+    p_online.add_argument("--relower", default="cached", choices=["cached", "full"],
+                          help="reuse the per-template lowering or rebuild per arrival")
+    p_online.add_argument("--templates", type=int, default=3,
+                          help="size of the job-template catalogue")
+    p_online.add_argument("--tasks", type=int, default=20,
+                          help="tasks per template (centre of the size fan-out)")
+    p_online.add_argument("--procs", type=int, default=8)
+    p_online.add_argument("--heterogeneity", type=float, default=0.5)
+    p_online.add_argument("--seed", type=int, default=0)
+    p_online.add_argument("--noise", type=float, default=0.0,
+                          help="runtime-noise CV applied per job (0 = exact ETC)")
+    p_online.add_argument("--json", default="",
+                          help="write the full result JSON here")
+    p_online.add_argument("--save-trace", default="",
+                          help="save the realized arrival trace (replayable)")
+    p_online.add_argument("--load-trace", default="",
+                          help="replay a saved arrival trace instead of Poisson")
+    p_online.set_defaults(fn=_cmd_simulate_online)
 
     p_cmp = sub.add_parser("compare", help="compare schedulers over a suite")
     p_cmp.add_argument("--suite", default="application",

@@ -85,6 +85,7 @@ _COUNTS = {
     "dls_schedules": 0,
     "improved_passes": 0,
     "batch_calls": 0,
+    "online_schedules": 0,
     "fallbacks": 0,
 }
 
@@ -536,6 +537,136 @@ class CompiledInstance:
         ]
         _COUNTS["batch_calls"] += 1
         return out
+
+    def schedule_onto(
+        self,
+        order: Sequence[int],
+        busy_starts: Sequence[Sequence[float]],
+        busy_ends: Sequence[Sequence[float]],
+        *,
+        release: float = 0.0,
+        insertion: bool = True,
+        policy: str = "eft",
+        etc_scale: Sequence[float] | None = None,
+    ) -> CompiledSchedule:
+        """One list pass against *pre-occupied* processor timelines.
+
+        The online multi-tenant simulator (:mod:`repro.sim.online`)
+        schedules each arriving job onto a cluster whose processors
+        already carry residual load: ``busy_starts``/``busy_ends`` seed
+        each processor's timeline with the cluster's current busy
+        intervals (sorted by start, non-overlapping), and every task's
+        data-ready time is floored at ``release`` (the job's arrival
+        time), so no placement can begin in the past.  ``etc_scale``
+        optionally multiplies task ``t``'s durations by ``etc_scale[t]``
+        — the runtime-ETC-noise hook.  With empty seeds, ``release=0``
+        and no scale this replays :meth:`schedule_list` float for float.
+
+        The lowering itself (CSR, ETC rows, rank order) is untouched —
+        only the timeline seeds vary between arrivals, which is what
+        makes the cached-lowering path cheap: one lowering per template,
+        one dirty-suffix seed per arrival.
+        """
+        if policy not in ("eft", "est"):
+            raise SchedulingError(f"unknown placement policy {policy!r}")
+        q = self.q
+        if len(busy_starts) != q or len(busy_ends) != q:
+            raise SchedulingError(
+                f"busy lists cover {len(busy_starts)} processors, machine has {q}"
+            )
+        preds = self._preds
+        etc_rows = self._etc_rows
+        n = self.n
+        start_of = [0.0] * n
+        end_of = [0.0] * n
+        darg_of = [0.0] * n
+        proc_of = [-1] * n
+        tl_starts: list[list[float]] = [list(s) for s in busy_starts]
+        tl_ends: list[list[float]] = [list(e) for e in busy_ends]
+        tl_max = [0.0] * q
+        tl_gap = [0.0] * q
+        tl_nz = [0.0] * q
+        # Rebuild the gap-bound invariants from the seeds, exactly like
+        # _FlatState.tl_remove's one-sweep recompute.
+        for j in range(q):
+            gap = 0.0
+            prev = 0.0
+            m = 0.0
+            for s_, e_ in zip(tl_starts[j], tl_ends[j]):
+                if e_ > m:
+                    m = e_
+                if e_ - s_ > _TL_EPS:
+                    g = s_ - prev
+                    if g > gap:
+                        gap = g
+                    prev = e_
+            tl_max[j] = m
+            tl_gap[j] = gap
+            tl_nz[j] = prev
+        eft = policy == "eft"
+        makespan = 0.0
+        qr = range(q)
+        for t in order:
+            row = etc_rows[t]
+            scale = 1.0 if etc_scale is None else etc_scale[t]
+            ready_vec = [release] * q
+            for u, const in preds[t]:
+                eu = end_of[u]
+                pu = proc_of[u]
+                ec = eu + const
+                for j in qr:
+                    a = eu if j == pu else ec
+                    if a > ready_vec[j]:
+                        ready_vec[j] = a
+            best_j = -1
+            best_start = 0.0
+            best_end = 0.0
+            for j in qr:
+                duration = row[j] if etc_scale is None else row[j] * scale
+                ready = ready_vec[j]
+                if best_j >= 0:
+                    if eft:
+                        if ready + duration >= best_end - _EPS:
+                            continue
+                    elif ready >= best_start - _EPS:
+                        continue
+                if not insertion:
+                    m = tl_max[j]
+                    start = ready if ready > m else m
+                elif duration - _TL_EPS > tl_gap[j]:
+                    e = tl_nz[j]
+                    start = ready if ready > e else e
+                else:
+                    start = scan_slots(tl_starts[j], tl_ends[j], ready, duration)
+                end = start + duration
+                if best_j < 0 or (
+                    end < best_end - _EPS if eft else start < best_start - _EPS
+                ):
+                    best_j = j
+                    best_start = start
+                    best_end = end
+            darg = best_end - best_start
+            rend = best_start + darg
+            start_of[t] = best_start
+            end_of[t] = rend
+            darg_of[t] = darg
+            proc_of[t] = best_j
+            starts = tl_starts[best_j]
+            i = bisect_left(starts, best_start)
+            starts.insert(i, best_start)
+            tl_ends[best_j].insert(i, rend)
+            if rend - best_start > _TL_EPS:
+                nz = tl_nz[best_j]
+                if best_start > nz and best_start - nz > tl_gap[best_j]:
+                    tl_gap[best_j] = best_start - nz
+                if rend > nz:
+                    tl_nz[best_j] = rend
+            if rend > tl_max[best_j]:
+                tl_max[best_j] = rend
+            if rend > makespan:
+                makespan = rend
+        _COUNTS["online_schedules"] += 1
+        return CompiledSchedule(makespan, start_of, darg_of, proc_of, [])
 
     def schedule_dls(
         self, sl: Sequence[float], wstar: Sequence[float]

@@ -8,12 +8,45 @@ the robustness experiment (E14) measures how schedules degrade when
 execution times deviate from the ETC estimates.
 """
 
+from repro.sim.arrivals import (
+    Arrival,
+    ArrivalProcess,
+    PoissonArrivals,
+    TraceArrivals,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.sim.cluster import ClusterState
 from repro.sim.engine import Event, EventQueue
 from repro.sim.noise import MultiplicativeNoise, NoiseModel, NoNoise, PerProcessorDrift
 from repro.sim.executor import SimulatedCopy, SimulationResult, execute, proc_sort_key
+from repro.sim.online import (
+    OnlineJobRecord,
+    OnlineResult,
+    OnlineScheduler,
+    build_templates,
+    simulate_online,
+)
+from repro.sim.policies import (
+    BoundedPreemptPolicy,
+    PendingJob,
+    QueuePolicy,
+    ReplacePendingPolicy,
+    ReschedulePolicy,
+    all_policy_names,
+    get_policy,
+    register_policy,
+)
 from repro.sim.trace import save_chrome_trace, to_chrome_trace
 
 __all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "trace_to_json",
+    "trace_from_json",
+    "ClusterState",
     "Event",
     "EventQueue",
     "NoiseModel",
@@ -24,6 +57,19 @@ __all__ = [
     "SimulationResult",
     "execute",
     "proc_sort_key",
+    "OnlineJobRecord",
+    "OnlineResult",
+    "OnlineScheduler",
+    "build_templates",
+    "simulate_online",
+    "PendingJob",
+    "ReschedulePolicy",
+    "QueuePolicy",
+    "ReplacePendingPolicy",
+    "BoundedPreemptPolicy",
+    "register_policy",
+    "get_policy",
+    "all_policy_names",
     "to_chrome_trace",
     "save_chrome_trace",
 ]

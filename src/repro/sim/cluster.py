@@ -1,0 +1,186 @@
+"""Persistent cluster occupancy for the online multi-tenant simulator.
+
+A :class:`ClusterState` tracks, per processor, the busy intervals of
+every job placed so far — the "pre-occupied timeline" each arriving job
+is scheduled against.  It is deliberately flat (parallel start/end/job
+lists per processor, sorted by start) so the compiled core can seed its
+scratch timelines from it without any object translation
+(:meth:`~repro.compiled.CompiledInstance.schedule_onto`).
+
+Two operations keep steady-state arrivals cheap and bounded:
+
+* :meth:`advance` compacts the *clean prefix*: intervals that finished
+  at or before the current simulation time can never interact with a
+  future placement (placements are floored at the arrival time), so
+  they are dropped from the live lists and folded into aggregate busy
+  accounting.  Only the **dirty suffix** — work still running or not
+  yet started — is copied into per-arrival scheduling state.
+* :meth:`release` pulls a *pending* job (no task started yet) back off
+  the timelines, which is how rescheduling policies re-place or preempt
+  queued work.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.exceptions import ConfigurationError
+from repro.machine.cluster import Machine
+
+#: Float tolerance shared with the timeline layer.
+_EPS = 1e-9
+
+
+class ClusterState:
+    """Mutable per-processor occupancy of one shared machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.procs = machine.proc_ids()
+        q = len(self.procs)
+        self.num_procs = q
+        self._starts: list[list[float]] = [[] for _ in range(q)]
+        self._ends: list[list[float]] = [[] for _ in range(q)]
+        self._jobs: list[list[str]] = [[] for _ in range(q)]
+        #: job id -> list of (proc index, start, end) placements
+        self._placements: dict[str, list[tuple[int, float, float]]] = {}
+        #: busy time of intervals already compacted away
+        self._done_busy = 0.0
+        #: simulation time the prefix has been compacted up to
+        self.frontier = 0.0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def occupy(self, job_id: str, placements: list[tuple[int, float, float]]) -> None:
+        """Record one job's placements: ``(proc index, start, end)`` each.
+
+        Intervals are inserted in start-sorted position; the caller (the
+        online scheduler) guarantees non-overlap because every start
+        came from a gap scan over these same lists.
+        """
+        if job_id in self._placements:
+            raise ConfigurationError(f"job {job_id!r} is already placed")
+        for j, start, end in placements:
+            if not (0 <= j < self.num_procs):
+                raise ConfigurationError(f"processor index {j} out of range")
+            if not (end >= start >= 0.0):
+                raise ConfigurationError(
+                    f"invalid interval [{start}, {end}) for job {job_id!r}"
+                )
+            starts = self._starts[j]
+            i = bisect_left(starts, start)
+            starts.insert(i, start)
+            self._ends[j].insert(i, end)
+            self._jobs[j].insert(i, job_id)
+        self._placements[job_id] = list(placements)
+
+    def release(self, job_id: str) -> list[tuple[int, float, float]]:
+        """Remove every interval of ``job_id``; returns what was removed.
+
+        Only valid for jobs whose intervals are all still live (the
+        policies only pull *pending* jobs, whose intervals all start in
+        the future and therefore can never have been compacted).
+        """
+        placements = self._placements.pop(job_id, None)
+        if placements is None:
+            raise ConfigurationError(f"job {job_id!r} is not placed")
+        for j, start, _end in placements:
+            starts = self._starts[j]
+            jobs = self._jobs[j]
+            i = bisect_left(starts, start)
+            while i < len(starts) and not (jobs[i] == job_id and abs(starts[i] - start) <= _EPS):
+                i += 1
+            if i >= len(starts):
+                raise ConfigurationError(
+                    f"interval of {job_id!r} at {start} not found (already compacted?)"
+                )
+            del starts[i]
+            del self._ends[j][i]
+            del jobs[i]
+        return placements
+
+    def advance(self, now: float) -> int:
+        """Compact the clean prefix up to ``now``; returns intervals dropped.
+
+        Drops the maximal *leading* run of intervals per processor whose
+        end is ``<= now`` — they are strictly in the past, so no future
+        placement (all floored at ``now`` or later) can ever probe them.
+        Their busy time is folded into the aggregate so utilization
+        accounting is exact regardless of when compaction runs.
+        """
+        if now < self.frontier:
+            raise ConfigurationError(
+                f"cannot advance to {now} behind frontier {self.frontier}"
+            )
+        dropped = 0
+        for j in range(self.num_procs):
+            ends = self._ends[j]
+            cut = 0
+            while cut < len(ends) and ends[cut] <= now:
+                cut += 1
+            if cut:
+                starts = self._starts[j]
+                jobs = self._jobs[j]
+                for i in range(cut):
+                    self._done_busy += ends[i] - starts[i]
+                    plist = self._placements.get(jobs[i])
+                    if plist is not None:
+                        entry = (j, starts[i], ends[i])
+                        if entry in plist:
+                            plist.remove(entry)
+                            if not plist:
+                                del self._placements[jobs[i]]
+                del starts[:cut]
+                del ends[:cut]
+                del jobs[:cut]
+                dropped += cut
+        self.frontier = now
+        return dropped
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def seeded_timelines(self) -> tuple[list[list[float]], list[list[float]]]:
+        """The live (dirty-suffix) busy lists, per processor.
+
+        Returned lists are the internal state — callers must copy
+        before mutating (``schedule_onto`` does).
+        """
+        return self._starts, self._ends
+
+    def live_intervals(self) -> int:
+        """Number of busy intervals still on the live timelines."""
+        return sum(len(s) for s in self._starts)
+
+    def busy_time(self) -> float:
+        """Total busy time ever placed (compacted prefix included)."""
+        live = 0.0
+        for j in range(self.num_procs):
+            starts = self._starts[j]
+            ends = self._ends[j]
+            for i in range(len(starts)):
+                live += ends[i] - starts[i]
+        return self._done_busy + live
+
+    def horizon(self) -> float:
+        """Latest busy end still visible (>= frontier once advanced)."""
+        latest = self.frontier
+        for ends in self._ends:
+            for e in ends:
+                if e > latest:
+                    latest = e
+        return latest
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Busy fraction of ``num_procs * horizon`` (0.0 on empty span)."""
+        h = self.horizon() if horizon is None else float(horizon)
+        if h <= 0.0:
+            return 0.0
+        return self.busy_time() / (self.num_procs * h)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterState(procs={self.num_procs}, jobs={len(self._placements)}, "
+            f"live={self.live_intervals()}, frontier={self.frontier:g})"
+        )

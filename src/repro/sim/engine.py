@@ -46,12 +46,22 @@ class EventQueue:
         return len(self._heap)
 
     def push(self, time: float, kind: str, payload: Any = None) -> Event:
-        """Schedule an event; events may not be scheduled in the past."""
+        """Schedule an event; events may not be scheduled in the past.
+
+        Times within the 1e-9 tolerance of ``now`` are clamped *up* to
+        ``now``, never below it, so a pushed event can never fire before
+        the timestamp of an already-popped event: drained event times
+        are non-decreasing by construction.
+        """
+        if time != time:  # NaN compares False to everything, including itself
+            raise SimulationError(f"event {kind!r} scheduled at NaN")
         if time < self._now - 1e-9:
             raise SimulationError(
                 f"event {kind!r} scheduled at {time} before current time {self._now}"
             )
-        ev = Event(time=max(time, self._now), seq=next(self._seq), kind=kind, payload=payload)
+        clamped = time if time > self._now else self._now
+        assert clamped >= self._now, (time, self._now)
+        ev = Event(time=clamped, seq=next(self._seq), kind=kind, payload=payload)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -64,13 +74,19 @@ class EventQueue:
         return ev
 
     def drain(self, handler: Callable[[Event], None], max_events: int | None = None) -> int:
-        """Pop events into ``handler`` until empty; returns event count."""
+        """Pop events into ``handler`` until empty; returns event count.
+
+        ``max_events`` bounds the count exactly: the limit is checked
+        *before* each pop, so ``max_events=0`` handles nothing (the
+        handler is never called) and ``max_events=k`` handles at most
+        ``k`` events even when the handler pushes new ones mid-drain.
+        """
         handled = 0
         while self._heap:
-            handler(self.pop())
-            handled += 1
             if max_events is not None and handled >= max_events:
                 break
+            handler(self.pop())
+            handled += 1
         return handled
 
     def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid

@@ -1,0 +1,131 @@
+"""Rescheduling policies for online arrivals, behind a name registry.
+
+When a job arrives, the simulator asks the active policy what to
+(re)place: always the arrival itself, optionally some of the *pending*
+jobs — jobs already placed whose first task has not started yet, so
+pulling them back rewrites no history.  The policy returns job ids in
+placement order; everything it does not mention keeps its current
+placement.  Jobs with work already running are never candidates.
+
+Three built-ins mirror the families the online-scheduling literature
+compares:
+
+* ``queue`` — strict FIFO: place the arrival against whatever the
+  cluster looks like, touch nothing else.
+* ``replace`` — re-place pending work: pull every pending job and
+  re-insert it together with the arrival in shortest-baseline-first
+  order (SJF over the jobs that haven't started anyway).
+* ``preempt`` — bounded preemption: the arrival may displace up to
+  ``max_preempt`` pending jobs with a larger baseline than its own;
+  victims are re-placed after it in their original arrival order.
+
+The registry mirrors :mod:`repro.schedulers.registry`: names map to
+zero-argument factories so each simulation gets a fresh policy object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """Read-only view of one job a policy may reason about."""
+
+    job_id: str
+    template: str
+    arrival: float
+    #: makespan of the template on an empty cluster (the job's ideal)
+    baseline: float
+    #: earliest planned task start of the current placement
+    start: float
+    #: arrival index (ties and "original order" break on this)
+    order: int
+
+
+class ReschedulePolicy(ABC):
+    """Decides what to (re)place when a job arrives."""
+
+    #: Registry name, set on registration.
+    name: str = "policy"
+
+    @abstractmethod
+    def plan(self, arrival: PendingJob, pending: list[PendingJob]) -> list[str]:
+        """Job ids to place, in order.  Must contain ``arrival.job_id``;
+        may contain any subset of ``pending``'s ids (those get pulled
+        back and re-placed); must not repeat ids."""
+
+
+class QueuePolicy(ReschedulePolicy):
+    """FIFO: the arrival queues behind everything already placed."""
+
+    name = "queue"
+
+    def plan(self, arrival: PendingJob, pending: list[PendingJob]) -> list[str]:
+        return [arrival.job_id]
+
+
+class ReplacePendingPolicy(ReschedulePolicy):
+    """Re-place all pending work, shortest baseline first (SJF)."""
+
+    name = "replace"
+
+    def plan(self, arrival: PendingJob, pending: list[PendingJob]) -> list[str]:
+        everyone = [*pending, arrival]
+        everyone.sort(key=lambda p: (p.baseline, p.order))
+        return [p.job_id for p in everyone]
+
+
+class BoundedPreemptPolicy(ReschedulePolicy):
+    """The arrival preempts up to ``max_preempt`` larger pending jobs."""
+
+    name = "preempt"
+
+    def __init__(self, max_preempt: int = 4) -> None:
+        if max_preempt < 0:
+            raise ConfigurationError(f"max_preempt must be >= 0, got {max_preempt}")
+        self.max_preempt = int(max_preempt)
+
+    def plan(self, arrival: PendingJob, pending: list[PendingJob]) -> list[str]:
+        victims = [p for p in pending if p.baseline > arrival.baseline]
+        victims.sort(key=lambda p: (-p.baseline, p.order))
+        victims = victims[: self.max_preempt]
+        victims.sort(key=lambda p: p.order)
+        return [arrival.job_id, *[p.job_id for p in victims]]
+
+
+_REGISTRY: dict[str, Callable[[], ReschedulePolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[[], ReschedulePolicy]) -> None:
+    """Register a rescheduling-policy factory under a unique name."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"policy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_policy(name: str) -> ReschedulePolicy:
+    """Instantiate the policy registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown policy {name!r}; known: {known}") from None
+    policy = factory()
+    policy.name = name
+    return policy
+
+
+def all_policy_names() -> list[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_policy("queue", QueuePolicy)
+register_policy("replace", ReplacePendingPolicy)
+register_policy("preempt", BoundedPreemptPolicy)
+register_policy("preempt-1", lambda: BoundedPreemptPolicy(max_preempt=1))

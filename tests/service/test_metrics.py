@@ -22,6 +22,32 @@ def test_percentile_order_independent():
     assert percentile([5.0, 1.0, 3.0], 50) == 3.0
 
 
+def test_percentile_nearest_rank_uses_ceil():
+    # Regression: banker's round() picked rank 94 for p95 of 99 samples
+    # (0.95 * 99 = 94.05 -> round 94); nearest-rank is ceil -> 95.
+    samples = [float(i) for i in range(1, 100)]  # 1..99
+    assert percentile(samples, 95) == 95.0
+    assert percentile(samples, 99) == 99.0  # ceil(98.01) = 99, round gave 98
+    assert percentile(samples, 50) == 50.0  # ceil(49.5) = 50, round gave 50 too
+
+
+def test_percentile_small_sample_ceil_pins():
+    # n=2: p50 must be the first sample (ceil(1.0)=1), p51 the second.
+    assert percentile([10.0, 20.0], 50) == 10.0
+    assert percentile([10.0, 20.0], 51) == 20.0
+    # n=1: every quantile is the sample itself.
+    assert percentile([7.0], 1) == 7.0
+    assert percentile([7.0], 99) == 7.0
+    # n=4: ceil(0.25*4)=1 keeps p25 at the minimum, round would too,
+    # but p26 must step to the second sample (ceil(1.04)=2).
+    assert percentile([1.0, 2.0, 3.0, 4.0], 25) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 26) == 2.0
+
+
+def test_percentile_zero_q_clamps_to_minimum():
+    assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+
 def test_snapshot_counts_and_latency():
     m = ServiceMetrics()
     for _ in range(3):

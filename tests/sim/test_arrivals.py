@@ -1,0 +1,105 @@
+"""Arrival processes: Poisson streams, trace replay, JSON round trip."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.arrivals import (
+    Arrival,
+    PoissonArrivals,
+    TraceArrivals,
+    trace_from_json,
+    trace_to_json,
+)
+
+NAMES = ["small", "wide", "deep"]
+
+
+class TestPoisson:
+    def test_realize_shape(self):
+        arr = PoissonArrivals(rate=0.5, jobs=50, seed=1).realize(NAMES)
+        assert len(arr) == 50
+        assert all(a.template in NAMES for a in arr)
+        assert [a.job_id for a in arr] == [f"j{i:06d}" for i in range(50)]
+
+    def test_times_strictly_increasing(self):
+        arr = PoissonArrivals(rate=2.0, jobs=200, seed=3).realize(NAMES)
+        assert all(b.time > a.time for a, b in zip(arr, arr[1:]))
+
+    def test_same_seed_same_stream(self):
+        a = PoissonArrivals(rate=1.0, jobs=30, seed=9).realize(NAMES)
+        b = PoissonArrivals(rate=1.0, jobs=30, seed=9).realize(NAMES)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate=1.0, jobs=30, seed=9).realize(NAMES)
+        b = PoissonArrivals(rate=1.0, jobs=30, seed=10).realize(NAMES)
+        assert a != b
+
+    def test_template_input_order_irrelevant(self):
+        a = PoissonArrivals(rate=1.0, jobs=40, seed=4).realize(NAMES)
+        b = PoissonArrivals(rate=1.0, jobs=40, seed=4).realize(list(reversed(NAMES)))
+        assert a == b
+
+    def test_times_independent_of_catalogue_size(self):
+        # Separate time/pick streams: adding a template re-draws picks
+        # but never perturbs the realized arrival times.
+        a = PoissonArrivals(rate=1.0, jobs=40, seed=4).realize(NAMES)
+        b = PoissonArrivals(rate=1.0, jobs=40, seed=4).realize(NAMES + ["extra"])
+        assert [x.time for x in a] == [x.time for x in b]
+
+    def test_mean_gap_tracks_rate(self):
+        arr = PoissonArrivals(rate=0.25, jobs=2000, seed=0).realize(NAMES)
+        mean_gap = arr[-1].time / len(arr)
+        assert 3.5 < mean_gap < 4.5  # 1/rate = 4
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=0.0, jobs=5)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=1.0, jobs=0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=1.0, jobs=5).realize([])
+
+
+class TestTrace:
+    def test_sorted_stable(self):
+        tr = TraceArrivals([(2.0, "b"), (1.0, "a"), (2.0, "a")])
+        arr = tr.realize(["a", "b"])
+        assert [(a.time, a.template) for a in arr] == [
+            (1.0, "a"), (2.0, "b"), (2.0, "a"),
+        ]
+        assert [a.job_id for a in arr] == ["j000000", "j000001", "j000002"]
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([(1.0, "ghost")]).realize(["a"])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([(-1.0, "a")]).realize(["a"])
+
+
+class TestJsonRoundTrip:
+    def test_bit_exact(self):
+        arr = PoissonArrivals(rate=0.37, jobs=100, seed=7).realize(NAMES)
+        replayed = trace_from_json(trace_to_json(arr)).realize(NAMES)
+        assert replayed == arr  # includes float-exact times
+
+    def test_canonical_text(self):
+        arr = PoissonArrivals(rate=1.0, jobs=5, seed=0).realize(NAMES)
+        assert trace_to_json(arr) == trace_to_json(list(arr))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_json("{}")
+        with pytest.raises(ConfigurationError):
+            trace_from_json('{"arrivals": [{"time": "xyz", "template": "a"}]}')
+
+
+def test_arrival_negative_time_rejected():
+    with pytest.raises(ConfigurationError):
+        Arrival(time=-0.5, template="a", job_id="j000000")

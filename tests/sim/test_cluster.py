@@ -1,0 +1,106 @@
+"""ClusterState: occupancy, release, prefix compaction, accounting."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.machine.cluster import Machine
+from repro.sim.cluster import ClusterState
+
+
+def make_cluster(q: int = 2) -> ClusterState:
+    return ClusterState(Machine.homogeneous(q, name=f"q{q}"))
+
+
+class TestOccupyRelease:
+    def test_occupy_sorted_insert(self):
+        c = make_cluster()
+        c.occupy("a", [(0, 5.0, 7.0)])
+        c.occupy("b", [(0, 1.0, 2.0), (1, 0.0, 3.0)])
+        starts, ends = c.seeded_timelines()
+        assert starts[0] == [1.0, 5.0] and ends[0] == [2.0, 7.0]
+        assert starts[1] == [0.0] and ends[1] == [3.0]
+
+    def test_duplicate_job_rejected(self):
+        c = make_cluster()
+        c.occupy("a", [(0, 0.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            c.occupy("a", [(1, 0.0, 1.0)])
+
+    def test_invalid_interval_rejected(self):
+        c = make_cluster()
+        with pytest.raises(ConfigurationError):
+            c.occupy("a", [(0, 2.0, 1.0)])  # end < start
+        with pytest.raises(ConfigurationError):
+            c.occupy("b", [(5, 0.0, 1.0)])  # proc out of range
+
+    def test_release_removes_all_intervals(self):
+        c = make_cluster()
+        c.occupy("a", [(0, 0.0, 1.0), (1, 2.0, 3.0)])
+        c.occupy("b", [(0, 1.0, 2.0)])
+        removed = c.release("a")
+        assert sorted(removed) == [(0, 0.0, 1.0), (1, 2.0, 3.0)]
+        starts, _ = c.seeded_timelines()
+        assert starts[0] == [1.0] and starts[1] == []
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster().release("ghost")
+
+    def test_release_distinguishes_same_start(self):
+        # Two jobs may share a start on *different* procs; on the same
+        # proc starts are unique, but equal starts of zero-width slots
+        # must resolve by job id.
+        c = make_cluster()
+        c.occupy("a", [(0, 1.0, 1.0)])
+        c.occupy("b", [(0, 1.0, 1.0)])
+        c.release("a")
+        starts, ends = c.seeded_timelines()
+        assert starts[0] == [1.0] and c._jobs[0] == ["b"]
+
+
+class TestAdvance:
+    def test_drops_only_finished_prefix(self):
+        c = make_cluster(1)
+        c.occupy("a", [(0, 0.0, 1.0)])
+        c.occupy("b", [(0, 1.0, 2.0)])
+        c.occupy("c", [(0, 3.0, 4.0)])
+        assert c.advance(2.0) == 2
+        starts, ends = c.seeded_timelines()
+        assert starts[0] == [3.0] and ends[0] == [4.0]
+        assert c.frontier == 2.0
+
+    def test_busy_time_exact_across_compaction(self):
+        c = make_cluster(2)
+        c.occupy("a", [(0, 0.0, 2.0), (1, 1.0, 4.0)])
+        before = c.busy_time()
+        c.advance(2.5)
+        assert c.busy_time() == before == 5.0
+
+    def test_utilization(self):
+        c = make_cluster(2)
+        c.occupy("a", [(0, 0.0, 2.0), (1, 0.0, 2.0)])
+        assert c.utilization() == pytest.approx(1.0)
+        assert c.utilization(horizon=4.0) == pytest.approx(0.5)
+        c.advance(2.0)
+        assert c.utilization(horizon=4.0) == pytest.approx(0.5)
+
+    def test_advance_backwards_rejected(self):
+        c = make_cluster()
+        c.advance(5.0)
+        with pytest.raises(ConfigurationError):
+            c.advance(4.0)
+
+    def test_released_job_fully_compacted_disappears(self):
+        c = make_cluster(1)
+        c.occupy("a", [(0, 0.0, 1.0)])
+        c.advance(1.0)
+        # All of a's intervals were compacted; it is no longer placed.
+        with pytest.raises(ConfigurationError):
+            c.release("a")
+
+    def test_empty_cluster_queries(self):
+        c = make_cluster()
+        assert c.live_intervals() == 0
+        assert c.busy_time() == 0.0
+        assert c.horizon() == 0.0
+        assert c.utilization() == 0.0

@@ -83,3 +83,60 @@ class TestEventQueue:
             q.push(float(i), "e")
         assert q.drain(lambda ev: None, max_events=3) == 3
         assert len(q) == 2
+
+    def test_drain_max_events_zero_handles_nothing(self):
+        # Regression: the limit check used to run *after* the pop, so
+        # max_events=0 still handled one event.
+        q = EventQueue()
+        q.push(1.0, "a")
+        seen = []
+        assert q.drain(seen.append, max_events=0) == 0
+        assert seen == []
+        assert len(q) == 1
+        assert q.now == 0.0  # the clock never advanced
+
+    def test_drain_max_events_one(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        seen = []
+        assert q.drain(lambda ev: seen.append(ev.kind), max_events=1) == 1
+        assert seen == ["a"]
+        assert len(q) == 1
+
+    def test_drain_max_events_equals_queue_length(self):
+        q = EventQueue()
+        for i in range(4):
+            q.push(float(i), "e")
+        assert q.drain(lambda ev: None, max_events=4) == 4
+        assert len(q) == 0
+
+    def test_drain_max_events_bounds_handler_pushes(self):
+        # A handler that pushes on every event would drain forever
+        # without the bound; the bound must count *handled* events.
+        q = EventQueue()
+        q.push(0.0, "seed")
+        handled = []
+
+        def handler(ev: Event) -> None:
+            handled.append(ev.time)
+            q.push(ev.time + 1.0, "child")
+
+        assert q.drain(handler, max_events=5) == 5
+        assert handled == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert len(q) == 1  # the last push is still queued
+
+    def test_push_nan_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(float("nan"), "bad")
+
+    def test_clamp_never_reorders_popped_timestamps(self):
+        # An event within tolerance *below* now is clamped up to now,
+        # so drained times can never go backwards.
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.pop()
+        ev = q.push(1.0 - 5e-10, "tolerated")
+        assert ev.time == 1.0
+        assert q.pop().time >= 1.0

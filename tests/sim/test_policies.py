@@ -1,0 +1,100 @@
+"""Rescheduling policies and their registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.policies import (
+    BoundedPreemptPolicy,
+    PendingJob,
+    QueuePolicy,
+    ReplacePendingPolicy,
+    all_policy_names,
+    get_policy,
+    register_policy,
+)
+
+
+def pj(job_id: str, baseline: float, order: int) -> PendingJob:
+    return PendingJob(
+        job_id=job_id, template="t", arrival=0.0,
+        baseline=baseline, start=1.0, order=order,
+    )
+
+
+ARRIVAL = pj("new", 5.0, 10)
+PENDING = [pj("a", 3.0, 0), pj("b", 9.0, 1), pj("c", 7.0, 2), pj("d", 9.0, 3)]
+
+
+class TestQueue:
+    def test_only_places_arrival(self):
+        assert QueuePolicy().plan(ARRIVAL, PENDING) == ["new"]
+
+    def test_empty_pending(self):
+        assert QueuePolicy().plan(ARRIVAL, []) == ["new"]
+
+
+class TestReplace:
+    def test_sjf_over_everyone(self):
+        # Sorted by (baseline, order): a(3) < new(5) < c(7) < b(9) < d(9).
+        plan = ReplacePendingPolicy().plan(ARRIVAL, PENDING)
+        assert plan == ["a", "new", "c", "b", "d"]
+
+    def test_ties_break_on_order(self):
+        plan = ReplacePendingPolicy().plan(pj("x", 9.0, 99), PENDING)
+        assert plan.index("b") < plan.index("d") < plan.index("x")
+
+
+class TestPreempt:
+    def test_victims_are_larger_jobs_in_arrival_order(self):
+        # Victims: baseline > 5 -> b(9), c(7), d(9); worst-first pick
+        # takes b, d, c, then they re-place in original arrival order.
+        plan = BoundedPreemptPolicy(max_preempt=4).plan(ARRIVAL, PENDING)
+        assert plan == ["new", "b", "c", "d"]
+
+    def test_bound_respected(self):
+        plan = BoundedPreemptPolicy(max_preempt=1).plan(ARRIVAL, PENDING)
+        assert plan == ["new", "b"]  # single worst victim
+
+    def test_zero_bound_is_fifo(self):
+        assert BoundedPreemptPolicy(max_preempt=0).plan(ARRIVAL, PENDING) == ["new"]
+
+    def test_no_smaller_jobs_preempted(self):
+        plan = BoundedPreemptPolicy(max_preempt=4).plan(ARRIVAL, PENDING)
+        assert "a" not in plan
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedPreemptPolicy(max_preempt=-1)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = all_policy_names()
+        assert {"queue", "replace", "preempt", "preempt-1"} <= set(names)
+        assert names == sorted(names)
+
+    def test_get_policy_instantiates_fresh(self):
+        a = get_policy("queue")
+        b = get_policy("queue")
+        assert a is not b and a.name == "queue"
+
+    def test_parameterized_registration(self):
+        assert get_policy("preempt-1").max_preempt == 1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("nope")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_policy("queue", QueuePolicy)
+
+    def test_plan_independent_of_pending_input_order(self):
+        # Policies must key on (baseline, order), never on list position.
+        import itertools
+
+        for policy_name in ("replace", "preempt"):
+            policy = get_policy(policy_name)
+            base = policy.plan(ARRIVAL, PENDING)
+            for perm in itertools.permutations(PENDING):
+                assert policy.plan(ARRIVAL, list(perm)) == base
